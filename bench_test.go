@@ -1,0 +1,173 @@
+// Benchmarks regenerating the paper's evaluation, one per figure (see
+// DESIGN.md §5 and EXPERIMENTS.md). Each benchmark runs the corresponding
+// experiment at quick scale per iteration; run with
+//
+//	go test -bench=. -benchmem
+//
+// plus micro-benchmarks of the pipeline stages (matrix generation, pruning,
+// precision reduction, sampling).
+package corgi
+
+import (
+	"math/rand"
+	"testing"
+
+	"corgi/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	run, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := &experiments.Config{Quick: true, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Convergence regenerates Fig. 9 (Algorithm-1 convergence).
+func BenchmarkFig9Convergence(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10aGraphApproxTime regenerates Fig. 10(a) (runtime with vs
+// without the graph approximation).
+func BenchmarkFig10aGraphApproxTime(b *testing.B) { benchExperiment(b, "fig10a") }
+
+// BenchmarkFig10bConstraintCount regenerates Fig. 10(b) (constraint counts).
+func BenchmarkFig10bConstraintCount(b *testing.B) { benchExperiment(b, "fig10b") }
+
+// BenchmarkFig11PrivacyParams regenerates Fig. 11 (quality loss vs epsilon
+// and delta).
+func BenchmarkFig11PrivacyParams(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12PruneViolations regenerates Fig. 12 (violations vs pruned
+// locations).
+func BenchmarkFig12PruneViolations(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13PrivacyLevel regenerates Fig. 13 (quality loss vs privacy
+// level).
+func BenchmarkFig13PrivacyLevel(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14PrecisionReduction regenerates Fig. 14 (precision reduction
+// vs matrix recalculation).
+func BenchmarkFig14PrecisionReduction(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkHeadline regenerates the abstract's headline violation numbers.
+func BenchmarkHeadline(b *testing.B) { benchExperiment(b, "headline") }
+
+// --- micro-benchmarks of the pipeline stages ---
+
+func benchSetup(b *testing.B) (*Region, *Priors, *Forest) {
+	b.Helper()
+	region, err := NewRegion(SanFrancisco.Center(), 0.1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	priors := UniformPriors(region.Tree)
+	targets, err := RandomLeafTargets(region.Tree, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	server, err := NewServer(region, priors, targets, Params{
+		Epsilon: 15, Iterations: 2, UseGraphApprox: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	forest, err := server.GenerateForest(1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return region, priors, forest
+}
+
+// BenchmarkGenerateMatrixK7 measures one non-robust matrix generation for a
+// 7-cell subtree (the privacy-level-1 unit of work).
+func BenchmarkGenerateMatrixK7(b *testing.B) {
+	region, priors, _ := benchSetup(b)
+	targets, _ := RandomLeafTargets(region.Tree, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		server, err := NewServer(region, priors, targets, Params{
+			Epsilon: 15, Iterations: 1, UseGraphApprox: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := server.GenerateEntry(region.Tree.LevelNodes(1)[0], 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObfuscate measures the full user-side pipeline (Algorithm 4)
+// against a prebuilt forest.
+func BenchmarkObfuscate(b *testing.B) {
+	region, priors, forest := benchSetup(b)
+	pol := Policy{PrivacyLevel: 1, PrecisionLevel: 0}
+	rng := rand.New(rand.NewSource(1))
+	real := SanFrancisco.Center()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Obfuscate(region, forest, real, pol, nil, priors, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatrixPrune measures pruning 2 of 49 locations.
+func BenchmarkMatrixPrune(b *testing.B) {
+	region, priors, _ := benchSetup(b)
+	targets, _ := RandomLeafTargets(region.Tree, 10, 1)
+	server, err := NewServer(region, priors, targets, Params{
+		Epsilon: 15, Iterations: 1, UseGraphApprox: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	entry, err := server.GenerateEntry(region.Tree.Root(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := entry.Matrix.Prune([]int{3, 17}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrecisionReduce measures Equ. (17) for 49 leaves -> 7 nodes.
+func BenchmarkPrecisionReduce(b *testing.B) {
+	region, priors, forest := benchSetup(b)
+	pol := Policy{PrivacyLevel: 1, PrecisionLevel: 0}
+	_ = pol
+	_ = forest
+	targets, _ := RandomLeafTargets(region.Tree, 10, 1)
+	server, err := NewServer(region, priors, targets, Params{
+		Epsilon: 15, Iterations: 1, UseGraphApprox: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	entry, err := server.GenerateEntry(region.Tree.Root(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Reuse the user-side full pipeline with precision 1 per iteration.
+	fullForest := &Forest{PrivacyLevel: 2, Delta: 0,
+		Entries: map[NodeID]*ForestEntry{region.Tree.Root(): entry}}
+	rng := rand.New(rand.NewSource(2))
+	polP := Policy{PrivacyLevel: 2, PrecisionLevel: 1}
+	real := SanFrancisco.Center()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Obfuscate(region, fullForest, real, polP, nil, priors, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command corgi-client is the user side (Sec. 5.2): it fetches the location
+// tree and privacy forest from a corgi-server, evaluates the user's policy
+// locally, customizes the matrix (pruning + precision reduction), and
+// prints the obfuscated location. The real location and the preference
+// contents never leave this process.
+//
+// Usage:
+//
+//	corgi-client [-server http://127.0.0.1:8080] -lat 37.765 -lng -122.435 \
+//	             [-privacy 1] [-precision 0] [-pref "home != true" -pref "distance <= 5"] \
+//	             [-reports 1] [-seed 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"corgi/internal/core"
+	"corgi/internal/geo"
+	"corgi/internal/gowalla"
+	"corgi/internal/loctree"
+	"corgi/internal/policy"
+	"corgi/internal/proto"
+)
+
+type prefList []string
+
+func (p *prefList) String() string     { return fmt.Sprint(*p) }
+func (p *prefList) Set(s string) error { *p = append(*p, s); return nil }
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8080", "corgi-server base URL")
+	lat := flag.Float64("lat", 37.765, "real latitude")
+	lng := flag.Float64("lng", -122.435, "real longitude")
+	privacy := flag.Int("privacy", 1, "privacy level (obfuscation range)")
+	precision := flag.Int("precision", 0, "precision level of the report")
+	reports := flag.Int("reports", 1, "number of obfuscated reports to draw")
+	seed := flag.Int64("seed", 0, "sampling seed (0: time-based)")
+	var prefs prefList
+	flag.Var(&prefs, "pref", "preference predicate, e.g. 'home != true' (repeatable)")
+	flag.Parse()
+
+	c := proto.NewClient(*server)
+	tree, info, err := c.FetchTree()
+	if err != nil {
+		log.Fatalf("fetching tree: %v", err)
+	}
+	log.Printf("tree: height %d, %d leaves, eps=%g", info.Height, tree.NumLeaves(), info.Epsilon)
+	priors, err := c.FetchPriors(tree)
+	if err != nil {
+		log.Fatalf("fetching priors: %v", err)
+	}
+
+	pol := policy.Policy{PrivacyLevel: *privacy, PrecisionLevel: *precision}
+	for _, s := range prefs {
+		pred, err := policy.ParsePredicate(s)
+		if err != nil {
+			log.Fatalf("predicate %q: %v", s, err)
+		}
+		pol.Preferences = append(pol.Preferences, pred)
+	}
+	if err := pol.Validate(tree.Height()); err != nil {
+		log.Fatalf("policy: %v", err)
+	}
+	real := geo.LatLng{Lat: *lat, Lng: *lng}
+
+	// Local attributes for preference evaluation: derived from the
+	// synthetic corpus (a real deployment would use the user's own data —
+	// it stays on-device either way).
+	var attrs map[loctree.NodeID]policy.Attributes
+	if len(pol.Preferences) > 0 {
+		ds, err := gowalla.Generate(gowalla.GenConfig{Seed: 1})
+		if err != nil {
+			log.Fatalf("attributes: %v", err)
+		}
+		md, err := gowalla.BuildMetadata(ds.CheckIns, tree, 0.2)
+		if err != nil {
+			log.Fatalf("attributes: %v", err)
+		}
+		attrs = md.Annotate(0, real)
+	}
+
+	// Count the prune set first so only |S| is requested from the server.
+	delta := 0
+	if len(pol.Preferences) > 0 {
+		leaf, ok := tree.Locate(real, 0)
+		if !ok {
+			log.Fatalf("location outside the service region")
+		}
+		root, _ := tree.AncestorAt(leaf, pol.PrivacyLevel)
+		pruned, err := core.EvalPreferences(tree.LeavesUnder(root), pol, attrs)
+		if err != nil {
+			log.Fatalf("preferences: %v", err)
+		}
+		delta = len(pruned)
+	}
+	log.Printf("requesting forest: privacy_l=%d delta=|S|=%d", pol.PrivacyLevel, delta)
+	forest, err := c.FetchForest(tree, pol.PrivacyLevel, delta)
+	if err != nil {
+		log.Fatalf("fetching forest: %v", err)
+	}
+
+	s := *seed
+	if s == 0 {
+		s = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(s))
+	for i := 0; i < *reports; i++ {
+		out, err := core.GenerateObfuscatedLocation(tree, forest, real, pol, attrs, priors, rng)
+		if err != nil {
+			log.Fatalf("obfuscating: %v", err)
+		}
+		center := tree.Center(out.Reported)
+		fmt.Printf("report %d: node %v center %.6f,%.6f (moved %.3f km, pruned %d)\n",
+			i+1, out.Reported, center.Lat, center.Lng,
+			geo.Haversine(real, center), len(out.Pruned))
+	}
+}

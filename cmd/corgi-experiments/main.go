@@ -1,0 +1,57 @@
+// Command corgi-experiments regenerates the paper's evaluation (Figs. 9-14,
+// the abstract's headline numbers) and the extension studies. See
+// EXPERIMENTS.md for the mapping to the paper and the expected shapes.
+//
+// Usage:
+//
+//	corgi-experiments -list
+//	corgi-experiments -run fig12 [-full] [-seed 1]
+//	corgi-experiments -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"corgi/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "experiment id (or 'all')")
+	list := flag.Bool("list", false, "list experiments")
+	full := flag.Bool("full", false, "paper-scale sweeps (slower)")
+	seed := flag.Int64("seed", 1, "master seed")
+	flag.Parse()
+
+	if *list || *runID == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-20s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+	cfg := &experiments.Config{Quick: !*full, Seed: *seed}
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		run, ok := experiments.Lookup(id)
+		if !ok {
+			log.Fatalf("unknown experiment %q (try -list)", id)
+		}
+		fmt.Printf("--- %s: %s\n", id, experiments.Describe(id))
+		start := time.Now()
+		tables, err := run(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("--- %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,93 @@
+// Command corgi-server runs the CORGI cloud side (Sec. 5.1): it builds the
+// location tree over a region, computes public priors from a check-in file
+// (or the synthetic sample), and serves robust obfuscation matrices over
+// HTTP. Users never send it locations or preference contents — only the
+// privacy level and a prune allowance.
+//
+// Usage:
+//
+//	corgi-server [-addr :8080] [-eps 15] [-height 2] [-spacing 0.1]
+//	             [-iters 5] [-checkins gowalla.txt] [-seed 1]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"corgi/internal/core"
+	"corgi/internal/geo"
+	"corgi/internal/gowalla"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/proto"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	eps := flag.Float64("eps", 15, "Geo-Ind privacy budget (km^-1)")
+	height := flag.Int("height", 2, "location tree height (2 -> 49 leaves, 3 -> 343)")
+	spacing := flag.Float64("spacing", 0.1, "leaf cell center spacing in km")
+	iters := flag.Int("iters", 5, "Algorithm-1 robust iterations")
+	checkins := flag.String("checkins", "", "Gowalla check-in file (empty: synthetic sample)")
+	seed := flag.Int64("seed", 1, "seed for the synthetic sample")
+	targetsN := flag.Int("targets", 20, "number of service target locations")
+	flag.Parse()
+
+	sys, err := hexgrid.NewSystem(geo.SanFrancisco.Center(), *spacing)
+	if err != nil {
+		log.Fatalf("hex system: %v", err)
+	}
+	tree, err := loctree.NewAt(sys, geo.SanFrancisco.Center(), *height)
+	if err != nil {
+		log.Fatalf("location tree: %v", err)
+	}
+	var cs []gowalla.CheckIn
+	if *checkins != "" {
+		cs, err = gowalla.LoadFile(*checkins)
+		if err != nil {
+			log.Fatalf("loading %s: %v", *checkins, err)
+		}
+		cs = gowalla.FilterBBox(cs, geo.SanFrancisco)
+		log.Printf("loaded %d SF check-ins from %s", len(cs), *checkins)
+	} else {
+		ds, err := gowalla.Generate(gowalla.GenConfig{Seed: *seed})
+		if err != nil {
+			log.Fatalf("synthetic sample: %v", err)
+		}
+		cs = ds.CheckIns
+		log.Printf("generated %d synthetic check-ins (seed %d)", len(cs), *seed)
+	}
+	leaf, err := gowalla.LeafPriors(cs, tree, 1)
+	if err != nil {
+		log.Fatalf("priors: %v", err)
+	}
+	priors, err := loctree.NewPriors(tree, leaf)
+	if err != nil {
+		log.Fatalf("priors: %v", err)
+	}
+	leaves := tree.LevelNodes(0)
+	step := len(leaves) / *targetsN
+	if step < 1 {
+		step = 1
+	}
+	var targets []geo.LatLng
+	var probs []float64
+	for i := 0; i < len(leaves) && len(targets) < *targetsN; i += step {
+		targets = append(targets, tree.Center(leaves[i]))
+		probs = append(probs, 1)
+	}
+	srv, err := core.NewServer(tree, priors, targets, probs, core.Params{
+		Epsilon: *eps, Iterations: *iters, UseGraphApprox: true,
+	})
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	h, err := proto.NewHandler(srv, priors, *spacing)
+	if err != nil {
+		log.Fatalf("handler: %v", err)
+	}
+	log.Printf("CORGI server on %s (eps=%g, height=%d, %d leaves)",
+		*addr, *eps, *height, tree.NumLeaves())
+	log.Fatal(http.ListenAndServe(*addr, h.Mux()))
+}

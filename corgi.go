@@ -1,0 +1,186 @@
+// Package corgi is the public API of this CORGI implementation —
+// "CustOmizable Robust Geo-Indistinguishability" (Pappachan, Qiu,
+// Squicciarini, Hunsur Manjunath; EDBT 2023). It generates location
+// obfuscation matrices that satisfy epsilon-Geo-Indistinguishability and
+// remain private after user-side customization: pruning up to delta
+// locations from the obfuscation range and reducing reporting precision
+// along a hierarchical location tree.
+//
+// Typical flow (mirroring Fig. 1 of the paper):
+//
+//	region, _ := corgi.NewRegion(corgi.SanFrancisco.Center(), 0.1, 2)
+//	priors := corgi.UniformPriors(region.Tree)
+//	server, _ := corgi.NewServer(region, priors, targets, corgi.Params{
+//	    Epsilon: 15, Delta is per-request, Iterations: 10,
+//	})
+//	forest, _ := server.GenerateForest(privacyLevel, delta)
+//	out, _ := corgi.Obfuscate(region, forest, realLocation, policy, attrs, priors, rng)
+//	// out.Reported is what the location-based service sees.
+//
+// The heavy lifting lives in internal packages: internal/lp (a from-scratch
+// sparse revised simplex), internal/core (the LP formulation, the
+// Dantzig-Wolfe decomposition and Algorithms 1/3/4), internal/hexgrid (an
+// aperture-7 hexagonal index substituting Uber H3), internal/obf (pruning,
+// precision reduction, audits), internal/gowalla (the dataset substrate),
+// and internal/planar + internal/attack (baselines and adversaries).
+package corgi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"corgi/internal/core"
+	"corgi/internal/geo"
+	"corgi/internal/gowalla"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/obf"
+	"corgi/internal/policy"
+)
+
+// Re-exported fundamental types. Aliases keep the public API a strict view
+// of the internal implementation.
+type (
+	// LatLng is a geographic point in degrees.
+	LatLng = geo.LatLng
+	// BoundingBox is a lat/lng rectangle.
+	BoundingBox = geo.BoundingBox
+	// Tree is the hierarchical location tree of Sec. 3.1.
+	Tree = loctree.Tree
+	// NodeID identifies a tree node (level + hex cell).
+	NodeID = loctree.NodeID
+	// Priors is a prior distribution over tree leaves with per-level
+	// aggregation.
+	Priors = loctree.Priors
+	// Policy is the customization triple <Privacy_l, Precision_l,
+	// User_Preferences> of Sec. 3.2.
+	Policy = policy.Policy
+	// Predicate is one Boolean preference <var, op, val>.
+	Predicate = policy.Predicate
+	// Attributes carries a location's metadata for predicate evaluation.
+	Attributes = policy.Attributes
+	// Params tunes matrix generation (epsilon, delta, Algorithm-1 rounds).
+	Params = core.Params
+	// Server is the CORGI server (Algorithm 3).
+	Server = core.Server
+	// Forest is a privacy forest: one robust matrix per privacy-level node.
+	Forest = core.Forest
+	// ForestEntry is one subtree's matrix.
+	ForestEntry = core.ForestEntry
+	// Outcome reports one user-side obfuscation (Algorithm 4).
+	Outcome = core.Outcome
+	// Matrix is a row-stochastic obfuscation matrix.
+	Matrix = obf.Matrix
+	// Pair is an ordered Geo-Ind constraint pair (used for audits).
+	Pair = obf.Pair
+	// ViolationReport summarizes a Geo-Ind audit.
+	ViolationReport = obf.ViolationReport
+	// CheckIn is one Gowalla-format check-in record.
+	CheckIn = gowalla.CheckIn
+	// Metadata holds the per-user/per-cell policy heuristics of Sec. 6.1.
+	Metadata = gowalla.Metadata
+)
+
+// SanFrancisco is the paper's evaluation region.
+var SanFrancisco = geo.SanFrancisco
+
+// Haversine returns the great-circle distance between two points in km.
+func Haversine(a, b LatLng) float64 { return geo.Haversine(a, b) }
+
+// ParsePredicate parses "var op value" (e.g. "home != true",
+// "distance <= 5").
+func ParsePredicate(s string) (Predicate, error) { return policy.ParsePredicate(s) }
+
+// Region bundles a hexagonal system and its location tree.
+type Region struct {
+	System *hexgrid.System
+	Tree   *loctree.Tree
+}
+
+// NewRegion builds a height-`height` location tree of hexagonal cells with
+// the given leaf center spacing (km), rooted at the cell containing center.
+// A height-2 tree has 49 leaves; height 3 has 343 (the paper's setup).
+func NewRegion(center LatLng, leafSpacingKm float64, height int) (*Region, error) {
+	sys, err := hexgrid.NewSystem(center, leafSpacingKm)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := loctree.NewAt(sys, center, height)
+	if err != nil {
+		return nil, err
+	}
+	return &Region{System: sys, Tree: tree}, nil
+}
+
+// UniformPriors returns the uniform leaf distribution for a tree.
+func UniformPriors(t *Tree) *Priors { return loctree.UniformPriors(t) }
+
+// PriorsFromCheckIns counts check-ins per leaf (add-one smoothed), the
+// paper's prior construction (Sec. 6.1).
+func PriorsFromCheckIns(cs []CheckIn, t *Tree) (*Priors, error) {
+	leaf, err := gowalla.LeafPriors(cs, t, 1)
+	if err != nil {
+		return nil, err
+	}
+	return loctree.NewPriors(t, leaf)
+}
+
+// GenerateCheckIns produces the synthetic Gowalla-style San Francisco
+// sample (38,523 check-ins by default; see internal/gowalla for the
+// generator's fidelity notes).
+func GenerateCheckIns(seed int64) ([]CheckIn, error) {
+	ds, err := gowalla.Generate(gowalla.GenConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return ds.CheckIns, nil
+}
+
+// LoadCheckIns parses the real Gowalla check-in file format.
+func LoadCheckIns(path string) ([]CheckIn, error) { return gowalla.LoadFile(path) }
+
+// BuildMetadata derives home/office/outlier/popular heuristics from
+// check-ins for policy construction.
+func BuildMetadata(cs []CheckIn, t *Tree) (*Metadata, error) {
+	return gowalla.BuildMetadata(cs, t, 0.2)
+}
+
+// NewServer constructs the CORGI server over a region. targets are the
+// service locations Q of Equ. (6); params.Delta is ignored (chosen per
+// request).
+func NewServer(r *Region, priors *Priors, targets []LatLng, params Params) (*Server, error) {
+	if r == nil {
+		return nil, fmt.Errorf("corgi: nil region")
+	}
+	probs := make([]float64, len(targets))
+	for i := range probs {
+		probs[i] = 1
+	}
+	return core.NewServer(r.Tree, priors, targets, probs, params)
+}
+
+// Obfuscate runs the user-side pipeline (Algorithm 4): locate the subtree,
+// evaluate preferences, prune, reduce precision, sample.
+func Obfuscate(r *Region, forest *Forest, real LatLng, pol Policy,
+	attrs map[NodeID]Attributes, priors *Priors, rng *rand.Rand) (*Outcome, error) {
+	if r == nil {
+		return nil, fmt.Errorf("corgi: nil region")
+	}
+	return core.GenerateObfuscatedLocation(r.Tree, forest, real, pol, attrs, priors, rng)
+}
+
+// RandomLeafTargets picks n distinct leaf centers as service targets, the
+// paper's NR_TARGET protocol.
+func RandomLeafTargets(t *Tree, n int, seed int64) ([]LatLng, error) {
+	leaves := t.LevelNodes(0)
+	if n < 1 || n > len(leaves) {
+		return nil, fmt.Errorf("corgi: %d targets from %d leaves", n, len(leaves))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(leaves))[:n]
+	out := make([]LatLng, n)
+	for i, idx := range perm {
+		out[i] = t.Center(leaves[idx])
+	}
+	return out, nil
+}

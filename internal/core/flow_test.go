@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"corgi/internal/geo"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/obf"
+	"corgi/internal/policy"
+)
+
+// newFlowServer builds a height-2 tree over SF with uniform priors and a
+// small target set, plus a server with fast parameters.
+func newFlowServer(t *testing.T) (*Server, *loctree.Tree, *loctree.Priors) {
+	t.Helper()
+	sys, err := hexgrid.NewSystem(geo.SanFrancisco.Center(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := loctree.NewAt(sys, geo.SanFrancisco.Center(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := loctree.UniformPriors(tree)
+	leaves := tree.LevelNodes(0)
+	targets := make([]geo.LatLng, 0, 10)
+	probs := make([]float64, 0, 10)
+	for i := 0; i < 10; i++ {
+		targets = append(targets, tree.Center(leaves[i*4]))
+		probs = append(probs, 1)
+	}
+	srv, err := NewServer(tree, priors, targets, probs, Params{
+		Epsilon: 15, Iterations: 3, UseGraphApprox: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, tree, priors
+}
+
+func TestNewServerValidation(t *testing.T) {
+	_, tree, priors := newFlowServer(t)
+	tgt := []geo.LatLng{geo.SanFrancisco.Center()}
+	if _, err := NewServer(nil, priors, tgt, []float64{1}, Params{Epsilon: 1}); err == nil {
+		t.Error("nil tree must fail")
+	}
+	if _, err := NewServer(tree, nil, tgt, []float64{1}, Params{Epsilon: 1}); err == nil {
+		t.Error("nil priors must fail")
+	}
+	if _, err := NewServer(tree, priors, nil, nil, Params{Epsilon: 1}); err == nil {
+		t.Error("no targets must fail")
+	}
+	if _, err := NewServer(tree, priors, tgt, []float64{1, 2}, Params{Epsilon: 1}); err == nil {
+		t.Error("mismatched probs must fail")
+	}
+	if _, err := NewServer(tree, priors, tgt, []float64{1}, Params{Epsilon: 0}); err == nil {
+		t.Error("zero epsilon must fail")
+	}
+}
+
+func TestGenerateForestLevel1(t *testing.T) {
+	srv, tree, _ := newFlowServer(t)
+	forest, err := srv.GenerateForest(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest.PrivacyLevel != 1 || forest.Delta != 2 {
+		t.Errorf("forest metadata wrong: %+v", forest)
+	}
+	if len(forest.Entries) != 7 {
+		t.Fatalf("forest has %d entries, want 7", len(forest.Entries))
+	}
+	for node, e := range forest.Entries {
+		if e.Root != node {
+			t.Errorf("entry root %v under key %v", e.Root, node)
+		}
+		if len(e.Leaves) != 7 {
+			t.Errorf("entry %v has %d leaves", node, len(e.Leaves))
+		}
+		if err := e.Matrix.CheckStochastic(1e-6); err != nil {
+			t.Errorf("entry %v: %v", node, err)
+		}
+		if rep := e.CheckGeoInd(15, 1e-6); rep.Violated != 0 {
+			t.Errorf("entry %v violates %d constraints", node, rep.Violated)
+		}
+		if len(e.Result.Trace) != 4 { // initial + 3 iterations
+			t.Errorf("entry %v trace %d", node, len(e.Result.Trace))
+		}
+	}
+	// The leaf sets of the entries partition the tree's leaves.
+	seen := map[loctree.NodeID]bool{}
+	for _, e := range forest.Entries {
+		for _, l := range e.Leaves {
+			if seen[l] {
+				t.Fatalf("leaf %v in two entries", l)
+			}
+			seen[l] = true
+		}
+	}
+	if len(seen) != tree.NumLeaves() {
+		t.Errorf("entries cover %d leaves, want %d", len(seen), tree.NumLeaves())
+	}
+}
+
+func TestGenerateForestValidation(t *testing.T) {
+	srv, _, _ := newFlowServer(t)
+	if _, err := srv.GenerateForest(0, 1); err == nil {
+		t.Error("privacy level 0 must fail")
+	}
+	if _, err := srv.GenerateForest(3, 1); err == nil {
+		t.Error("privacy level above height must fail")
+	}
+	if _, err := srv.GenerateEntry(loctree.NodeID{Level: 1, Coord: hexgrid.Coord{Q: 99, R: 99}}, 1); err == nil {
+		t.Error("foreign node must fail")
+	}
+	if _, err := srv.GenerateEntry(srv.Tree().LevelNodes(1)[0], -1); err == nil {
+		t.Error("negative delta must fail")
+	}
+}
+
+func TestGenerateEntryCaching(t *testing.T) {
+	srv, tree, _ := newFlowServer(t)
+	node := tree.LevelNodes(1)[0]
+	e1, err := srv.GenerateEntry(node, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := srv.GenerateEntry(node, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("same request must hit the cache")
+	}
+	e3, err := srv.GenerateEntry(node, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 == e1 {
+		t.Error("different delta must regenerate")
+	}
+}
+
+func TestGenerateObfuscatedLocationEndToEnd(t *testing.T) {
+	srv, tree, priors := newFlowServer(t)
+	forest, err := srv.GenerateForest(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := geo.SanFrancisco.Center()
+	realLeaf, _ := tree.Locate(real, 0)
+	subRoot, _ := tree.AncestorAt(realLeaf, 1)
+	subLeaves := tree.LeavesUnder(subRoot)
+
+	// Attributes: mark one non-real leaf as "home" to be pruned.
+	attrs := map[loctree.NodeID]policy.Attributes{}
+	var homeLeaf loctree.NodeID
+	for _, l := range tree.LevelNodes(0) {
+		isHome := false
+		if l != realLeaf && homeLeaf == (loctree.NodeID{}) {
+			for _, sl := range subLeaves {
+				if sl == l {
+					isHome = true
+					homeLeaf = l
+					break
+				}
+			}
+		}
+		attrs[l] = policy.Attributes{"home": policy.Bool(isHome)}
+	}
+	pred, _ := policy.ParsePredicate("home != true")
+	pol := policy.Policy{PrivacyLevel: 1, PrecisionLevel: 0, Preferences: []policy.Predicate{pred}}
+
+	rng := rand.New(rand.NewSource(5))
+	reportedHome := 0
+	for trial := 0; trial < 200; trial++ {
+		out, err := GenerateObfuscatedLocation(tree, forest, real, pol, attrs, priors, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.SubtreeRoot != subRoot {
+			t.Fatalf("wrong subtree %v", out.SubtreeRoot)
+		}
+		if len(out.Pruned) != 1 || out.Pruned[0] != homeLeaf {
+			t.Fatalf("pruned %v, want [%v]", out.Pruned, homeLeaf)
+		}
+		if out.Reported == homeLeaf {
+			reportedHome++
+		}
+		if out.Reported.Level != 0 {
+			t.Fatalf("reported level %d, want 0", out.Reported.Level)
+		}
+		if !tree.Contains(out.Reported) {
+			t.Fatalf("reported foreign node %v", out.Reported)
+		}
+	}
+	if reportedHome != 0 {
+		t.Errorf("home leaf reported %d times despite pruning", reportedHome)
+	}
+}
+
+func TestGenerateObfuscatedLocationPrecisionReduction(t *testing.T) {
+	srv, tree, priors := newFlowServer(t)
+	forest, err := srv.GenerateForest(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := policy.Policy{PrivacyLevel: 2, PrecisionLevel: 1}
+	rng := rand.New(rand.NewSource(6))
+	out, err := GenerateObfuscatedLocation(tree, forest, geo.SanFrancisco.Center(), pol, nil, priors, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Reported.Level != 1 {
+		t.Fatalf("reported level %d, want 1", out.Reported.Level)
+	}
+	if out.Matrix.Dim() != 7 {
+		t.Fatalf("reduced matrix dim %d, want 7", out.Matrix.Dim())
+	}
+	if err := out.Matrix.CheckStochastic(1e-6); err != nil {
+		t.Errorf("reduced matrix: %v", err)
+	}
+}
+
+func TestGenerateObfuscatedLocationErrors(t *testing.T) {
+	srv, tree, priors := newFlowServer(t)
+	forest, err := srv.GenerateForest(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	real := geo.SanFrancisco.Center()
+
+	// Bad policy.
+	if _, err := GenerateObfuscatedLocation(tree, forest, real,
+		policy.Policy{PrivacyLevel: 0, PrecisionLevel: 0}, nil, priors, rng); err == nil {
+		t.Error("invalid policy must fail")
+	}
+	// Forest level mismatch.
+	if _, err := GenerateObfuscatedLocation(tree, forest, real,
+		policy.Policy{PrivacyLevel: 2, PrecisionLevel: 0}, nil, priors, rng); err == nil {
+		t.Error("forest level mismatch must fail")
+	}
+	// Real location outside the region.
+	if _, err := GenerateObfuscatedLocation(tree, forest, geo.LatLng{Lat: 0, Lng: 0},
+		policy.Policy{PrivacyLevel: 1, PrecisionLevel: 0}, nil, priors, rng); err == nil {
+		t.Error("outside location must fail")
+	}
+	// Preferences pruning more than delta.
+	attrs := map[loctree.NodeID]policy.Attributes{}
+	for _, l := range tree.LevelNodes(0) {
+		attrs[l] = policy.Attributes{"popular": policy.Bool(false)}
+	}
+	pred, _ := policy.ParsePredicate("popular = true")
+	pol := policy.Policy{PrivacyLevel: 1, PrecisionLevel: 0, Preferences: []policy.Predicate{pred}}
+	if _, err := GenerateObfuscatedLocation(tree, forest, real, pol, attrs, priors, rng); err == nil {
+		t.Error("pruning beyond delta must fail (Sec. 5.3)")
+	}
+	// Missing attributes.
+	polMissing := policy.Policy{PrivacyLevel: 1, PrecisionLevel: 0,
+		Preferences: []policy.Predicate{{Var: "nope", Op: policy.OpEq, Val: policy.Bool(true)}}}
+	if _, err := GenerateObfuscatedLocation(tree, forest, real, polMissing, attrs, priors, rng); err == nil {
+		t.Error("missing attribute must fail")
+	}
+}
+
+func TestPrunedRealLocationAtPrecisionZero(t *testing.T) {
+	srv, tree, priors := newFlowServer(t)
+	forest, err := srv.GenerateForest(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := geo.SanFrancisco.Center()
+	realLeaf, _ := tree.Locate(real, 0)
+	attrs := map[loctree.NodeID]policy.Attributes{}
+	for _, l := range tree.LevelNodes(0) {
+		attrs[l] = policy.Attributes{"home": policy.Bool(l == realLeaf)}
+	}
+	pred, _ := policy.ParsePredicate("home != true")
+	pol := policy.Policy{PrivacyLevel: 1, PrecisionLevel: 0, Preferences: []policy.Predicate{pred}}
+	rng := rand.New(rand.NewSource(8))
+	if _, err := GenerateObfuscatedLocation(tree, forest, real, pol, attrs, priors, rng); err == nil {
+		t.Error("pruning the real leaf at precision 0 must fail loudly")
+	}
+}
+
+func TestOutcomeMatrixGeoIndAfterPruneWithinDelta(t *testing.T) {
+	// Pruning <= delta locations from a delta-prunable matrix must keep
+	// Geo-Ind violations at (or very near) zero — the core robustness claim.
+	srv, tree, _ := newFlowServer(t)
+	node := tree.LevelNodes(1)[0]
+	robust, err := srv.GenerateEntry(node, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := srv.GenerateEntry(node, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prune 2 locations (= delta) from both and compare violation counts.
+	prune := []int{1, 4}
+	checkAfter := func(m *obf.Matrix) obf.ViolationReport {
+		pm, keep, err := m.Prune(prune)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Remap surviving pairs.
+		newIdx := map[int]int{}
+		for ni, oi := range keep {
+			newIdx[oi] = ni
+		}
+		var pairs []obf.Pair
+		for _, p := range robust.Pairs {
+			ni, iok := newIdx[p.I]
+			nj, jok := newIdx[p.J]
+			if iok && jok {
+				pairs = append(pairs, obf.Pair{I: ni, J: nj, Dist: p.Dist})
+			}
+		}
+		return pm.CheckGeoInd(pairs, 15, 1e-6)
+	}
+	robustRep := checkAfter(robust.Matrix)
+	plainRep := checkAfter(plain.Matrix)
+	if robustRep.Violated > plainRep.Violated {
+		t.Errorf("robust matrix violated more than non-robust after pruning: %d vs %d",
+			robustRep.Violated, plainRep.Violated)
+	}
+	if robustRep.Violated > robustRep.Total/20 {
+		t.Errorf("delta-prunable matrix has %d/%d violations after pruning <= delta",
+			robustRep.Violated, robustRep.Total)
+	}
+}

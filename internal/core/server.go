@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"corgi/internal/geo"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/obf"
+)
+
+// ForestEntry is one privacy-forest element: the robust obfuscation matrix
+// for the descendant leaves of a subtree rooted at the privacy level. The
+// matrix index order is Leaves' order.
+type ForestEntry struct {
+	Root   loctree.NodeID
+	Leaves []loctree.NodeID
+	Matrix *obf.Matrix
+	// Pairs is the Geo-Ind constraint set the matrix was generated under
+	// (graph-approximation neighbor pairs), kept for audits.
+	Pairs []obf.Pair
+	// Result carries generation statistics (trace, LP iterations, timing).
+	Result *Result
+}
+
+// CheckGeoInd audits the entry's matrix against its own constraint set.
+func (e *ForestEntry) CheckGeoInd(eps, tol float64) obf.ViolationReport {
+	return e.Matrix.CheckGeoInd(e.Pairs, eps, tol)
+}
+
+// Forest is the privacy forest of Sec. 3.2 / Algorithm 3: one entry per
+// node of the privacy level, so the server never learns which subtree holds
+// the user's real location.
+type Forest struct {
+	PrivacyLevel int
+	Delta        int
+	Entries      map[loctree.NodeID]*ForestEntry
+}
+
+// Server is the CORGI server: it owns the location tree, the public priors,
+// and the target-location distribution, and generates privacy forests on
+// request. Only (privacy level, delta) arrive from users — never locations
+// or preference contents (Sec. 5.1).
+type Server struct {
+	tree        *loctree.Tree
+	priors      *loctree.Priors
+	targets     []geo.LatLng
+	targetProbs []float64
+	params      Params
+
+	mu    sync.Mutex
+	cache map[forestKey]*ForestEntry
+}
+
+type forestKey struct {
+	node  loctree.NodeID
+	delta int
+}
+
+// NewServer validates inputs and builds a server. params.Delta is ignored
+// (per-request); the rest of params applies to every generation.
+func NewServer(tree *loctree.Tree, priors *loctree.Priors, targets []geo.LatLng,
+	targetProbs []float64, params Params) (*Server, error) {
+	if tree == nil || priors == nil {
+		return nil, fmt.Errorf("core: server needs a tree and priors")
+	}
+	if len(targets) == 0 || len(targets) != len(targetProbs) {
+		return nil, fmt.Errorf("core: server needs matching targets and probabilities")
+	}
+	if params.Epsilon <= 0 {
+		return nil, fmt.Errorf("core: server epsilon must be positive")
+	}
+	if params.Iterations < 1 {
+		params.Iterations = 1
+	}
+	return &Server{
+		tree:        tree,
+		priors:      priors,
+		targets:     append([]geo.LatLng(nil), targets...),
+		targetProbs: append([]float64(nil), targetProbs...),
+		params:      params,
+		cache:       map[forestKey]*ForestEntry{},
+	}, nil
+}
+
+// Tree returns the server's location tree (shared with users, step 1-3 of
+// Fig. 1).
+func (s *Server) Tree() *loctree.Tree { return s.tree }
+
+// Params returns the generation parameters in force.
+func (s *Server) Params() Params { return s.params }
+
+// GenerateEntry generates (or returns cached) the robust matrix for one
+// subtree root at the privacy level, prunable up to delta locations.
+func (s *Server) GenerateEntry(root loctree.NodeID, delta int) (*ForestEntry, error) {
+	if !s.tree.Contains(root) {
+		return nil, fmt.Errorf("core: node %v not in tree", root)
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("core: delta must be >= 0, got %d", delta)
+	}
+	key := forestKey{node: root, delta: delta}
+	s.mu.Lock()
+	if e, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return e, nil
+	}
+	s.mu.Unlock()
+
+	leaves := s.tree.LeavesUnder(root)
+	entry, err := s.generate(root, leaves, delta)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[key] = entry
+	s.mu.Unlock()
+	return entry, nil
+}
+
+// generate builds the instance for a leaf set and runs Generate.
+func (s *Server) generate(root loctree.NodeID, leaves []loctree.NodeID, delta int) (*ForestEntry, error) {
+	cellCoords := make([]hexgrid.Coord, len(leaves))
+	for i, l := range leaves {
+		cellCoords[i] = l.Coord
+	}
+	leafPriors, err := s.priors.Subset(s.tree, leaves, true)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := NewInstance(s.tree.System(), cellCoords, leafPriors, s.targets, s.targetProbs, 0)
+	if err != nil {
+		return nil, err
+	}
+	p := s.params
+	p.Delta = delta
+	if delta == 0 {
+		p.Iterations = 0
+	}
+	res, err := inst.Generate(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: subtree %v: %w", root, err)
+	}
+	return &ForestEntry{
+		Root:   root,
+		Leaves: leaves,
+		Matrix: res.Matrix,
+		Pairs:  inst.NeighborPairs(),
+		Result: res,
+	}, nil
+}
+
+// GenerateForest implements Algorithm 3: a matrix for every node at the
+// privacy level.
+func (s *Server) GenerateForest(privacyLevel, delta int) (*Forest, error) {
+	if privacyLevel < 1 || privacyLevel > s.tree.Height() {
+		return nil, fmt.Errorf("core: privacy level %d outside [1,%d]", privacyLevel, s.tree.Height())
+	}
+	forest := &Forest{
+		PrivacyLevel: privacyLevel,
+		Delta:        delta,
+		Entries:      map[loctree.NodeID]*ForestEntry{},
+	}
+	for _, node := range s.tree.LevelNodes(privacyLevel) {
+		e, err := s.GenerateEntry(node, delta)
+		if err != nil {
+			return nil, err
+		}
+		forest.Entries[node] = e
+	}
+	return forest, nil
+}

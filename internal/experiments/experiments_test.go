@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14",
+		"headline", "ext-planar", "ext-attack", "ext-budget", "ext-rpbvariant", "ext-approx-quality"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("registry[%d] = %s, want %s", i, ids[i], id)
+		}
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%s) failed", id)
+		}
+		if Describe(id) == "" {
+			t.Errorf("Describe(%s) empty", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unknown id must not resolve")
+	}
+	if Describe("nope") != "" {
+		t.Error("unknown id must describe empty")
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Header: []string{"a", "bb"},
+		Rows: [][]string{{"1", "2"}, {"333", "4"}}}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: t ==", "a", "bb", "333"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFig10bCountsExactly validates the pure-counting experiment fully.
+func TestFig10bCountsExactly(t *testing.T) {
+	tabs, err := Fig10b(&Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 || len(tabs[0].Rows) != 7 {
+		t.Fatalf("unexpected shape: %+v", tabs)
+	}
+	for _, row := range tabs[0].Rows {
+		k, _ := strconv.Atoi(row[0])
+		without, _ := strconv.Atoi(row[1])
+		with, _ := strconv.Atoi(row[2])
+		if without != k*k*(k-1) {
+			t.Errorf("K=%d: without = %d, want %d", k, without, k*k*(k-1))
+		}
+		if with >= without && k > 13 {
+			t.Errorf("K=%d: approximation did not reduce constraints", k)
+		}
+	}
+}
+
+// TestExtBudgetSoundness checks the approximation dominates the exact
+// budget on real matrices (Prop. 4.5).
+func TestExtBudgetSoundness(t *testing.T) {
+	tabs, err := ExtBudget(&Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tabs[0].Rows {
+		if row[4] != "true" {
+			t.Errorf("approx < exact for delta=%s", row[0])
+		}
+	}
+}
+
+// TestHeadlineShape verifies the core robustness claim end to end: the
+// robust matrix must violate (strictly) less than the non-robust one.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline experiment skipped in -short")
+	}
+	tabs, err := Headline(&Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows
+	corgi, _ := strconv.ParseFloat(rows[0][1], 64)
+	plain, _ := strconv.ParseFloat(rows[1][1], 64)
+	if corgi >= plain {
+		t.Errorf("CORGI violations %.3f%% not below non-robust %.3f%%", corgi, plain)
+	}
+	if plain <= 0 {
+		t.Error("non-robust matrix should violate after pruning")
+	}
+}
+
+// TestFig12Shape verifies violations grow with pruning and CORGI stays
+// below the baseline at the delta it was built for.
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12 skipped in -short")
+	}
+	tabs, err := Fig12(&Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tabs {
+		first := tab.Rows[0]
+		last := tab.Rows[len(tab.Rows)-1]
+		nrFirst, _ := strconv.ParseFloat(first[1], 64)
+		nrLast, _ := strconv.ParseFloat(last[1], 64)
+		if nrLast < nrFirst {
+			t.Errorf("%s: non-robust violations should grow with pruning: %v -> %v", tab.ID, nrFirst, nrLast)
+		}
+		// At small prune counts CORGI must beat the baseline.
+		corgiFirst, _ := strconv.ParseFloat(first[2], 64)
+		if corgiFirst > nrFirst {
+			t.Errorf("%s: CORGI %.3f%% above baseline %.3f%% at 1 pruned", tab.ID, corgiFirst, nrFirst)
+		}
+	}
+}

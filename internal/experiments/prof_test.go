@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"corgi/internal/core"
+)
+
+func TestProfileSolves(t *testing.T) {
+	e, err := newEnv(&Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{3, 7} {
+		inst, _, err := e.instance(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := time.Now()
+		res, err := inst.Generate(core.Params{Epsilon: 15, UseGraphApprox: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("K=%d nonrobust: %v loss=%.5f iters=%d\n", inst.K(), time.Since(t0), res.QualityLoss, res.LPIterations)
+		t0 = time.Now()
+		res, err = inst.Generate(core.Params{Epsilon: 15, Delta: 3, Iterations: 2, UseGraphApprox: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("K=%d robust t2: %v trace=%v\n", inst.K(), time.Since(t0), res.Trace)
+	}
+}

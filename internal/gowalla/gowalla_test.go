@@ -1,0 +1,344 @@
+package gowalla
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"corgi/internal/geo"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/policy"
+)
+
+func testTree(t *testing.T) *loctree.Tree {
+	t.Helper()
+	sys, err := hexgrid.NewSystem(geo.SanFrancisco.Center(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := loctree.NewAt(sys, geo.SanFrancisco.Center(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(GenConfig{Seed: 1, NumUsers: 60, NumPlaces: 300, NumCheckIns: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	in := strings.Join([]string{
+		"0\t2010-10-19T23:55:27Z\t37.774900\t-122.419400\t12",
+		"",
+		"# comment",
+		"7\t2009-02-01T08:00:00Z\t37.800000\t-122.400000\t99",
+	}, "\n")
+	cs, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("got %d check-ins", len(cs))
+	}
+	if cs[0].UserID != 0 || cs[0].PlaceID != 12 || cs[0].Loc.Lat != 37.7749 {
+		t.Errorf("first record wrong: %+v", cs[0])
+	}
+	if cs[1].Time.Hour() != 8 {
+		t.Errorf("time parsed wrong: %v", cs[1].Time)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, cs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].PlaceID != 99 {
+		t.Errorf("save/load roundtrip lost data: %+v", back)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"1\t2010-01-01T00:00:00Z\t37.0",                         // too few fields
+		"x\t2010-01-01T00:00:00Z\t37.0\t-122.0\t1",              // bad user
+		"1\tnot-a-time\t37.0\t-122.0\t1",                        // bad time
+		"1\t2010-01-01T00:00:00Z\tabc\t-122.0\t1",               // bad lat
+		"1\t2010-01-01T00:00:00Z\t37.0\tabc\t1",                 // bad lng
+		"1\t2010-01-01T00:00:00Z\t37.0\t-122.0\tzz",             // bad place
+		"1\t2010-01-01T00:00:00Z\t95.0\t-122.0\t1",              // invalid point
+		"1\t2010-01-01T00:00:00Z\t37.0\t-122.0\t1\textra\tmore", // too many
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("line %q should fail", c)
+		}
+	}
+}
+
+func TestFilterBBox(t *testing.T) {
+	cs := []CheckIn{
+		{Loc: geo.LatLng{Lat: 37.77, Lng: -122.42}},
+		{Loc: geo.LatLng{Lat: 40.0, Lng: -74.0}},
+	}
+	got := FilterBBox(cs, geo.SanFrancisco)
+	if len(got) != 1 {
+		t.Fatalf("filtered %d, want 1", len(got))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{NumUsers: 100, NumPlaces: 5, NumCheckIns: 1000}); err == nil {
+		t.Error("too few places must fail")
+	}
+	if _, err := Generate(GenConfig{NumUsers: 100, NumPlaces: 100, NumCheckIns: 10}); err == nil {
+		t.Error("fewer check-ins than users must fail")
+	}
+	if _, err := Generate(GenConfig{Start: time.Unix(100, 0), End: time.Unix(50, 0),
+		NumUsers: 10, NumPlaces: 100, NumCheckIns: 100}); err == nil {
+		t.Error("inverted time range must fail")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds := smallDataset(t)
+	if len(ds.CheckIns) != 4000 {
+		t.Fatalf("generated %d check-ins, want 4000", len(ds.CheckIns))
+	}
+	if len(ds.Places) != 300 {
+		t.Fatalf("generated %d places", len(ds.Places))
+	}
+	users := map[int]bool{}
+	for _, c := range ds.CheckIns {
+		if !geo.SanFrancisco.Contains(c.Loc) {
+			// Jitter can push a point slightly out of the box; tolerate a
+			// small margin.
+			margin := geo.BoundingBox{
+				MinLat: geo.SanFrancisco.MinLat - 0.01, MinLng: geo.SanFrancisco.MinLng - 0.01,
+				MaxLat: geo.SanFrancisco.MaxLat + 0.01, MaxLng: geo.SanFrancisco.MaxLng + 0.01,
+			}
+			if !margin.Contains(c.Loc) {
+				t.Fatalf("check-in far outside region: %v", c.Loc)
+			}
+		}
+		users[c.UserID] = true
+		if c.Time.Year() < 2009 || c.Time.Year() > 2010 {
+			t.Fatalf("check-in outside era: %v", c.Time)
+		}
+	}
+	if len(users) < 50 {
+		t.Errorf("only %d users active", len(users))
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := Generate(GenConfig{Seed: 42, NumUsers: 20, NumPlaces: 100, NumCheckIns: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenConfig{Seed: 42, NumUsers: 20, NumPlaces: 100, NumCheckIns: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.CheckIns {
+		if a.CheckIns[i] != b.CheckIns[i] {
+			t.Fatalf("check-in %d differs across runs with same seed", i)
+		}
+	}
+	c, err := Generate(GenConfig{Seed: 43, NumUsers: 20, NumPlaces: 100, NumCheckIns: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.CheckIns {
+		if a.CheckIns[i] != c.CheckIns[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGeneratePopularitySkew(t *testing.T) {
+	ds := smallDataset(t)
+	counts := map[int]int{}
+	for _, c := range ds.CheckIns {
+		counts[c.PlaceID]++
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	mean := float64(len(ds.CheckIns)) / float64(len(counts))
+	if float64(max) < 3*mean {
+		t.Errorf("popularity not skewed: max %d vs mean %.1f", max, mean)
+	}
+}
+
+func TestLeafPriors(t *testing.T) {
+	tree := testTree(t)
+	ds := smallDataset(t)
+	priors, err := LeafPriors(ds.CheckIns, tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(priors) != tree.NumLeaves() {
+		t.Fatalf("got %d priors", len(priors))
+	}
+	total := 0.0
+	for _, v := range priors {
+		if v < 1 {
+			t.Fatalf("smoothed prior below smoothing constant: %v", v)
+		}
+		total += v
+	}
+	if total <= float64(tree.NumLeaves()) {
+		t.Error("no check-ins landed in the tree")
+	}
+	if _, err := LeafPriors(ds.CheckIns, tree, 0); err == nil {
+		t.Error("zero smoothing must fail")
+	}
+}
+
+func TestSplitTrainTest(t *testing.T) {
+	ds := smallDataset(t)
+	train, test, err := SplitTrainTest(ds.CheckIns, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train)+len(test) != len(ds.CheckIns) {
+		t.Fatalf("split lost records: %d + %d != %d", len(train), len(test), len(ds.CheckIns))
+	}
+	if math.Abs(float64(len(train))-0.9*float64(len(ds.CheckIns))) > 1 {
+		t.Errorf("train size %d not ~90%%", len(train))
+	}
+	if _, _, err := SplitTrainTest(ds.CheckIns, 1.5, 7); err == nil {
+		t.Error("bad fraction must fail")
+	}
+	// Determinism.
+	train2, _, _ := SplitTrainTest(ds.CheckIns, 0.9, 7)
+	for i := range train {
+		if train[i] != train2[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestBuildMetadata(t *testing.T) {
+	tree := testTree(t)
+	ds := smallDataset(t)
+	md, err := BuildMetadata(ds.CheckIns, tree, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(md.HomeLeaf) == 0 || len(md.OfficeLeaf) == 0 {
+		t.Fatal("no home/office inferred")
+	}
+	if len(md.PopularLeaf) == 0 {
+		t.Fatal("no popular cells")
+	}
+	// Popular fraction roughly respected.
+	visited := len(md.CountByLeaf)
+	if got := len(md.PopularLeaf); got > visited/2 {
+		t.Errorf("too many popular cells: %d of %d visited", got, visited)
+	}
+	if _, err := BuildMetadata(ds.CheckIns, tree, 0); err == nil {
+		t.Error("zero popularFrac must fail")
+	}
+	// Home cells are in-tree.
+	for u, leaf := range md.HomeLeaf {
+		if !tree.Contains(leaf) {
+			t.Fatalf("user %d home %v not in tree", u, leaf)
+		}
+	}
+}
+
+func TestMetadataDeterminism(t *testing.T) {
+	tree := testTree(t)
+	ds := smallDataset(t)
+	md1, _ := BuildMetadata(ds.CheckIns, tree, 0.2)
+	md2, _ := BuildMetadata(ds.CheckIns, tree, 0.2)
+	for u, h := range md1.HomeLeaf {
+		if md2.HomeLeaf[u] != h {
+			t.Fatalf("home for user %d differs across builds", u)
+		}
+	}
+	for leaf := range md1.PopularLeaf {
+		if !md2.PopularLeaf[leaf] {
+			t.Fatal("popular set differs across builds")
+		}
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	tree := testTree(t)
+	ds := smallDataset(t)
+	md, err := BuildMetadata(ds.CheckIns, tree, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a user that has a home.
+	var user int = -1
+	for u := range md.HomeLeaf {
+		user = u
+		break
+	}
+	if user == -1 {
+		t.Fatal("no user with home")
+	}
+	ref := geo.SanFrancisco.Center()
+	attrs := md.Annotate(user, ref)
+	if len(attrs) != tree.NumLeaves() {
+		t.Fatalf("annotated %d leaves", len(attrs))
+	}
+	homeCount := 0
+	for leaf, a := range attrs {
+		for _, key := range []string{"home", "office", "outlier", "popular", "checkins", "distance"} {
+			if _, ok := a[key]; !ok {
+				t.Fatalf("leaf %v missing attribute %q", leaf, key)
+			}
+		}
+		if a["home"].B {
+			homeCount++
+			if leaf != md.HomeLeaf[user] {
+				t.Fatal("home flag on wrong leaf")
+			}
+		}
+		if a["distance"].F < 0 {
+			t.Fatal("negative distance")
+		}
+	}
+	if homeCount != 1 {
+		t.Fatalf("home flagged on %d leaves", homeCount)
+	}
+	// Attributes satisfy a real policy evaluation.
+	pred, _ := policy.ParsePredicate("home != true")
+	pol := policy.Policy{PrivacyLevel: 2, PrecisionLevel: 0, Preferences: []policy.Predicate{pred}}
+	pruned := 0
+	for _, a := range attrs {
+		ok, err := pol.Allowed(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			pruned++
+		}
+	}
+	if pruned != 1 {
+		t.Errorf("home-exclusion policy pruned %d leaves, want 1", pruned)
+	}
+}

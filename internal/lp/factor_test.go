@@ -1,0 +1,114 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildFactorProblem creates a standard form whose first m columns form a
+// random nonsingular sparse matrix (guaranteed by a dominant permuted
+// diagonal), so a basis of exactly those columns must reinvert cleanly.
+func buildFactorProblem(t *testing.T, m int, extraNnz int, rng *rand.Rand) (*sparseState, []int) {
+	t.Helper()
+	p := NewProblem(m)
+	perm := rng.Perm(m)
+	rowsOf := make([][]int, m)
+	valsOf := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		seen := map[int]bool{perm[j]: true}
+		rowsOf[j] = []int{perm[j]}
+		valsOf[j] = []float64{2 + rng.Float64()*3}
+		for e := 0; e < extraNnz; e++ {
+			r := rng.Intn(m)
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			rowsOf[j] = append(rowsOf[j], r)
+			valsOf[j] = append(valsOf[j], (rng.Float64()*2-1)*0.9)
+		}
+	}
+	// Constraints: row i of the matrix as an EQ row (values arbitrary).
+	rowIdx := make([][]int, m)
+	rowVal := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		for k, r := range rowsOf[j] {
+			rowIdx[r] = append(rowIdx[r], j)
+			rowVal[r] = append(rowVal[r], valsOf[j][k])
+		}
+	}
+	for i := 0; i < m; i++ {
+		if len(rowIdx[i]) == 0 {
+			// Ensure no empty row: put a tiny entry on variable i.
+			rowIdx[i] = []int{i}
+			rowVal[i] = []float64{1e-3}
+		}
+		mustCon(t, p, EQ, 1, rowIdx[i], rowVal[i])
+	}
+	sf, _ := p.toStandard()
+	s := newSparseState(sf, &Options{})
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		basis[i] = i
+	}
+	copy(s.basis, basis)
+	for _, j := range basis {
+		s.inBasis[j] = true
+	}
+	return s, basis
+}
+
+// TestFactorBumpRandom reinvertes random sparse nonsingular bases and checks
+// B^{-1} B = I through the eta file.
+func TestFactorBumpRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		m := 5 + rng.Intn(60)
+		s, basis := buildFactorProblem(t, m, 1+rng.Intn(4), rng)
+		if err := s.reinvert(); err != nil {
+			t.Fatalf("trial %d (m=%d): reinvert: %v", trial, m, err)
+		}
+		// basis may be reordered; same set expected.
+		seen := map[int]bool{}
+		for _, j := range s.basis {
+			seen[j] = true
+		}
+		for _, j := range basis {
+			if !seen[j] {
+				t.Fatalf("trial %d: basis lost column %d", trial, j)
+			}
+		}
+		// FTRAN of basis column at row r must be e_r.
+		for r, j := range s.basis {
+			rows, vals := s.colOf(j)
+			touched := s.ftran(rows, vals)
+			for _, i := range touched {
+				want := 0.0
+				if int(i) == r {
+					want = 1
+				}
+				if math.Abs(s.work[i]-want) > 1e-8 {
+					t.Fatalf("trial %d: column %d row %d: got %g want %g", trial, j, i, s.work[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestFactorBumpDetectsSingular feeds a structurally singular basis
+// (duplicate column) and expects an error, not silence.
+func TestFactorBumpDetectsSingular(t *testing.T) {
+	p := NewProblem(3)
+	mustCon(t, p, EQ, 1, []int{0, 1, 2}, []float64{1, 1, 1})
+	mustCon(t, p, EQ, 1, []int{0, 1, 2}, []float64{2, 2, 1})
+	mustCon(t, p, EQ, 1, []int{0, 1}, []float64{3, 3})
+	sf, _ := p.toStandard()
+	s := newSparseState(sf, &Options{})
+	// Columns 0 and 1 are identical (values 1,2,3): basis {0,1,2} singular.
+	copy(s.basis, []int{0, 1, 2})
+	s.inBasis[0], s.inBasis[1], s.inBasis[2] = true, true, true
+	if err := s.reinvert(); err == nil {
+		t.Fatal("singular basis must be detected")
+	}
+}

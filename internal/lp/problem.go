@@ -1,0 +1,466 @@
+// Package lp is a from-scratch linear-programming toolkit — the substrate the
+// paper obtains from Matlab's linprog (Sec. 6.1). It solves problems of the
+// form
+//
+//	minimize    c·x
+//	subject to  a_i·x  (<= | = | >=)  b_i     for each constraint i
+//	            x >= 0
+//
+// Two solvers are provided:
+//
+//   - SolveDense: a textbook two-phase primal simplex on a dense tableau.
+//     Simple, exhaustively tested, used as the correctness oracle and for
+//     small subproblems.
+//   - Solve: a sparse revised simplex using the product form of the inverse
+//     (PFI): CSC column storage, eta-file FTRAN/BTRAN, periodic reinversion
+//     with singleton-first ordering, partial pricing, optional RHS
+//     perturbation to defeat the massive primal degeneracy of CORGI's
+//     Geo-Ind constraint systems (every inequality has b = 0).
+//
+// The CORGI LPs are huge but extremely sparse — each Geo-Ind row has two
+// structural nonzeros — which is exactly the regime PFI handles well.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // a·x <= b
+	GE              // a·x >= b
+	EQ              // a·x == b
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Sense(%d)", int(s))
+}
+
+// row is one sparse constraint.
+type row struct {
+	sense Sense
+	b     float64
+	idx   []int32
+	val   []float64
+}
+
+// Problem is a linear program under construction. All variables are
+// implicitly bounded below by zero and unbounded above.
+type Problem struct {
+	nv   int
+	c    []float64
+	rows []row
+}
+
+// NewProblem creates a problem with numVars non-negative variables and an
+// all-zero objective.
+func NewProblem(numVars int) *Problem {
+	if numVars < 1 {
+		panic("lp: problem needs at least one variable")
+	}
+	return &Problem{nv: numVars, c: make([]float64, numVars)}
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.nv }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// SetObjective sets the (minimization) objective coefficients. The slice is
+// copied. len(c) must equal NumVars.
+func (p *Problem) SetObjective(c []float64) error {
+	if len(c) != p.nv {
+		return fmt.Errorf("lp: objective has %d coefficients, want %d", len(c), p.nv)
+	}
+	for i, v := range c {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lp: objective coefficient %d is %v", i, v)
+		}
+	}
+	copy(p.c, c)
+	return nil
+}
+
+// SetObjectiveCoeff sets a single objective coefficient.
+func (p *Problem) SetObjectiveCoeff(j int, v float64) error {
+	if j < 0 || j >= p.nv {
+		return fmt.Errorf("lp: variable %d out of range [0,%d)", j, p.nv)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("lp: objective coefficient is %v", v)
+	}
+	p.c[j] = v
+	return nil
+}
+
+// AddConstraint appends the constraint sum(val[k]*x[idx[k]]) sense b.
+// Duplicate indices within one constraint are rejected.
+func (p *Problem) AddConstraint(sense Sense, b float64, idx []int, val []float64) error {
+	if len(idx) != len(val) {
+		return fmt.Errorf("lp: %d indices but %d values", len(idx), len(val))
+	}
+	if len(idx) == 0 {
+		return fmt.Errorf("lp: empty constraint")
+	}
+	if math.IsNaN(b) || math.IsInf(b, 0) {
+		return fmt.Errorf("lp: rhs is %v", b)
+	}
+	if sense != LE && sense != GE && sense != EQ {
+		return fmt.Errorf("lp: invalid sense %d", sense)
+	}
+	r := row{sense: sense, b: b, idx: make([]int32, 0, len(idx)), val: make([]float64, 0, len(val))}
+	seen := make(map[int]bool, len(idx))
+	for k, j := range idx {
+		if j < 0 || j >= p.nv {
+			return fmt.Errorf("lp: variable %d out of range [0,%d)", j, p.nv)
+		}
+		if seen[j] {
+			return fmt.Errorf("lp: duplicate variable %d in constraint", j)
+		}
+		seen[j] = true
+		if math.IsNaN(val[k]) || math.IsInf(val[k], 0) {
+			return fmt.Errorf("lp: coefficient for variable %d is %v", j, val[k])
+		}
+		if val[k] == 0 {
+			continue
+		}
+		r.idx = append(r.idx, int32(j))
+		r.val = append(r.val, val[k])
+	}
+	p.rows = append(p.rows, r)
+	return nil
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterationLimit
+	NumericalFailure
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	case NumericalFailure:
+		return "numerical-failure"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status     Status
+	X          []float64 // primal values, length NumVars (valid when Optimal)
+	Objective  float64   // c·X
+	Duals      []float64 // one per constraint (valid when Optimal)
+	Iterations int       // total simplex pivots across phases
+	Note       string    // diagnostic detail for non-optimal statuses
+}
+
+// Options tunes the solvers. The zero value asks for defaults.
+type Options struct {
+	// MaxIters bounds total simplex pivots. Default: 50*(m+n)+10000.
+	MaxIters int
+	// Tol is the feasibility/optimality tolerance. Default 1e-9.
+	Tol float64
+	// Perturb enables random RHS perturbation to break degeneracy in the
+	// sparse solver (recommended for highly degenerate systems). After the
+	// perturbed solve the true RHS is restored and the solve is finished
+	// exactly from the same basis.
+	Perturb bool
+	// Seed drives the perturbation. Zero means a fixed default seed so runs
+	// are reproducible.
+	Seed int64
+}
+
+func (o *Options) tol() float64 {
+	if o == nil || o.Tol <= 0 {
+		return 1e-9
+	}
+	return o.Tol
+}
+
+func (o *Options) maxIters(m, n int) int {
+	if o == nil || o.MaxIters <= 0 {
+		return 50*(m+n) + 10000
+	}
+	return o.MaxIters
+}
+
+func (o *Options) perturb() bool { return o != nil && o.Perturb }
+
+func (o *Options) seed() int64 {
+	if o == nil || o.Seed == 0 {
+		return 0x5f3759df
+	}
+	return o.Seed
+}
+
+// Eval returns c·x for this problem's objective.
+func (p *Problem) Eval(x []float64) float64 {
+	obj := 0.0
+	for j, v := range p.c {
+		obj += v * x[j]
+	}
+	return obj
+}
+
+// CheckFeasible verifies x against every constraint and the non-negativity
+// bounds, returning the worst absolute violation found (0 when feasible
+// within tol).
+func (p *Problem) CheckFeasible(x []float64, tol float64) (maxViolation float64, violated int) {
+	if len(x) != p.nv {
+		return math.Inf(1), p.nv
+	}
+	check := func(v float64) {
+		if v > tol {
+			violated++
+			if v > maxViolation {
+				maxViolation = v
+			}
+		}
+	}
+	for _, xi := range x {
+		check(-xi)
+	}
+	for _, r := range p.rows {
+		ax := 0.0
+		for k, j := range r.idx {
+			ax += r.val[k] * x[j]
+		}
+		switch r.sense {
+		case LE:
+			check(ax - r.b)
+		case GE:
+			check(r.b - ax)
+		case EQ:
+			check(math.Abs(ax - r.b))
+		}
+	}
+	return maxViolation, violated
+}
+
+// standardForm is min c·x s.t. Ax = b, x >= 0 with b >= 0, produced by
+// adding slack/surplus variables and flipping negative-RHS rows. Columns
+// 0..nv-1 are the structural variables; slack columns follow.
+type standardForm struct {
+	m, n int // n includes slacks, excludes artificials
+	nv   int // structural variable count (columns [0,nv) are structural)
+	// CSC structural+slack matrix.
+	colPtr []int32
+	rowIdx []int32
+	vals   []float64
+	c      []float64 // length n
+	b      []float64 // length m, >= 0
+	// slackOf[i] is the column index of row i's slack, or -1 (EQ rows).
+	// slackSign[i] is +1 (row had <=) or -1 (>=) after RHS normalization.
+	slackOf   []int32
+	slackSign []int8
+}
+
+// toStandard converts the problem. Rows keep their original order so duals
+// map back one-to-one (dual sign accounts for row flips via flipped[]).
+func (p *Problem) toStandard() (*standardForm, []bool) {
+	m := len(p.rows)
+	flipped := make([]bool, m)
+	nSlack := 0
+	for _, r := range p.rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	n := p.nv + nSlack
+	sf := &standardForm{
+		m: m, n: n, nv: p.nv,
+		c:         make([]float64, n),
+		b:         make([]float64, m),
+		slackOf:   make([]int32, m),
+		slackSign: make([]int8, m),
+	}
+	copy(sf.c, p.c)
+
+	// Count structural column nonzeros.
+	counts := make([]int32, n+1)
+	for _, r := range p.rows {
+		for _, j := range r.idx {
+			counts[j+1]++
+		}
+	}
+	slackCol := p.nv
+	for i, r := range p.rows {
+		sf.slackOf[i] = -1
+		if r.sense != EQ {
+			sf.slackOf[i] = int32(slackCol)
+			counts[slackCol+1]++
+			slackCol++
+		}
+	}
+	for j := 0; j < n; j++ {
+		counts[j+1] += counts[j]
+	}
+	sf.colPtr = counts
+	nnz := counts[n]
+	sf.rowIdx = make([]int32, nnz)
+	sf.vals = make([]float64, nnz)
+
+	next := make([]int32, n)
+	copy(next, counts[:n])
+	slackCol = p.nv
+	for i, r := range p.rows {
+		sign := 1.0
+		sense := r.sense
+		b := r.b
+		if b < 0 {
+			sign = -1
+			b = -b
+			flipped[i] = true
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		sf.b[i] = b
+		for k, j := range r.idx {
+			pos := next[j]
+			sf.rowIdx[pos] = int32(i)
+			sf.vals[pos] = sign * r.val[k]
+			next[j]++
+		}
+		if r.sense != EQ {
+			var sval float64
+			switch sense {
+			case LE:
+				sval = 1
+				sf.slackSign[i] = 1
+			case GE:
+				sval = -1
+				sf.slackSign[i] = -1
+			}
+			pos := next[slackCol]
+			sf.rowIdx[pos] = int32(i)
+			sf.vals[pos] = sval
+			next[slackCol]++
+			slackCol++
+		}
+	}
+	return sf, flipped
+}
+
+// col returns the sparse column j of the standard-form matrix.
+func (sf *standardForm) col(j int) (rows []int32, vals []float64) {
+	lo, hi := sf.colPtr[j], sf.colPtr[j+1]
+	return sf.rowIdx[lo:hi], sf.vals[lo:hi]
+}
+
+// equilibrate rescales the standard form by iterative geometric-mean
+// row/column scaling and returns the applied scales. CORGI's Geo-Ind rows
+// mix coefficients 1 and e^{eps*d} (up to ~1e6); without equilibration the
+// simplex factorizations overflow their useful precision. After solving the
+// scaled problem, recover the original solution as
+//
+//	x[j] = colScale[j] * xScaled[j],   y[i] = rowScale[i] * yScaled[i].
+//
+// b and c are scaled in place alongside the matrix.
+func (sf *standardForm) equilibrate(iters int) (rowScale, colScale []float64) {
+	rowScale = make([]float64, sf.m)
+	colScale = make([]float64, sf.n)
+	for i := range rowScale {
+		rowScale[i] = 1
+	}
+	for j := range colScale {
+		colScale[j] = 1
+	}
+	rowMax := make([]float64, sf.m)
+	rowMin := make([]float64, sf.m)
+	for pass := 0; pass < iters; pass++ {
+		// Column pass.
+		for j := 0; j < sf.n; j++ {
+			lo, hi := sf.colPtr[j], sf.colPtr[j+1]
+			if lo == hi {
+				continue
+			}
+			mx, mn := 0.0, math.Inf(1)
+			for k := lo; k < hi; k++ {
+				a := math.Abs(sf.vals[k]) * rowScale[sf.rowIdx[k]] * colScale[j]
+				if a == 0 {
+					continue
+				}
+				if a > mx {
+					mx = a
+				}
+				if a < mn {
+					mn = a
+				}
+			}
+			if mx > 0 {
+				colScale[j] /= math.Sqrt(mx * mn)
+			}
+		}
+		// Row pass.
+		for i := range rowMax {
+			rowMax[i], rowMin[i] = 0, math.Inf(1)
+		}
+		for j := 0; j < sf.n; j++ {
+			lo, hi := sf.colPtr[j], sf.colPtr[j+1]
+			for k := lo; k < hi; k++ {
+				i := sf.rowIdx[k]
+				a := math.Abs(sf.vals[k]) * rowScale[i] * colScale[j]
+				if a == 0 {
+					continue
+				}
+				if a > rowMax[i] {
+					rowMax[i] = a
+				}
+				if a < rowMin[i] {
+					rowMin[i] = a
+				}
+			}
+		}
+		for i := 0; i < sf.m; i++ {
+			if rowMax[i] > 0 {
+				rowScale[i] /= math.Sqrt(rowMax[i] * rowMin[i])
+			}
+		}
+	}
+	// Apply to the matrix, RHS, and objective.
+	for j := 0; j < sf.n; j++ {
+		lo, hi := sf.colPtr[j], sf.colPtr[j+1]
+		for k := lo; k < hi; k++ {
+			sf.vals[k] *= rowScale[sf.rowIdx[k]] * colScale[j]
+		}
+		sf.c[j] *= colScale[j]
+	}
+	for i := 0; i < sf.m; i++ {
+		sf.b[i] *= rowScale[i]
+	}
+	return rowScale, colScale
+}

@@ -1,0 +1,291 @@
+// Package policy implements the paper's user customization policies
+// (Sec. 3.2). A policy is the triple
+//
+//	<Privacy_l, Precision_l, User_Preferences>
+//
+// where Privacy_l selects the obfuscation range (the privacy-forest level),
+// Precision_l the granularity of the reported location, and
+// User_Preferences is a conjunction of Boolean predicates <var, op, val>
+// over per-location attributes (home, office, popular, outlier, distance,
+// ...). Locations failing any predicate are pruned from the obfuscation
+// range on the user side; only their count is ever shared with the server.
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind tags the dynamic type of a Value.
+type Kind int8
+
+// Value kinds.
+const (
+	KindString Kind = iota
+	KindNumber
+	KindBool
+)
+
+// Value is a typed attribute/predicate value.
+type Value struct {
+	Kind Kind
+	S    string
+	F    float64
+	B    bool
+}
+
+// String makes a string value.
+func String(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Number makes a numeric value.
+func Number(f float64) Value { return Value{Kind: KindNumber, F: f} }
+
+// Bool makes a boolean value.
+func Bool(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// Equal reports deep equality of two values (kind and payload).
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindString:
+		return v.S == o.S
+	case KindNumber:
+		return v.F == o.F
+	default:
+		return v.B == o.B
+	}
+}
+
+// GoString renders the value as it would appear in a predicate.
+func (v Value) GoString() string {
+	switch v.Kind {
+	case KindString:
+		return v.S
+	case KindNumber:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return strconv.FormatBool(v.B)
+	}
+}
+
+// MarshalJSON encodes the value as a native JSON scalar.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.Kind {
+	case KindString:
+		return json.Marshal(v.S)
+	case KindNumber:
+		return json.Marshal(v.F)
+	default:
+		return json.Marshal(v.B)
+	}
+}
+
+// UnmarshalJSON decodes a JSON scalar into a typed value.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var raw interface{}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	switch x := raw.(type) {
+	case string:
+		*v = String(x)
+	case float64:
+		*v = Number(x)
+	case bool:
+		*v = Bool(x)
+	default:
+		return fmt.Errorf("policy: unsupported JSON value %T", raw)
+	}
+	return nil
+}
+
+// Op is a predicate comparison operator.
+type Op int8
+
+// Predicate operators, matching the paper's {=, !=, <, >, >=, <=}.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpGt
+	OpLe
+	OpGe
+)
+
+var opNames = map[Op]string{
+	OpEq: "=", OpNe: "!=", OpLt: "<", OpGt: ">", OpLe: "<=", OpGe: ">=",
+}
+
+var opByName = map[string]Op{
+	"=": OpEq, "==": OpEq, "!=": OpNe, "<": OpLt, ">": OpGt, "<=": OpLe, ">=": OpGe,
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// MarshalJSON encodes the operator as its symbol.
+func (o Op) MarshalJSON() ([]byte, error) {
+	s, ok := opNames[o]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown op %d", int(o))
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON decodes an operator symbol.
+func (o *Op) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	op, ok := opByName[s]
+	if !ok {
+		return fmt.Errorf("policy: unknown op %q", s)
+	}
+	*o = op
+	return nil
+}
+
+// Predicate is one Boolean requirement <var, op, val>. A location must
+// satisfy every predicate of a policy to remain in the obfuscation range.
+type Predicate struct {
+	Var string `json:"var"`
+	Op  Op     `json:"op"`
+	Val Value  `json:"val"`
+}
+
+// String renders the predicate in the paper's <var op val> form.
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s %s %s", p.Var, p.Op, p.Val.GoString())
+}
+
+// Attributes carries a location's metadata, keyed by variable name.
+type Attributes map[string]Value
+
+// Eval evaluates the predicate against a location's attributes. A missing
+// attribute or a kind mismatch is an error: policies must be checkable, not
+// silently vacuous.
+func (p Predicate) Eval(attrs Attributes) (bool, error) {
+	v, ok := attrs[p.Var]
+	if !ok {
+		return false, fmt.Errorf("policy: attribute %q not present", p.Var)
+	}
+	switch p.Op {
+	case OpEq:
+		if v.Kind != p.Val.Kind {
+			return false, kindMismatch(p, v)
+		}
+		return v.Equal(p.Val), nil
+	case OpNe:
+		if v.Kind != p.Val.Kind {
+			return false, kindMismatch(p, v)
+		}
+		return !v.Equal(p.Val), nil
+	case OpLt, OpGt, OpLe, OpGe:
+		if v.Kind != KindNumber || p.Val.Kind != KindNumber {
+			return false, fmt.Errorf("policy: ordering comparison %s needs numbers", p)
+		}
+		switch p.Op {
+		case OpLt:
+			return v.F < p.Val.F, nil
+		case OpGt:
+			return v.F > p.Val.F, nil
+		case OpLe:
+			return v.F <= p.Val.F, nil
+		default:
+			return v.F >= p.Val.F, nil
+		}
+	}
+	return false, fmt.Errorf("policy: unknown operator %d", int(p.Op))
+}
+
+func kindMismatch(p Predicate, v Value) error {
+	return fmt.Errorf("policy: predicate %q compares kind %d with kind %d", p, p.Val.Kind, v.Kind)
+}
+
+// ParsePredicate parses "var op value" (e.g. "popular = true",
+// "distance <= 5", "category != bar"). Values parse as bool, then number,
+// then fall back to string.
+func ParsePredicate(s string) (Predicate, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 3 {
+		return Predicate{}, fmt.Errorf("policy: predicate %q needs 'var op value'", s)
+	}
+	op, ok := opByName[fields[1]]
+	if !ok {
+		return Predicate{}, fmt.Errorf("policy: unknown operator %q in %q", fields[1], s)
+	}
+	raw := strings.Join(fields[2:], " ")
+	var val Value
+	if b, err := strconv.ParseBool(strings.ToLower(raw)); err == nil {
+		val = Bool(b)
+	} else if f, err := strconv.ParseFloat(raw, 64); err == nil {
+		val = Number(f)
+	} else {
+		val = String(strings.Trim(raw, `"'`))
+	}
+	return Predicate{Var: fields[0], Op: op, Val: val}, nil
+}
+
+// Policy is the paper's customization triple.
+type Policy struct {
+	// PrivacyLevel is the tree level whose subtrees form the privacy forest
+	// (the obfuscation range).
+	PrivacyLevel int `json:"privacy_l"`
+	// PrecisionLevel is the tree level of the reported location. It must be
+	// strictly below PrivacyLevel (Sec. 3.2).
+	PrecisionLevel int `json:"precision_l"`
+	// Preferences is the conjunction of predicates a location must satisfy
+	// to remain in the obfuscation range.
+	Preferences []Predicate `json:"user_preferences,omitempty"`
+}
+
+// Validate checks the structural rules of Sec. 3.2 against a tree of the
+// given height.
+func (p Policy) Validate(treeHeight int) error {
+	if p.PrivacyLevel < 1 || p.PrivacyLevel > treeHeight {
+		return fmt.Errorf("policy: privacy level %d outside [1,%d]", p.PrivacyLevel, treeHeight)
+	}
+	if p.PrecisionLevel < 0 {
+		return fmt.Errorf("policy: precision level %d negative", p.PrecisionLevel)
+	}
+	if p.PrecisionLevel >= p.PrivacyLevel {
+		return fmt.Errorf("policy: precision level %d must be below privacy level %d",
+			p.PrecisionLevel, p.PrivacyLevel)
+	}
+	return nil
+}
+
+// Allowed reports whether a location with the given attributes satisfies
+// every preference (and so may stay in the obfuscation range).
+func (p Policy) Allowed(attrs Attributes) (bool, error) {
+	for _, pred := range p.Preferences {
+		ok, err := pred.Eval(attrs)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// String renders the policy in the paper's notation.
+func (p Policy) String() string {
+	prefs := make([]string, len(p.Preferences))
+	for i, pr := range p.Preferences {
+		prefs[i] = pr.String()
+	}
+	return fmt.Sprintf("<privacy_l=%d, precision_l=%d, user_preferences=[%s]>",
+		p.PrivacyLevel, p.PrecisionLevel, strings.Join(prefs, ", "))
+}

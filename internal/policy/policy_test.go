@@ -1,0 +1,206 @@
+package policy
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestValueEqual(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want bool
+	}{
+		{String("x"), String("x"), true},
+		{String("x"), String("y"), false},
+		{Number(5), Number(5), true},
+		{Number(5), Number(6), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{String("5"), Number(5), false},
+		{Bool(true), String("true"), false},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Equal(tc.b); got != tc.want {
+			t.Errorf("Equal(%#v, %#v) = %v", tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	for _, v := range []Value{String("home"), Number(3.5), Bool(true)} {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %#v: %v", v, err)
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !v.Equal(back) {
+			t.Errorf("roundtrip %#v -> %s -> %#v", v, data, back)
+		}
+	}
+	var bad Value
+	if err := json.Unmarshal([]byte(`[1,2]`), &bad); err == nil {
+		t.Error("array must not decode as Value")
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	attrs := Attributes{
+		"popular":  Bool(true),
+		"home":     Bool(false),
+		"distance": Number(3.2),
+		"category": String("cafe"),
+	}
+	tests := []struct {
+		pred string
+		want bool
+	}{
+		{"popular = true", true},
+		{"popular != true", false},
+		{"home = false", true},
+		{"distance <= 5", true},
+		{"distance < 3.2", false},
+		{"distance >= 3.2", true},
+		{"distance > 10", false},
+		{"category = cafe", true},
+		{"category != bar", true},
+	}
+	for _, tc := range tests {
+		p, err := ParsePredicate(tc.pred)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.pred, err)
+		}
+		got, err := p.Eval(attrs)
+		if err != nil {
+			t.Fatalf("eval %q: %v", tc.pred, err)
+		}
+		if got != tc.want {
+			t.Errorf("%q = %v, want %v", tc.pred, got, tc.want)
+		}
+	}
+}
+
+func TestPredicateEvalErrors(t *testing.T) {
+	attrs := Attributes{"distance": Number(1), "name": String("x")}
+	cases := []Predicate{
+		{Var: "missing", Op: OpEq, Val: Bool(true)},
+		{Var: "distance", Op: OpEq, Val: String("1")}, // kind mismatch
+		{Var: "name", Op: OpLt, Val: String("y")},     // ordering on strings
+		{Var: "name", Op: Op(42), Val: String("x")},   // unknown op
+	}
+	for _, p := range cases {
+		if _, err := p.Eval(attrs); err == nil {
+			t.Errorf("predicate %v should error", p)
+		}
+	}
+}
+
+func TestParsePredicateErrors(t *testing.T) {
+	for _, s := range []string{"", "x =", "x ~ 5", "x"} {
+		if _, err := ParsePredicate(s); err == nil {
+			t.Errorf("%q should fail to parse", s)
+		}
+	}
+}
+
+func TestParsePredicateMultiwordString(t *testing.T) {
+	p, err := ParsePredicate(`name = Golden Gate Park`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Val.Kind != KindString || p.Val.S != "Golden Gate Park" {
+		t.Errorf("parsed %#v", p.Val)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	ok := Policy{PrivacyLevel: 2, PrecisionLevel: 0}
+	if err := ok.Validate(3); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	cases := []Policy{
+		{PrivacyLevel: 0, PrecisionLevel: 0},  // privacy too low
+		{PrivacyLevel: 4, PrecisionLevel: 0},  // above tree height
+		{PrivacyLevel: 2, PrecisionLevel: 2},  // precision == privacy
+		{PrivacyLevel: 2, PrecisionLevel: 3},  // precision above privacy
+		{PrivacyLevel: 2, PrecisionLevel: -1}, // negative precision
+	}
+	for _, p := range cases {
+		if err := p.Validate(3); err == nil {
+			t.Errorf("policy %+v should be invalid", p)
+		}
+	}
+}
+
+func TestPolicyAllowed(t *testing.T) {
+	pop, _ := ParsePredicate("popular = true")
+	near, _ := ParsePredicate("distance <= 5")
+	p := Policy{PrivacyLevel: 2, PrecisionLevel: 0, Preferences: []Predicate{pop, near}}
+
+	ok, err := p.Allowed(Attributes{"popular": Bool(true), "distance": Number(2)})
+	if err != nil || !ok {
+		t.Errorf("conjunction satisfied: got %v %v", ok, err)
+	}
+	ok, err = p.Allowed(Attributes{"popular": Bool(false), "distance": Number(2)})
+	if err != nil || ok {
+		t.Errorf("failed predicate must prune: got %v %v", ok, err)
+	}
+	if _, err := p.Allowed(Attributes{"popular": Bool(true)}); err == nil {
+		t.Error("missing attribute must error")
+	}
+	// Empty preferences allow everything.
+	empty := Policy{PrivacyLevel: 1, PrecisionLevel: 0}
+	if ok, err := empty.Allowed(nil); err != nil || !ok {
+		t.Errorf("empty preferences: %v %v", ok, err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	pop, _ := ParsePredicate("popular = true")
+	p := Policy{PrivacyLevel: 3, PrecisionLevel: 0, Preferences: []Predicate{pop}}
+	s := p.String()
+	for _, want := range []string{"privacy_l=3", "precision_l=0", "popular = true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	pop, _ := ParsePredicate("popular = true")
+	near, _ := ParsePredicate("distance <= 5")
+	p := Policy{PrivacyLevel: 3, PrecisionLevel: 1, Preferences: []Predicate{pop, near}}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Policy
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PrivacyLevel != 3 || back.PrecisionLevel != 1 || len(back.Preferences) != 2 {
+		t.Errorf("roundtrip lost fields: %+v", back)
+	}
+	if back.Preferences[1].Op != OpLe || back.Preferences[1].Val.F != 5 {
+		t.Errorf("roundtrip lost predicate: %+v", back.Preferences[1])
+	}
+	var badOp Op
+	if err := json.Unmarshal([]byte(`"~"`), &badOp); err == nil {
+		t.Error("unknown op symbol must fail")
+	}
+	if _, err := json.Marshal(Op(42)); err == nil {
+		t.Error("unknown op must fail to marshal")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpLe.String() != "<=" || OpEq.String() != "=" {
+		t.Error("op strings wrong")
+	}
+	if Op(42).String() == "" {
+		t.Error("unknown op must still print")
+	}
+}

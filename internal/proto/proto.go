@@ -1,0 +1,295 @@
+// Package proto implements the client/server interaction of Sec. 5
+// (Fig. 1/8) as JSON over HTTP. The server (cloud side) owns the location
+// tree and solves the expensive optimization; clients send only
+// non-sensitive parameters — the privacy level and the *number* of
+// locations they intend to prune (|S|), never locations or preference
+// contents — and receive the privacy forest of robust matrices to customize
+// locally.
+package proto
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"corgi/internal/core"
+	"corgi/internal/geo"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/obf"
+)
+
+// TreeResponse describes the server's location tree so a client can rebuild
+// it locally (trees are deterministic given these parameters).
+type TreeResponse struct {
+	OriginLat     float64 `json:"origin_lat"`
+	OriginLng     float64 `json:"origin_lng"`
+	LeafSpacingKm float64 `json:"leaf_spacing_km"`
+	Height        int     `json:"height"`
+	RootQ         int     `json:"root_q"`
+	RootR         int     `json:"root_r"`
+	Epsilon       float64 `json:"epsilon"`
+}
+
+// MatrixRequest asks for a privacy forest. Only the privacy level and the
+// prune allowance delta = |S| cross the trust boundary (Sec. 5.2 step 4).
+type MatrixRequest struct {
+	PrivacyLevel int `json:"privacy_l"`
+	Delta        int `json:"delta"`
+}
+
+// ForestEntryWire is one subtree's matrix on the wire.
+type ForestEntryWire struct {
+	RootQ  int         `json:"root_q"`
+	RootR  int         `json:"root_r"`
+	Leaves [][2]int    `json:"leaves"` // axial coords in matrix order
+	Rows   [][]float64 `json:"rows"`
+}
+
+// ForestResponse carries the whole privacy forest.
+type ForestResponse struct {
+	PrivacyLevel int               `json:"privacy_l"`
+	Delta        int               `json:"delta"`
+	Entries      []ForestEntryWire `json:"entries"`
+}
+
+// PriorsResponse carries the public leaf priors (footnote 5 of the paper).
+type PriorsResponse struct {
+	Leaves [][2]int  `json:"leaves"`
+	Probs  []float64 `json:"probs"`
+}
+
+// Handler serves the CORGI server API:
+//
+//	GET  /v1/tree     -> TreeResponse
+//	GET  /v1/priors   -> PriorsResponse
+//	POST /v1/matrices -> ForestResponse (body: MatrixRequest)
+type Handler struct {
+	server  *core.Server
+	tree    *loctree.Tree
+	priors  *loctree.Priors
+	spacing float64
+}
+
+// NewHandler wires a core server into an http.Handler.
+func NewHandler(server *core.Server, priors *loctree.Priors, leafSpacingKm float64) (*Handler, error) {
+	if server == nil || priors == nil {
+		return nil, fmt.Errorf("proto: nil server or priors")
+	}
+	return &Handler{
+		server:  server,
+		tree:    server.Tree(),
+		priors:  priors,
+		spacing: leafSpacingKm,
+	}, nil
+}
+
+// Mux returns the routed handler.
+func (h *Handler) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/tree", h.handleTree)
+	mux.HandleFunc("/v1/priors", h.handlePriors)
+	mux.HandleFunc("/v1/matrices", h.handleMatrices)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (h *Handler) handleTree(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	origin := h.tree.System().Origin()
+	root := h.tree.Root()
+	writeJSON(w, TreeResponse{
+		OriginLat:     origin.Lat,
+		OriginLng:     origin.Lng,
+		LeafSpacingKm: h.spacing,
+		Height:        h.tree.Height(),
+		RootQ:         root.Coord.Q,
+		RootR:         root.Coord.R,
+		Epsilon:       h.server.Params().Epsilon,
+	})
+}
+
+func (h *Handler) handlePriors(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	leaves := h.tree.LevelNodes(0)
+	resp := PriorsResponse{Leaves: make([][2]int, len(leaves)), Probs: make([]float64, len(leaves))}
+	for i, l := range leaves {
+		resp.Leaves[i] = [2]int{l.Coord.Q, l.Coord.R}
+		resp.Probs[i] = h.priors.Of(h.tree, l)
+	}
+	writeJSON(w, resp)
+}
+
+func (h *Handler) handleMatrices(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req MatrixRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	forest, err := h.server.GenerateForest(req.PrivacyLevel, req.Delta)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	resp := ForestResponse{PrivacyLevel: forest.PrivacyLevel, Delta: forest.Delta}
+	for _, node := range h.tree.LevelNodes(forest.PrivacyLevel) {
+		e := forest.Entries[node]
+		wire := ForestEntryWire{RootQ: node.Coord.Q, RootR: node.Coord.R}
+		for _, l := range e.Leaves {
+			wire.Leaves = append(wire.Leaves, [2]int{l.Coord.Q, l.Coord.R})
+		}
+		for i := 0; i < e.Matrix.Dim(); i++ {
+			row := make([]float64, e.Matrix.Dim())
+			copy(row, e.Matrix.Row(i))
+			wire.Rows = append(wire.Rows, row)
+		}
+		resp.Entries = append(resp.Entries, wire)
+	}
+	writeJSON(w, resp)
+}
+
+// Client is the user-side API consumer.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a server base URL (e.g. "http://127.0.0.1:8080").
+func NewClient(base string) *Client {
+	return &Client{base: base, http: &http.Client{Timeout: 10 * time.Minute}}
+}
+
+// FetchTree retrieves the tree parameters and rebuilds the location tree.
+func (c *Client) FetchTree() (*loctree.Tree, *TreeResponse, error) {
+	var tr TreeResponse
+	if err := c.getJSON("/v1/tree", &tr); err != nil {
+		return nil, nil, err
+	}
+	sys, err := hexgrid.NewSystem(geo.LatLng{Lat: tr.OriginLat, Lng: tr.OriginLng}, tr.LeafSpacingKm)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := loctree.New(sys, hexgrid.Coord{Q: tr.RootQ, R: tr.RootR}, tr.Height)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tree, &tr, nil
+}
+
+// FetchPriors retrieves the public leaf priors for a rebuilt tree.
+func (c *Client) FetchPriors(tree *loctree.Tree) (*loctree.Priors, error) {
+	var pr PriorsResponse
+	if err := c.getJSON("/v1/priors", &pr); err != nil {
+		return nil, err
+	}
+	if len(pr.Leaves) != tree.NumLeaves() {
+		return nil, fmt.Errorf("proto: server sent %d priors, tree has %d leaves", len(pr.Leaves), tree.NumLeaves())
+	}
+	leaf := make([]float64, tree.NumLeaves())
+	for i, qr := range pr.Leaves {
+		n := loctree.NodeID{Level: 0, Coord: hexgrid.Coord{Q: qr[0], R: qr[1]}}
+		idx, ok := tree.IndexOf(n)
+		if !ok {
+			return nil, fmt.Errorf("proto: prior for foreign leaf %v", n)
+		}
+		leaf[idx] = pr.Probs[i]
+	}
+	return loctree.NewPriors(tree, leaf)
+}
+
+// FetchForest requests the privacy forest for (privacyLevel, delta) and
+// reassembles it against the local tree.
+func (c *Client) FetchForest(tree *loctree.Tree, privacyLevel, delta int) (*core.Forest, error) {
+	body, err := json.Marshal(MatrixRequest{PrivacyLevel: privacyLevel, Delta: delta})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/matrices", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("proto: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var fr ForestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		return nil, err
+	}
+	return decodeForest(tree, &fr)
+}
+
+func decodeForest(tree *loctree.Tree, fr *ForestResponse) (*core.Forest, error) {
+	forest := &core.Forest{
+		PrivacyLevel: fr.PrivacyLevel,
+		Delta:        fr.Delta,
+		Entries:      map[loctree.NodeID]*core.ForestEntry{},
+	}
+	for _, wire := range fr.Entries {
+		root := loctree.NodeID{Level: fr.PrivacyLevel, Coord: hexgrid.Coord{Q: wire.RootQ, R: wire.RootR}}
+		if !tree.Contains(root) {
+			return nil, fmt.Errorf("proto: entry root %v not in tree", root)
+		}
+		if len(wire.Rows) != len(wire.Leaves) {
+			return nil, fmt.Errorf("proto: entry %v has %d rows for %d leaves", root, len(wire.Rows), len(wire.Leaves))
+		}
+		m, err := matrixFromRows(wire.Rows)
+		if err != nil {
+			return nil, fmt.Errorf("proto: entry %v: %w", root, err)
+		}
+		leaves := make([]loctree.NodeID, len(wire.Leaves))
+		for i, qr := range wire.Leaves {
+			leaves[i] = loctree.NodeID{Level: 0, Coord: hexgrid.Coord{Q: qr[0], R: qr[1]}}
+			if !tree.Contains(leaves[i]) {
+				return nil, fmt.Errorf("proto: entry %v leaf %v not in tree", root, leaves[i])
+			}
+		}
+		forest.Entries[root] = &core.ForestEntry{Root: root, Leaves: leaves, Matrix: m}
+	}
+	return forest, nil
+}
+
+func (c *Client) getJSON(path string, v interface{}) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("proto: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// matrixFromRows validates and builds a wire matrix.
+func matrixFromRows(rows [][]float64) (*obf.Matrix, error) {
+	m, err := obf.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.CheckStochastic(1e-6); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,136 @@
+package proto
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"corgi/internal/core"
+	"corgi/internal/geo"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/policy"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *core.Server, *loctree.Priors) {
+	t.Helper()
+	sys, err := hexgrid.NewSystem(geo.SanFrancisco.Center(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := loctree.NewAt(sys, geo.SanFrancisco.Center(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := loctree.UniformPriors(tree)
+	leaves := tree.LevelNodes(0)
+	targets := []geo.LatLng{tree.Center(leaves[0]), tree.Center(leaves[20]), tree.Center(leaves[40])}
+	srv, err := core.NewServer(tree, priors, targets, []float64{1, 1, 1}, core.Params{
+		Epsilon: 15, Iterations: 2, UseGraphApprox: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHandler(srv, priors, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return httptest.NewServer(h.Mux()), srv, priors
+}
+
+func TestNewHandlerValidation(t *testing.T) {
+	if _, err := NewHandler(nil, nil, 0.1); err == nil {
+		t.Error("nil server must fail")
+	}
+}
+
+func TestFullClientServerRoundTrip(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	tree, tr, err := c.FetchTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Epsilon != 15 || tr.Height != 2 {
+		t.Errorf("tree response: %+v", tr)
+	}
+	if tree.NumLeaves() != 49 {
+		t.Fatalf("rebuilt tree has %d leaves", tree.NumLeaves())
+	}
+	priors, err := c.FetchPriors(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := c.FetchForest(tree, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest.Entries) != 7 {
+		t.Fatalf("forest has %d entries", len(forest.Entries))
+	}
+	// Full user-side pipeline over the wire-rebuilt forest.
+	pol := policy.Policy{PrivacyLevel: 1, PrecisionLevel: 0}
+	out, err := core.GenerateObfuscatedLocation(tree, forest, geo.SanFrancisco.Center(),
+		pol, nil, priors, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Contains(out.Reported) {
+		t.Fatalf("reported %v not in tree", out.Reported)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	defer ts.Close()
+
+	// Wrong methods.
+	resp, err := http.Post(ts.URL+"/v1/tree", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/tree -> %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/matrices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/matrices -> %d", resp.StatusCode)
+	}
+	// Malformed body.
+	resp, err = http.Post(ts.URL+"/v1/matrices", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON -> %d", resp.StatusCode)
+	}
+	// Invalid privacy level surfaces as unprocessable.
+	resp, err = http.Post(ts.URL+"/v1/matrices", "application/json",
+		strings.NewReader(`{"privacy_l": 9, "delta": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad level -> %d", resp.StatusCode)
+	}
+	// Client error paths.
+	c := NewClient(ts.URL)
+	tree, _, err := c.FetchTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchForest(tree, 9, 1); err == nil {
+		t.Error("client must surface server rejection")
+	}
+}
