@@ -9,10 +9,12 @@
 package corgi
 
 import (
+	"encoding/json"
 	"math/rand"
 	"testing"
 
 	"corgi/internal/experiments"
+	"corgi/internal/proto"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -102,6 +104,121 @@ func BenchmarkGenerateMatrixK7(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchGenerateForest measures a full privacy-level-1 forest generation
+// (7 independent subtree LP solves on the height-2 tree) at a given engine
+// worker count. A fresh server per iteration defeats the cache, so each
+// iteration pays the real solve cost; comparing Workers=1 against Workers=4
+// shows the worker-pool speedup.
+func benchGenerateForest(b *testing.B, workers int) {
+	region, err := NewRegion(SanFrancisco.Center(), 0.1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	priors := UniformPriors(region.Tree)
+	targets, err := RandomLeafTargets(region.Tree, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ServerConfig{
+		Params: Params{Epsilon: 15, Iterations: 2, UseGraphApprox: true},
+		Engine: EngineOptions{Workers: workers},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		server, err := NewServerWithConfig(region, priors, targets, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := server.GenerateForest(1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateForestWorkers1(b *testing.B) { benchGenerateForest(b, 1) }
+func BenchmarkGenerateForestWorkers2(b *testing.B) { benchGenerateForest(b, 2) }
+func BenchmarkGenerateForestWorkers4(b *testing.B) { benchGenerateForest(b, 4) }
+
+// BenchmarkGenerateForestCached measures the warm path: the whole forest is
+// served from the engine's cache.
+func BenchmarkGenerateForestCached(b *testing.B) {
+	region, priors, _ := benchSetup(b)
+	targets, _ := RandomLeafTargets(region.Tree, 10, 1)
+	server, err := NewServer(region, priors, targets, Params{
+		Epsilon: 15, Iterations: 2, UseGraphApprox: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := server.GenerateForest(1, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.GenerateForest(1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWireSetup builds the 49x49 root forest for encoding benchmarks.
+func benchWireSetup(b *testing.B) (*Region, *Forest) {
+	b.Helper()
+	region, priors, _ := benchSetup(b)
+	targets, _ := RandomLeafTargets(region.Tree, 10, 1)
+	server, err := NewServer(region, priors, targets, Params{
+		Epsilon: 15, Iterations: 1, UseGraphApprox: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	forest, err := server.GenerateForest(2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return region, forest
+}
+
+// BenchmarkWireEncodeV1 measures dense-JSON forest encoding and reports the
+// payload size.
+func BenchmarkWireEncodeV1(b *testing.B) {
+	region, forest := benchWireSetup(b)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		resp, err := proto.EncodeForestV1(region.Tree, forest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf, err := json.Marshal(resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(buf)
+	}
+	b.ReportMetric(float64(n), "payload-bytes")
+}
+
+// BenchmarkWireEncodeV2 measures the compact quantized row-sparse encoding
+// and reports the payload size for comparison with v1.
+func BenchmarkWireEncodeV2(b *testing.B) {
+	region, forest := benchWireSetup(b)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		resp, err := proto.EncodeForestV2(region.Tree, forest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf, err := json.Marshal(resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(buf)
+	}
+	b.ReportMetric(float64(n), "payload-bytes")
 }
 
 // BenchmarkObfuscate measures the full user-side pipeline (Algorithm 4)

@@ -4,16 +4,31 @@
 // HTTP. Users never send it locations or preference contents — only the
 // privacy level and a prune allowance.
 //
+// Generation runs on the concurrent engine (see ARCHITECTURE.md): -workers
+// bounds parallel subtree LP solves, -cache-mb bounds the generated-entry
+// LRU cache, and -warmup N precomputes every (level, delta<=N) forest
+// before the listener opens. /healthz reports liveness and /v1/stats the
+// engine counters. SIGINT/SIGTERM drain in-flight requests gracefully.
+//
 // Usage:
 //
 //	corgi-server [-addr :8080] [-eps 15] [-height 2] [-spacing 0.1]
-//	             [-iters 5] [-checkins gowalla.txt] [-seed 1]
+//	             [-iters 5] [-checkins gowalla.txt] [-seed 1] [-targets 20]
+//	             [-workers 0] [-cache-mb 256] [-warmup -1]
+//	             [-read-timeout 30s] [-write-timeout 10m] [-idle-timeout 2m]
+//	             [-request-timeout 5m]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"corgi/internal/core"
 	"corgi/internal/geo"
@@ -31,7 +46,14 @@ func main() {
 	iters := flag.Int("iters", 5, "Algorithm-1 robust iterations")
 	checkins := flag.String("checkins", "", "Gowalla check-in file (empty: synthetic sample)")
 	seed := flag.Int64("seed", 1, "seed for the synthetic sample")
-	targetsN := flag.Int("targets", 20, "number of service target locations")
+	targetsN := flag.Int("targets", 20, "number of service target locations (1..leaf count)")
+	workers := flag.Int("workers", 0, "parallel subtree solves (0: GOMAXPROCS)")
+	cacheMB := flag.Int64("cache-mb", 256, "generated-entry cache bound in MiB")
+	warmup := flag.Int("warmup", -1, "precompute all levels for deltas 0..N at startup (-1: off)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Minute, "HTTP server write timeout")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
+	requestTimeout := flag.Duration("request-timeout", 5*time.Minute, "per-request generation timeout (0: none)")
 	flag.Parse()
 
 	sys, err := hexgrid.NewSystem(geo.SanFrancisco.Center(), *spacing)
@@ -66,19 +88,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("priors: %v", err)
 	}
-	leaves := tree.LevelNodes(0)
-	step := len(leaves) / *targetsN
-	if step < 1 {
-		step = 1
+	targets, probs, err := pickTargets(tree, *targetsN)
+	if err != nil {
+		log.Fatalf("targets: %v", err)
 	}
-	var targets []geo.LatLng
-	var probs []float64
-	for i := 0; i < len(leaves) && len(targets) < *targetsN; i += step {
-		targets = append(targets, tree.Center(leaves[i]))
-		probs = append(probs, 1)
-	}
-	srv, err := core.NewServer(tree, priors, targets, probs, core.Params{
+	srv, err := core.NewServerWithOptions(tree, priors, targets, probs, core.Params{
 		Epsilon: *eps, Iterations: *iters, UseGraphApprox: true,
+	}, core.EngineOptions{
+		Workers:    *workers,
+		CacheBytes: *cacheMB << 20,
 	})
 	if err != nil {
 		log.Fatalf("server: %v", err)
@@ -87,7 +105,65 @@ func main() {
 	if err != nil {
 		log.Fatalf("handler: %v", err)
 	}
-	log.Printf("CORGI server on %s (eps=%g, height=%d, %d leaves)",
-		*addr, *eps, *height, tree.NumLeaves())
-	log.Fatal(http.ListenAndServe(*addr, h.Mux()))
+	h.Timeout = *requestTimeout
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *warmup >= 0 {
+		start := time.Now()
+		if err := srv.Warmup(ctx, *warmup); err != nil {
+			log.Fatalf("warmup: %v", err)
+		}
+		st := srv.Stats()
+		log.Printf("warmup: %d solves, %d cached entries (%.1f MiB) in %v",
+			st.Solves, st.CacheEntries, float64(st.CacheBytes)/(1<<20), time.Since(start).Round(time.Millisecond))
+	}
+
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      h.Mux(),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("CORGI server on %s (eps=%g, height=%d, %d leaves, %d workers, %d MiB cache)",
+		*addr, *eps, *height, tree.NumLeaves(), srv.Stats().Workers, *cacheMB)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down (draining in-flight requests)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Printf("bye")
+}
+
+// pickTargets spreads n service targets evenly over the leaves. n beyond
+// the leaf count is an error (the old stride walk silently under-delivered
+// instead of failing).
+func pickTargets(tree *loctree.Tree, n int) ([]geo.LatLng, []float64, error) {
+	leaves := tree.LevelNodes(0)
+	if n < 1 || n > len(leaves) {
+		return nil, nil, fmt.Errorf("target count must be in [1, %d], got %d", len(leaves), n)
+	}
+	targets := make([]geo.LatLng, 0, n)
+	probs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		// Even spread: index i maps to floor(i * len/n).
+		targets = append(targets, tree.Center(leaves[i*len(leaves)/n]))
+		probs = append(probs, 1)
+	}
+	return targets, probs, nil
 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"corgi/internal/geo"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+)
+
+func TestPickTargetsValidation(t *testing.T) {
+	sys, err := hexgrid.NewSystem(geo.SanFrancisco.Center(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := loctree.NewAt(sys, geo.SanFrancisco.Center(), 2) // 49 leaves
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := pickTargets(tree, 0); err == nil {
+		t.Error("0 targets must fail")
+	}
+	if _, _, err := pickTargets(tree, 50); err == nil {
+		t.Error("more targets than leaves must fail instead of silently under-delivering")
+	}
+
+	for _, n := range []int{1, 7, 20, 49} {
+		targets, probs, err := pickTargets(tree, n)
+		if err != nil {
+			t.Fatalf("pickTargets(%d): %v", n, err)
+		}
+		if len(targets) != n || len(probs) != n {
+			t.Fatalf("pickTargets(%d) returned %d targets, %d probs", n, len(targets), len(probs))
+		}
+		seen := map[geo.LatLng]bool{}
+		for _, p := range targets {
+			if seen[p] {
+				t.Fatalf("pickTargets(%d) returned duplicate target %v", n, p)
+			}
+			seen[p] = true
+		}
+	}
+}

@@ -23,6 +23,13 @@
 // aperture-7 hexagonal index substituting Uber H3), internal/obf (pruning,
 // precision reduction, audits), internal/gowalla (the dataset substrate),
 // and internal/planar + internal/attack (baselines and adversaries).
+//
+// Forest generation is served by a concurrent engine (see ARCHITECTURE.md):
+// independent subtree LP solves fan out across a bounded worker pool,
+// concurrent requests for the same (node, delta) share one solve, and
+// finished matrices live in a byte-bounded LRU cache. NewServer uses
+// engine defaults; NewServerWithConfig tunes workers, cache size, and
+// startup warmup, and Server.Stats exposes the engine counters.
 package corgi
 
 import (
@@ -61,6 +68,10 @@ type (
 	Attributes = policy.Attributes
 	// Params tunes matrix generation (epsilon, delta, Algorithm-1 rounds).
 	Params = core.Params
+	// EngineOptions tunes the concurrent generation engine (workers, cache).
+	EngineOptions = core.EngineOptions
+	// EngineStats snapshots the engine's cache and solve counters.
+	EngineStats = core.EngineStats
 	// Server is the CORGI server (Algorithm 3).
 	Server = core.Server
 	// Forest is a privacy forest: one robust matrix per privacy-level node.
@@ -145,10 +156,25 @@ func BuildMetadata(cs []CheckIn, t *Tree) (*Metadata, error) {
 	return gowalla.BuildMetadata(cs, t, 0.2)
 }
 
-// NewServer constructs the CORGI server over a region. targets are the
-// service locations Q of Equ. (6); params.Delta is ignored (chosen per
-// request).
+// ServerConfig bundles generation parameters with engine tuning for
+// NewServerWithConfig.
+type ServerConfig struct {
+	// Params tunes matrix generation; Delta is ignored (per-request).
+	Params Params
+	// Engine tunes concurrency and caching; the zero value uses defaults
+	// (GOMAXPROCS workers, a 256 MiB cache).
+	Engine EngineOptions
+}
+
+// NewServer constructs the CORGI server over a region with default engine
+// options. targets are the service locations Q of Equ. (6); params.Delta is
+// ignored (chosen per request).
 func NewServer(r *Region, priors *Priors, targets []LatLng, params Params) (*Server, error) {
+	return NewServerWithConfig(r, priors, targets, ServerConfig{Params: params})
+}
+
+// NewServerWithConfig is NewServer with explicit engine tuning.
+func NewServerWithConfig(r *Region, priors *Priors, targets []LatLng, cfg ServerConfig) (*Server, error) {
 	if r == nil {
 		return nil, fmt.Errorf("corgi: nil region")
 	}
@@ -156,7 +182,7 @@ func NewServer(r *Region, priors *Priors, targets []LatLng, params Params) (*Ser
 	for i := range probs {
 		probs[i] = 1
 	}
-	return core.NewServer(r.Tree, priors, targets, probs, params)
+	return core.NewServerWithOptions(r.Tree, priors, targets, probs, cfg.Params, cfg.Engine)
 }
 
 // Obfuscate runs the user-side pipeline (Algorithm 4): locate the subtree,

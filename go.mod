@@ -1,0 +1,3 @@
+module corgi
+
+go 1.24.0

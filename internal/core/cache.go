@@ -1,0 +1,107 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// entryCache is a bounded, byte-accounted LRU over generated forest entries.
+// Each entry's footprint is estimated from its matrix dimension, constraint
+// pairs, and generation trace; inserting past the bound evicts from the cold
+// end until the bound holds again, so the cache never exceeds its capacity —
+// even a single oversized entry is dropped rather than stored.
+type entryCache struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[forestKey]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheItem struct {
+	key   forestKey
+	entry *ForestEntry
+	size  int64
+}
+
+func newEntryCache(capacity int64) *entryCache {
+	return &entryCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[forestKey]*list.Element{},
+	}
+}
+
+// entrySizeBytes estimates the resident footprint of one forest entry. The
+// matrix dominates (8 bytes per cell); pairs, leaves, and the trace are
+// accounted so tiny matrices still carry a realistic floor.
+func entrySizeBytes(e *ForestEntry) int64 {
+	size := int64(256) // struct headers, map slot, list element
+	if e.Matrix != nil {
+		d := int64(e.Matrix.Dim())
+		size += 8 * d * d
+	}
+	size += 24 * int64(len(e.Pairs))
+	size += 24 * int64(len(e.Leaves))
+	if e.Result != nil {
+		size += 8 * int64(len(e.Result.Trace))
+	}
+	return size
+}
+
+func (c *entryCache) get(key forestKey) (*ForestEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).entry, true
+}
+
+// add inserts an entry and evicts least-recently-used items until the byte
+// bound holds. The new entry itself is evicted if it alone exceeds the bound.
+func (c *entryCache) add(key forestKey, e *ForestEntry) {
+	size := entrySizeBytes(e)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Lost a race with another inserter; refresh recency only.
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheItem{key: key, entry: e, size: size})
+	c.items[key] = el
+	c.bytes += size
+	for c.bytes > c.capacity && c.ll.Len() > 0 {
+		back := c.ll.Back()
+		it := back.Value.(*cacheItem)
+		c.ll.Remove(back)
+		delete(c.items, it.key)
+		c.bytes -= it.size
+		c.evictions++
+	}
+}
+
+type cacheStats struct {
+	hits, misses, evictions uint64
+	bytes                   int64
+	entries                 int
+}
+
+func (c *entryCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		hits:      c.hits,
+		misses:    c.misses,
+		evictions: c.evictions,
+		bytes:     c.bytes,
+		entries:   c.ll.Len(),
+	}
+}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -399,7 +400,17 @@ func (inst *Instance) solveLP(pairs []obf.Pair, mult []float64, opts *lp.Options
 // privacy budget (Equ. 14) from the current matrix and re-solving the
 // tightened LP of Equ. (16), for Params.Iterations rounds.
 func (inst *Instance) Generate(p Params) (*Result, error) {
+	return inst.GenerateCtx(context.Background(), p)
+}
+
+// GenerateCtx is Generate with cancellation: the context is checked before
+// the initial solve and between Algorithm-1 iterations (an individual LP
+// solve still runs to completion).
+func (inst *Instance) GenerateCtx(ctx context.Context, p Params) (*Result, error) {
 	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -421,6 +432,9 @@ func (inst *Instance) Generate(p Params) (*Result, error) {
 	res.Trace = append(res.Trace, loss)
 
 	for it := 0; it < p.Iterations && p.Delta > 0; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Reserved privacy budget from the current matrix (Equ. 14).
 		for pi, pr := range pairs {
 			var ep float64

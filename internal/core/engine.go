@@ -1,0 +1,205 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCacheBytes bounds the entry cache when EngineOptions.CacheBytes is
+// unset: 256 MiB holds every (level, delta) combination of the paper's
+// height-3 evaluation tree with room to spare.
+const DefaultCacheBytes = 256 << 20
+
+// EngineOptions tunes the concurrent generation engine behind a Server.
+type EngineOptions struct {
+	// Workers bounds concurrent subtree LP solves. <= 0 uses GOMAXPROCS.
+	Workers int
+	// CacheBytes bounds the generated-entry LRU cache. <= 0 uses
+	// DefaultCacheBytes.
+	CacheBytes int64
+}
+
+// EngineStats is a point-in-time snapshot of the engine's counters, exposed
+// over /v1/stats by internal/proto.
+type EngineStats struct {
+	// Hits/Misses/Evictions describe the bounded entry cache.
+	Hits, Misses, Evictions uint64
+	// CacheBytes/CacheEntries/CacheCapacity describe its current occupancy.
+	CacheBytes    int64
+	CacheEntries  int
+	CacheCapacity int64
+	// Solves counts completed subtree generations (LP solves actually run;
+	// cache hits and singleflight followers do not increment it).
+	Solves uint64
+	// InFlight is the number of subtree generations running right now.
+	InFlight int64
+	// Workers is the configured solve-concurrency bound.
+	Workers int
+}
+
+// engine is the concurrent forest-generation core: a semaphore-bounded
+// worker pool over independent subtree solves (each subtree's matrix is
+// independent, Algorithm 3), per-key singleflight so concurrent requests for
+// the same (node, delta) share one LP solve, and a byte-bounded LRU cache of
+// finished entries.
+type engine struct {
+	workers int
+	sem     chan struct{}
+	cache   *entryCache
+
+	mu     sync.Mutex
+	flight map[forestKey]*flightCall
+
+	solves   atomic.Uint64
+	inFlight atomic.Int64
+
+	// generate runs one uncached subtree solve; wired to Server.generate.
+	generate func(ctx context.Context, root forestKey) (*ForestEntry, error)
+}
+
+// flightCall is one in-progress generation that concurrent requesters for
+// the same key wait on instead of solving again.
+type flightCall struct {
+	done  chan struct{}
+	entry *ForestEntry
+	err   error
+}
+
+func newEngine(opts EngineOptions, generate func(context.Context, forestKey) (*ForestEntry, error)) *engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	capacity := opts.CacheBytes
+	if capacity <= 0 {
+		capacity = DefaultCacheBytes
+	}
+	return &engine{
+		workers:  workers,
+		sem:      make(chan struct{}, workers),
+		cache:    newEntryCache(capacity),
+		flight:   map[forestKey]*flightCall{},
+		generate: generate,
+	}
+}
+
+// entry returns the forest entry for key, consulting the cache, then joining
+// any in-flight solve for the same key, then solving under the worker-pool
+// semaphore. A waiter whose own context expires abandons the wait. A solve
+// runs under its leader's context, so a follower that inherits the leader's
+// cancellation (the leader's client disconnected or timed out) retries with
+// its own, still-healthy context instead of failing.
+func (en *engine) entry(ctx context.Context, key forestKey) (*ForestEntry, error) {
+	for {
+		e, err := en.entryOnce(ctx, key)
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		return e, err
+	}
+}
+
+func (en *engine) entryOnce(ctx context.Context, key forestKey) (*ForestEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e, ok := en.cache.get(key); ok {
+		return e, nil
+	}
+	en.mu.Lock()
+	if call, ok := en.flight[key]; ok {
+		en.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.entry, call.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	en.flight[key] = call
+	en.mu.Unlock()
+
+	call.entry, call.err = en.solve(ctx, key)
+	en.mu.Lock()
+	delete(en.flight, key)
+	en.mu.Unlock()
+	close(call.done)
+	return call.entry, call.err
+}
+
+// solve runs one generation under the worker-pool semaphore and publishes
+// the result to the cache.
+func (en *engine) solve(ctx context.Context, key forestKey) (*ForestEntry, error) {
+	select {
+	case en.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-en.sem }()
+
+	en.inFlight.Add(1)
+	defer en.inFlight.Add(-1)
+	e, err := en.generate(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	en.solves.Add(1)
+	en.cache.add(key, e)
+	return e, nil
+}
+
+// forest fans the privacy level's nodes out across the worker pool and
+// assembles the result. The first error cancels the remaining solves.
+func (en *engine) forest(ctx context.Context, keys []forestKey) (map[forestKey]*ForestEntry, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	out := make(map[forestKey]*ForestEntry, len(keys))
+	for _, key := range keys {
+		wg.Add(1)
+		go func(key forestKey) {
+			defer wg.Done()
+			e, err := en.entry(ctx, key)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				return
+			}
+			out[key] = e
+		}(key)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+func (en *engine) stats() EngineStats {
+	cs := en.cache.stats()
+	return EngineStats{
+		Hits:          cs.hits,
+		Misses:        cs.misses,
+		Evictions:     cs.evictions,
+		CacheBytes:    cs.bytes,
+		CacheEntries:  cs.entries,
+		CacheCapacity: en.cache.capacity,
+		Solves:        en.solves.Load(),
+		InFlight:      en.inFlight.Load(),
+		Workers:       en.workers,
+	}
+}

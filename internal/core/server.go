@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"corgi/internal/geo"
 	"corgi/internal/hexgrid"
@@ -42,6 +42,11 @@ type Forest struct {
 // and the target-location distribution, and generates privacy forests on
 // request. Only (privacy level, delta) arrive from users — never locations
 // or preference contents (Sec. 5.1).
+//
+// Generation runs on a concurrent engine: subtree solves fan out across a
+// bounded worker pool (each subtree's matrix is independent, Algorithm 3),
+// concurrent requests for the same (node, delta) share one LP solve, and
+// finished entries live in a byte-bounded LRU cache. See EngineOptions.
 type Server struct {
 	tree        *loctree.Tree
 	priors      *loctree.Priors
@@ -49,8 +54,7 @@ type Server struct {
 	targetProbs []float64
 	params      Params
 
-	mu    sync.Mutex
-	cache map[forestKey]*ForestEntry
+	engine *engine
 }
 
 type forestKey struct {
@@ -58,10 +62,18 @@ type forestKey struct {
 	delta int
 }
 
-// NewServer validates inputs and builds a server. params.Delta is ignored
-// (per-request); the rest of params applies to every generation.
+// NewServer validates inputs and builds a server with default engine
+// options. params.Delta is ignored (per-request); the rest of params applies
+// to every generation.
 func NewServer(tree *loctree.Tree, priors *loctree.Priors, targets []geo.LatLng,
 	targetProbs []float64, params Params) (*Server, error) {
+	return NewServerWithOptions(tree, priors, targets, targetProbs, params, EngineOptions{})
+}
+
+// NewServerWithOptions is NewServer with explicit engine tuning (worker
+// count, cache bound).
+func NewServerWithOptions(tree *loctree.Tree, priors *loctree.Priors, targets []geo.LatLng,
+	targetProbs []float64, params Params, opts EngineOptions) (*Server, error) {
 	if tree == nil || priors == nil {
 		return nil, fmt.Errorf("core: server needs a tree and priors")
 	}
@@ -74,14 +86,15 @@ func NewServer(tree *loctree.Tree, priors *loctree.Priors, targets []geo.LatLng,
 	if params.Iterations < 1 {
 		params.Iterations = 1
 	}
-	return &Server{
+	s := &Server{
 		tree:        tree,
 		priors:      priors,
 		targets:     append([]geo.LatLng(nil), targets...),
 		targetProbs: append([]float64(nil), targetProbs...),
 		params:      params,
-		cache:       map[forestKey]*ForestEntry{},
-	}, nil
+	}
+	s.engine = newEngine(opts, s.generate)
+	return s, nil
 }
 
 // Tree returns the server's location tree (shared with users, step 1-3 of
@@ -91,36 +104,32 @@ func (s *Server) Tree() *loctree.Tree { return s.tree }
 // Params returns the generation parameters in force.
 func (s *Server) Params() Params { return s.params }
 
+// Stats snapshots the engine's cache and solve counters.
+func (s *Server) Stats() EngineStats { return s.engine.stats() }
+
 // GenerateEntry generates (or returns cached) the robust matrix for one
 // subtree root at the privacy level, prunable up to delta locations.
 func (s *Server) GenerateEntry(root loctree.NodeID, delta int) (*ForestEntry, error) {
+	return s.GenerateEntryCtx(context.Background(), root, delta)
+}
+
+// GenerateEntryCtx is GenerateEntry honoring ctx cancellation/deadline while
+// waiting for a worker slot or a shared in-flight solve.
+func (s *Server) GenerateEntryCtx(ctx context.Context, root loctree.NodeID, delta int) (*ForestEntry, error) {
 	if !s.tree.Contains(root) {
 		return nil, fmt.Errorf("core: node %v not in tree", root)
 	}
 	if delta < 0 {
 		return nil, fmt.Errorf("core: delta must be >= 0, got %d", delta)
 	}
-	key := forestKey{node: root, delta: delta}
-	s.mu.Lock()
-	if e, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return e, nil
-	}
-	s.mu.Unlock()
-
-	leaves := s.tree.LeavesUnder(root)
-	entry, err := s.generate(root, leaves, delta)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.cache[key] = entry
-	s.mu.Unlock()
-	return entry, nil
+	return s.engine.entry(ctx, forestKey{node: root, delta: delta})
 }
 
-// generate builds the instance for a leaf set and runs Generate.
-func (s *Server) generate(root loctree.NodeID, leaves []loctree.NodeID, delta int) (*ForestEntry, error) {
+// generate builds the instance for a subtree's leaf set and runs Generate.
+// It is the engine's solve callback and always receives a validated key.
+func (s *Server) generate(ctx context.Context, key forestKey) (*ForestEntry, error) {
+	root, delta := key.node, key.delta
+	leaves := s.tree.LeavesUnder(root)
 	cellCoords := make([]hexgrid.Coord, len(leaves))
 	for i, l := range leaves {
 		cellCoords[i] = l.Coord
@@ -138,7 +147,7 @@ func (s *Server) generate(root loctree.NodeID, leaves []loctree.NodeID, delta in
 	if delta == 0 {
 		p.Iterations = 0
 	}
-	res, err := inst.Generate(p)
+	res, err := inst.GenerateCtx(ctx, p)
 	if err != nil {
 		return nil, fmt.Errorf("core: subtree %v: %w", root, err)
 	}
@@ -152,22 +161,54 @@ func (s *Server) generate(root loctree.NodeID, leaves []loctree.NodeID, delta in
 }
 
 // GenerateForest implements Algorithm 3: a matrix for every node at the
-// privacy level.
+// privacy level, generated concurrently across the engine's worker pool.
 func (s *Server) GenerateForest(privacyLevel, delta int) (*Forest, error) {
+	return s.GenerateForestCtx(context.Background(), privacyLevel, delta)
+}
+
+// GenerateForestCtx is GenerateForest with cancellation: the first subtree
+// error (or ctx expiry) cancels the remaining solves.
+func (s *Server) GenerateForestCtx(ctx context.Context, privacyLevel, delta int) (*Forest, error) {
 	if privacyLevel < 1 || privacyLevel > s.tree.Height() {
 		return nil, fmt.Errorf("core: privacy level %d outside [1,%d]", privacyLevel, s.tree.Height())
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("core: delta must be >= 0, got %d", delta)
+	}
+	nodes := s.tree.LevelNodes(privacyLevel)
+	keys := make([]forestKey, len(nodes))
+	for i, node := range nodes {
+		keys[i] = forestKey{node: node, delta: delta}
+	}
+	got, err := s.engine.forest(ctx, keys)
+	if err != nil {
+		return nil, err
 	}
 	forest := &Forest{
 		PrivacyLevel: privacyLevel,
 		Delta:        delta,
-		Entries:      map[loctree.NodeID]*ForestEntry{},
+		Entries:      make(map[loctree.NodeID]*ForestEntry, len(keys)),
 	}
-	for _, node := range s.tree.LevelNodes(privacyLevel) {
-		e, err := s.GenerateEntry(node, delta)
-		if err != nil {
-			return nil, err
-		}
-		forest.Entries[node] = e
+	for _, key := range keys {
+		forest.Entries[key.node] = got[key]
 	}
 	return forest, nil
+}
+
+// Warmup precomputes every (level, delta) combination for privacy levels
+// 1..Height and deltas 0..maxDelta, filling the cache before traffic
+// arrives. Entries evicted by the byte bound are simply regenerated on
+// demand later.
+func (s *Server) Warmup(ctx context.Context, maxDelta int) error {
+	if maxDelta < 0 {
+		return fmt.Errorf("core: warmup delta must be >= 0, got %d", maxDelta)
+	}
+	for level := 1; level <= s.tree.Height(); level++ {
+		for delta := 0; delta <= maxDelta; delta++ {
+			if _, err := s.GenerateForestCtx(ctx, level, delta); err != nil {
+				return fmt.Errorf("core: warmup level %d delta %d: %w", level, delta, err)
+			}
+		}
+	}
+	return nil
 }

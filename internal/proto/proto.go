@@ -5,14 +5,26 @@
 // locations they intend to prune (|S|), never locations or preference
 // contents — and receive the privacy forest of robust matrices to customize
 // locally.
+//
+// Two wire formats coexist. v1 is dense row-major JSON ([][]float64),
+// served as plain application/json for compatibility. v2 (see wire.go) is a
+// quantized row-sparse binary encoding negotiated via the Accept header
+// (ContentTypeForestV2) that cuts forest payloads by >3x before
+// compression; responses are additionally gzipped when the client offers
+// Accept-Encoding: gzip. Requests carry the caller's context through the
+// handler into the generation engine, bounded by Handler.Timeout.
 package proto
 
 import (
 	"bytes"
+	"compress/gzip"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"corgi/internal/core"
@@ -64,14 +76,34 @@ type PriorsResponse struct {
 
 // Handler serves the CORGI server API:
 //
+//	GET  /healthz     -> "ok" (liveness)
+//	GET  /v1/stats    -> StatsResponse (engine cache/solve counters)
 //	GET  /v1/tree     -> TreeResponse
 //	GET  /v1/priors   -> PriorsResponse
-//	POST /v1/matrices -> ForestResponse (body: MatrixRequest)
+//	POST /v1/matrices -> ForestResponse, or ForestResponseV2 when the
+//	                     request Accepts ContentTypeForestV2
 type Handler struct {
 	server  *core.Server
 	tree    *loctree.Tree
 	priors  *loctree.Priors
 	spacing float64
+
+	// Timeout bounds each /v1/matrices generation; zero means the request
+	// context alone governs cancellation. Expiry returns 504.
+	Timeout time.Duration
+}
+
+// StatsResponse mirrors core.EngineStats for /v1/stats.
+type StatsResponse struct {
+	Hits               uint64 `json:"cache_hits"`
+	Misses             uint64 `json:"cache_misses"`
+	Evictions          uint64 `json:"cache_evictions"`
+	CacheBytes         int64  `json:"cache_bytes"`
+	CacheEntries       int    `json:"cache_entries"`
+	CacheCapacityBytes int64  `json:"cache_capacity_bytes"`
+	Solves             uint64 `json:"solves"`
+	InFlight           int64  `json:"in_flight"`
+	Workers            int    `json:"workers"`
 }
 
 // NewHandler wires a core server into an http.Handler.
@@ -90,17 +122,65 @@ func NewHandler(server *core.Server, priors *loctree.Priors, leafSpacingKm float
 // Mux returns the routed handler.
 func (h *Handler) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", h.handleHealthz)
+	mux.HandleFunc("/v1/stats", h.handleStats)
 	mux.HandleFunc("/v1/tree", h.handleTree)
 	mux.HandleFunc("/v1/priors", h.handlePriors)
 	mux.HandleFunc("/v1/matrices", h.handleMatrices)
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+// writeJSONAs encodes v with the given content type, gzipping when the
+// client offered Accept-Encoding: gzip (r may be nil to skip negotiation).
+// Encoding happens into a buffer first so a marshal failure becomes a clean
+// 500 instead of a half-written body under already-flushed headers.
+func writeJSONAs(w http.ResponseWriter, r *http.Request, contentType string, v interface{}) {
+	body, err := json.Marshal(v)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", contentType)
+	if r != nil && strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		w.Header().Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		defer gz.Close()
+		gz.Write(body)
+		return
+	}
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	writeJSONAs(w, nil, "application/json", v)
+}
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s := h.server.Stats()
+	writeJSON(w, StatsResponse{
+		Hits:               s.Hits,
+		Misses:             s.Misses,
+		Evictions:          s.Evictions,
+		CacheBytes:         s.CacheBytes,
+		CacheEntries:       s.CacheEntries,
+		CacheCapacityBytes: s.CacheCapacity,
+		Solves:             s.Solves,
+		InFlight:           s.InFlight,
+		Workers:            s.Workers,
+	})
 }
 
 func (h *Handler) handleTree(w http.ResponseWriter, r *http.Request) {
@@ -145,14 +225,50 @@ func (h *Handler) handleMatrices(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	forest, err := h.server.GenerateForest(req.PrivacyLevel, req.Delta)
+	ctx := r.Context()
+	if h.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.Timeout)
+		defer cancel()
+	}
+	forest, err := h.server.GenerateForestCtx(ctx, req.PrivacyLevel, req.Delta)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, "generation timed out: "+err.Error(), http.StatusGatewayTimeout)
+		case errors.Is(err, context.Canceled):
+			http.Error(w, "request canceled", http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		}
 		return
 	}
-	resp := ForestResponse{PrivacyLevel: forest.PrivacyLevel, Delta: forest.Delta}
-	for _, node := range h.tree.LevelNodes(forest.PrivacyLevel) {
-		e := forest.Entries[node]
+	if strings.Contains(r.Header.Get("Accept"), ContentTypeForestV2) {
+		resp, err := EncodeForestV2(h.tree, forest)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSONAs(w, r, ContentTypeForestV2, resp)
+		return
+	}
+	resp, err := EncodeForestV1(h.tree, forest)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSONAs(w, r, "application/json", resp)
+}
+
+// EncodeForestV1 converts a generated forest into the dense v1 wire form,
+// emitting entries in the tree's level-node order.
+func EncodeForestV1(tree *loctree.Tree, forest *core.Forest) (*ForestResponse, error) {
+	resp := &ForestResponse{PrivacyLevel: forest.PrivacyLevel, Delta: forest.Delta}
+	for _, node := range tree.LevelNodes(forest.PrivacyLevel) {
+		e, ok := forest.Entries[node]
+		if !ok {
+			return nil, fmt.Errorf("proto: forest missing entry for %v", node)
+		}
 		wire := ForestEntryWire{RootQ: node.Coord.Q, RootR: node.Coord.R}
 		for _, l := range e.Leaves {
 			wire.Leaves = append(wire.Leaves, [2]int{l.Coord.Q, l.Coord.R})
@@ -164,7 +280,7 @@ func (h *Handler) handleMatrices(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Entries = append(resp.Entries, wire)
 	}
-	writeJSON(w, resp)
+	return resp, nil
 }
 
 // Client is the user-side API consumer.
@@ -217,13 +333,21 @@ func (c *Client) FetchPriors(tree *loctree.Tree) (*loctree.Priors, error) {
 }
 
 // FetchForest requests the privacy forest for (privacyLevel, delta) and
-// reassembles it against the local tree.
+// reassembles it against the local tree. The request advertises the compact
+// v2 encoding; the response Content-Type decides which decoder runs, so a
+// v1-only server keeps working unchanged.
 func (c *Client) FetchForest(tree *loctree.Tree, privacyLevel, delta int) (*core.Forest, error) {
 	body, err := json.Marshal(MatrixRequest{PrivacyLevel: privacyLevel, Delta: delta})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http.Post(c.base+"/v1/matrices", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/matrices", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", ContentTypeForestV2+", application/json")
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -232,14 +356,22 @@ func (c *Client) FetchForest(tree *loctree.Tree, privacyLevel, delta int) (*core
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return nil, fmt.Errorf("proto: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
+	if strings.Contains(resp.Header.Get("Content-Type"), ContentTypeForestV2) {
+		var fr ForestResponseV2
+		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+			return nil, err
+		}
+		return DecodeForestV2(tree, &fr)
+	}
 	var fr ForestResponse
 	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
 		return nil, err
 	}
-	return decodeForest(tree, &fr)
+	return DecodeForest(tree, &fr)
 }
 
-func decodeForest(tree *loctree.Tree, fr *ForestResponse) (*core.Forest, error) {
+// DecodeForest reassembles a dense v1 response against the local tree.
+func DecodeForest(tree *loctree.Tree, fr *ForestResponse) (*core.Forest, error) {
 	forest := &core.Forest{
 		PrivacyLevel: fr.PrivacyLevel,
 		Delta:        fr.Delta,
