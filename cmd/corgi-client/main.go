@@ -4,9 +4,15 @@
 // prints the obfuscated location. The real location and the preference
 // contents never leave this process.
 //
+// -region addresses one shard of a multi-region server; the default (empty)
+// resolves to the server's default region, so the client works unchanged
+// against single-region deployments. An unknown region fails with the
+// server's 404, whose message lists the available region names.
+//
 // Usage:
 //
-//	corgi-client [-server http://127.0.0.1:8080] -lat 37.765 -lng -122.435 \
+//	corgi-client [-server http://127.0.0.1:8080] [-region nyc] \
+//	             -lat 37.765 -lng -122.435 \
 //	             [-privacy 1] [-precision 0] [-pref "home != true" -pref "distance <= 5"] \
 //	             [-reports 1] [-seed 0]
 package main
@@ -33,6 +39,7 @@ func (p *prefList) Set(s string) error { *p = append(*p, s); return nil }
 
 func main() {
 	server := flag.String("server", "http://127.0.0.1:8080", "corgi-server base URL")
+	region := flag.String("region", "", "region name on a multi-region server (empty: server default)")
 	lat := flag.Float64("lat", 37.765, "real latitude")
 	lng := flag.Float64("lng", -122.435, "real longitude")
 	privacy := flag.Int("privacy", 1, "privacy level (obfuscation range)")
@@ -43,12 +50,18 @@ func main() {
 	flag.Var(&prefs, "pref", "preference predicate, e.g. 'home != true' (repeatable)")
 	flag.Parse()
 
-	c := proto.NewClient(*server)
+	c := proto.NewRegionClient(*server, *region)
 	tree, info, err := c.FetchTree()
 	if err != nil {
+		// The server's 404 for an unknown region already lists the
+		// available names; surface it verbatim.
 		log.Fatalf("fetching tree: %v", err)
 	}
-	log.Printf("tree: height %d, %d leaves, eps=%g", info.Height, tree.NumLeaves(), info.Epsilon)
+	which := *region
+	if which == "" {
+		which = "server default"
+	}
+	log.Printf("region %s: tree height %d, %d leaves, eps=%g", which, info.Height, tree.NumLeaves(), info.Epsilon)
 	priors, err := c.FetchPriors(tree)
 	if err != nil {
 		log.Fatalf("fetching priors: %v", err)

@@ -1,0 +1,686 @@
+// Command corgi-loadgen drives a corgi-server with a multi-region request
+// mix and reports latency and throughput, so scale claims about the
+// sharded serving layer are measurable instead of anecdotal.
+//
+// The request stream is a replayable trace. It comes from one of:
+//
+//   - a trace file (-trace): whitespace-separated lines of
+//     "region privacy_level delta", replayed in order (cycling);
+//   - a Gowalla-format check-in file (-checkins): each check-in is
+//     assigned to the nearest serving region's center, and the resulting
+//     per-region weights drive a synthetic mix — a data-derived workload;
+//   - a synthetic mix (default): regions weighted uniformly or by a Zipf
+//     law (-mix zipf, mimicking the few-hot-metros shape of real traffic)
+//     over the privacy levels of -levels and prune allowances of -deltas.
+//
+// The generator runs closed-loop by default (-concurrency workers, each
+// issuing the next request as soon as the previous completes) or open-loop
+// with -rate R (arrivals at R req/s dispatched to the worker pool;
+// arrivals that find no free worker within the queue bound count as
+// dropped, keeping the arrival process honest under overload). -batch N
+// packs N consecutive trace entries into one POST /v1/forests round trip.
+//
+// The report is JSON (stdout, or -out FILE): request and per-item counts,
+// error breakdown, req/s, p50/p90/p95/p99/max latency, a log-scaled
+// latency histogram, and per-region counts (with latency quantiles in
+// single-request mode, where a request maps to one region).
+//
+// Usage:
+//
+//	corgi-loadgen [-server http://127.0.0.1:8080] [-duration 10s]
+//	              [-concurrency 8] [-rate 0] [-regions sf,nyc,la]
+//	              [-levels 1,2] [-deltas 0,1,2] [-mix uniform|zipf]
+//	              [-batch 0] [-trace FILE | -checkins FILE]
+//	              [-wire v2|v1] [-seed 1] [-out report.json]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corgi/internal/geo"
+	"corgi/internal/gowalla"
+	"corgi/internal/proto"
+	"corgi/internal/registry"
+)
+
+// request is one trace entry.
+type request struct {
+	Region string
+	Level  int
+	Delta  int
+}
+
+// sample is one measured HTTP round trip.
+type sample struct {
+	latency time.Duration
+	status  int
+	bytes   int64
+	region  string // "" for batch requests (they span regions)
+	err     bool
+}
+
+// worker accumulates samples and per-item outcomes locally to avoid lock
+// contention on the hot path; results merge after the run.
+type worker struct {
+	samples  []sample
+	itemsOK  int64
+	itemsErr int64
+}
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8080", "corgi-server base URL")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	concurrency := flag.Int("concurrency", 8, "worker count (max in-flight requests)")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s (0: closed loop)")
+	regionsFlag := flag.String("regions", "", "comma-separated regions to hit (empty: ask /v1/regions)")
+	levelsFlag := flag.String("levels", "1", "comma-separated privacy levels to mix")
+	deltasFlag := flag.String("deltas", "0,1", "comma-separated prune allowances to mix")
+	mix := flag.String("mix", "uniform", "region weighting: uniform or zipf")
+	batch := flag.Int("batch", 0, "pack N trace entries per POST /v1/forests (0: single requests)")
+	tracePath := flag.String("trace", "", "trace file of 'region level delta' lines to replay")
+	checkinsPath := flag.String("checkins", "", "Gowalla check-in file; per-region weights follow its geography")
+	wire := flag.String("wire", "v2", "forest encoding to request: v1 or v2")
+	seed := flag.Int64("seed", 1, "mix/shuffle seed")
+	out := flag.String("out", "", "write the JSON report here (empty: stdout)")
+	flag.Parse()
+
+	if *concurrency < 1 {
+		log.Fatalf("-concurrency must be >= 1")
+	}
+	if *wire != "v1" && *wire != "v2" {
+		log.Fatalf("-wire must be v1 or v2")
+	}
+
+	client := &http.Client{Timeout: 10 * time.Minute}
+	regions, err := resolveRegions(client, *server, *regionsFlag)
+	if err != nil {
+		log.Fatalf("regions: %v", err)
+	}
+	trace, traceSource, err := buildTrace(regions, *tracePath, *checkinsPath, *levelsFlag, *deltasFlag, *mix, *seed)
+	if err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	log.Printf("trace: %d entries (%s) over regions [%s]", len(trace), traceSource, strings.Join(regions, ", "))
+
+	workers := make([]*worker, *concurrency)
+	for i := range workers {
+		workers[i] = &worker{}
+	}
+
+	var (
+		next    atomic.Int64 // next trace index to issue
+		dropped atomic.Int64 // open-loop arrivals that found the queue full
+		wg      sync.WaitGroup
+	)
+	deadline := time.Now().Add(*duration)
+	issue := func(w *worker) {
+		idx := next.Add(1) - 1
+		if *batch > 0 {
+			w.record(doBatch(client, *server, trace, idx, *batch, *wire))
+		} else {
+			entry := trace[int(idx)%len(trace)]
+			w.record(doSingle(client, *server, entry, *wire))
+		}
+	}
+
+	start := time.Now()
+	if *rate > 0 {
+		// Open loop: a ticker models the arrival process; workers drain a
+		// small queue. A full queue drops the arrival instead of stalling
+		// the clock, so overload shows up as drops + tail latency.
+		queue := make(chan struct{}, *concurrency)
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				for range queue {
+					issue(w)
+				}
+			}(w)
+		}
+		interval := time.Duration(float64(time.Second) / *rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		ticker := time.NewTicker(interval)
+		timer := time.NewTimer(time.Until(deadline))
+	arrivals:
+		for {
+			// Racing the ticker against the deadline keeps low rates from
+			// overshooting -duration by a whole interval.
+			select {
+			case <-ticker.C:
+				select {
+				case queue <- struct{}{}:
+				default:
+					dropped.Add(1)
+				}
+			case <-timer.C:
+				break arrivals
+			}
+		}
+		ticker.Stop()
+		timer.Stop()
+		close(queue)
+	} else {
+		// Closed loop: each worker issues back-to-back requests.
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					issue(w)
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := summarize(workers, elapsed, config{
+		Server: *server, Regions: regions, DurationS: duration.Seconds(),
+		Concurrency: *concurrency, RateRPS: *rate, Batch: *batch,
+		Wire: *wire, Mix: *mix, TraceSource: traceSource,
+	})
+	report.DroppedArrivals = dropped.Load()
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("report: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			log.Fatalf("writing %s: %v", *out, err)
+		}
+		log.Printf("report written to %s", *out)
+	}
+	if report.Requests == 0 {
+		log.Fatalf("no requests completed inside %v", *duration)
+	}
+}
+
+func (w *worker) record(s sample, itemsOK, itemsErr int64) {
+	w.samples = append(w.samples, s)
+	w.itemsOK += itemsOK
+	w.itemsErr += itemsErr
+}
+
+// resolveRegions uses the -regions flag, or asks the server.
+func resolveRegions(client *http.Client, server, flagVal string) ([]string, error) {
+	if flagVal != "" {
+		var regions []string
+		for _, r := range strings.Split(flagVal, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				regions = append(regions, r)
+			}
+		}
+		if len(regions) == 0 {
+			return nil, fmt.Errorf("-regions named no regions")
+		}
+		return regions, nil
+	}
+	resp, err := client.Get(server + "/v1/regions")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// Pre-sharding server: drive its single implicit region.
+		return []string{""}, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var rr proto.RegionsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, err
+	}
+	regions := make([]string, len(rr.Regions))
+	for i, info := range rr.Regions {
+		regions[i] = info.Name
+	}
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("server lists no regions")
+	}
+	return regions, nil
+}
+
+// buildTrace materializes the replay trace (bounded; it cycles during the
+// run) and names its source for the report.
+func buildTrace(regions []string, tracePath, checkinsPath, levelsFlag, deltasFlag, mix string, seed int64) ([]request, string, error) {
+	if tracePath != "" && checkinsPath != "" {
+		return nil, "", fmt.Errorf("use either -trace or -checkins, not both")
+	}
+	if tracePath != "" {
+		trace, err := loadTrace(tracePath)
+		return trace, "replay:" + tracePath, err
+	}
+	levels, err := parseIntList(levelsFlag)
+	if err != nil {
+		return nil, "", fmt.Errorf("-levels: %w", err)
+	}
+	deltas, err := parseIntList(deltasFlag)
+	if err != nil {
+		return nil, "", fmt.Errorf("-deltas: %w", err)
+	}
+	weights := make([]float64, len(regions))
+	source := "synthetic:" + mix
+	switch {
+	case checkinsPath != "":
+		if err := checkinWeights(checkinsPath, regions, weights); err != nil {
+			return nil, "", err
+		}
+		source = "gowalla:" + checkinsPath
+	case mix == "zipf":
+		for i := range weights {
+			weights[i] = 1 / float64(i+1) // Zipf s=1 over region order
+		}
+	case mix == "uniform":
+		for i := range weights {
+			weights[i] = 1
+		}
+	default:
+		return nil, "", fmt.Errorf("unknown -mix %q (uniform or zipf)", mix)
+	}
+	const traceLen = 65536
+	rng := rand.New(rand.NewSource(seed))
+	trace := make([]request, traceLen)
+	for i := range trace {
+		trace[i] = request{
+			Region: regions[weightedPick(rng, weights)],
+			Level:  levels[rng.Intn(len(levels))],
+			Delta:  deltas[rng.Intn(len(deltas))],
+		}
+	}
+	return trace, source, nil
+}
+
+// checkinWeights assigns each check-in to the nearest serving region
+// center (resolved via /v1/regions metadata is unavailable here, so the
+// builtin metro table and the check-in geography decide) and normalizes
+// the counts into mix weights.
+func checkinWeights(path string, regions []string, weights []float64) error {
+	cs, err := gowalla.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	centers, err := regionCenters(regions)
+	if err != nil {
+		return err
+	}
+	matched := 0.0
+	for _, c := range cs {
+		best, bestDist := -1, math.MaxFloat64
+		for i, center := range centers {
+			if d := geo.Haversine(c.Loc, center); d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		if best >= 0 {
+			weights[best]++
+			matched++
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("%s: no check-ins matched any region", path)
+	}
+	for i, w := range weights {
+		if w == 0 {
+			weights[i] = 1 // keep every region reachable
+		}
+	}
+	return nil
+}
+
+// regionCenters resolves region names to builtin metro centers for
+// check-in assignment.
+func regionCenters(regions []string) ([]geo.LatLng, error) {
+	centers := make([]geo.LatLng, len(regions))
+	for i, name := range regions {
+		spec, ok := registry.BuiltinSpec(name)
+		if !ok {
+			return nil, fmt.Errorf("region %q is not a builtin metro; -checkins weighting needs builtin regions", name)
+		}
+		centers[i] = spec.Center()
+	}
+	return centers, nil
+}
+
+// loadTrace parses "region level delta" lines; '#' starts a comment.
+func loadTrace(path string) ([]request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var trace []request
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 'region level delta', got %q", path, line, text)
+		}
+		level, err1 := strconv.Atoi(fields[1])
+		delta, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s:%d: bad integers in %q", path, line, text)
+		}
+		trace = append(trace, request{Region: fields[0], Level: level, Delta: delta})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("%s: empty trace", path)
+	}
+	return trace, nil
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func weightedPick(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// doSingle issues one region-addressed forest request.
+func doSingle(client *http.Client, server string, entry request, wire string) (sample, int64, int64) {
+	body, _ := json.Marshal(proto.MatrixRequest{PrivacyLevel: entry.Level, Delta: entry.Delta})
+	target := server + "/v1/forest"
+	if entry.Region != "" {
+		target += "?region=" + url.QueryEscape(entry.Region)
+	}
+	req, err := http.NewRequest(http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		return sample{region: entry.Region, err: true}, 0, 1
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept-Encoding", "gzip")
+	if wire == "v2" {
+		req.Header.Set("Accept", proto.ContentTypeForestV2+", application/json")
+	}
+	s := roundTrip(client, req)
+	s.region = entry.Region
+	if s.err {
+		return s, 0, 1
+	}
+	return s, 1, 0
+}
+
+// doBatch packs n consecutive trace entries into one /v1/forests request
+// and counts per-item outcomes from the envelope.
+func doBatch(client *http.Client, server string, trace []request, idx int64, n int, wire string) (sample, int64, int64) {
+	items := make([]proto.BatchItem, n)
+	for i := 0; i < n; i++ {
+		entry := trace[int(idx*int64(n)+int64(i))%len(trace)]
+		items[i] = proto.BatchItem{Region: entry.Region, PrivacyLevel: entry.Level, Delta: entry.Delta}
+	}
+	body, _ := json.Marshal(proto.BatchForestRequest{Items: items})
+	req, err := http.NewRequest(http.MethodPost, server+"/v1/forests", bytes.NewReader(body))
+	if err != nil {
+		return sample{err: true}, 0, int64(n)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// No explicit Accept-Encoding here: the transport negotiates gzip on
+	// its own and transparently decompresses, which the envelope decode
+	// below relies on.
+	if wire == "v2" {
+		req.Header.Set("Accept", proto.ContentTypeForestV2+", application/json")
+	}
+
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{latency: time.Since(start), err: true}, 0, int64(n)
+	}
+	defer resp.Body.Close()
+	var envelope proto.BatchForestResponse
+	dec := json.NewDecoder(resp.Body)
+	decodeErr := dec.Decode(&envelope)
+	s := sample{latency: time.Since(start), status: resp.StatusCode}
+	if resp.StatusCode != http.StatusOK || decodeErr != nil {
+		s.err = true
+		return s, 0, int64(n)
+	}
+	var ok, bad int64
+	for _, item := range envelope.Items {
+		if item.Status == http.StatusOK {
+			ok++
+		} else {
+			bad++
+		}
+	}
+	return s, ok, bad
+}
+
+// roundTrip measures one request to full-body completion.
+func roundTrip(client *http.Client, req *http.Request) sample {
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{latency: time.Since(start), err: true}
+	}
+	defer resp.Body.Close()
+	n, _ := io.Copy(io.Discard, resp.Body)
+	s := sample{latency: time.Since(start), status: resp.StatusCode, bytes: n}
+	s.err = resp.StatusCode != http.StatusOK
+	return s
+}
+
+// config echoes the run parameters into the report.
+type config struct {
+	Server      string   `json:"server"`
+	Regions     []string `json:"regions"`
+	DurationS   float64  `json:"duration_s"`
+	Concurrency int      `json:"concurrency"`
+	RateRPS     float64  `json:"rate_rps"`
+	Batch       int      `json:"batch"`
+	Wire        string   `json:"wire"`
+	Mix         string   `json:"mix"`
+	TraceSource string   `json:"trace_source"`
+}
+
+// latencySummary is the quantile block of the report, in milliseconds.
+type latencySummary struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	Mean float64 `json:"mean_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+// histBucket is one log-scaled latency histogram bin.
+type histBucket struct {
+	UpToMs float64 `json:"up_to_ms"`
+	Count  int64   `json:"count"`
+}
+
+// regionReport is one region's slice of the run.
+type regionReport struct {
+	Requests int64           `json:"requests"`
+	Errors   int64           `json:"errors"`
+	Latency  *latencySummary `json:"latency,omitempty"`
+}
+
+// report is the JSON output.
+type report struct {
+	Config          config                  `json:"config"`
+	ElapsedS        float64                 `json:"elapsed_s"`
+	Requests        int64                   `json:"requests"`
+	Errors          int64                   `json:"errors"`
+	DroppedArrivals int64                   `json:"dropped_arrivals"`
+	ItemsOK         int64                   `json:"items_ok"`
+	ItemsErr        int64                   `json:"items_err"`
+	ThroughputRPS   float64                 `json:"throughput_rps"`
+	ItemsPerSec     float64                 `json:"items_per_sec"`
+	BytesReceived   int64                   `json:"bytes_received"`
+	Latency         latencySummary          `json:"latency"`
+	Histogram       []histBucket            `json:"latency_histogram"`
+	StatusCounts    map[string]int64        `json:"status_counts"`
+	PerRegion       map[string]regionReport `json:"per_region"`
+}
+
+func summarize(workers []*worker, elapsed time.Duration, cfg config) *report {
+	rep := &report{
+		Config:       cfg,
+		ElapsedS:     elapsed.Seconds(),
+		StatusCounts: map[string]int64{},
+		PerRegion:    map[string]regionReport{},
+	}
+	var all []float64
+	perRegion := map[string][]float64{}
+	for _, w := range workers {
+		rep.ItemsOK += w.itemsOK
+		rep.ItemsErr += w.itemsErr
+		for _, s := range w.samples {
+			rep.Requests++
+			rep.BytesReceived += s.bytes
+			ms := float64(s.latency) / float64(time.Millisecond)
+			all = append(all, ms)
+			key := "transport_error"
+			if s.status != 0 {
+				key = strconv.Itoa(s.status)
+			}
+			rep.StatusCounts[key]++
+			if s.err {
+				rep.Errors++
+			}
+			if s.region != "" || cfg.Batch == 0 {
+				name := s.region
+				if name == "" {
+					name = "default"
+				}
+				rr := rep.PerRegion[name]
+				rr.Requests++
+				if s.err {
+					rr.Errors++
+				}
+				rep.PerRegion[name] = rr
+				perRegion[name] = append(perRegion[name], ms)
+			}
+		}
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
+		rep.ItemsPerSec = float64(rep.ItemsOK+rep.ItemsErr) / elapsed.Seconds()
+	}
+	rep.Latency = quantiles(all)
+	rep.Histogram = histogram(all)
+	for name, ms := range perRegion {
+		rr := rep.PerRegion[name]
+		q := quantiles(ms)
+		rr.Latency = &q
+		rep.PerRegion[name] = rr
+	}
+	return rep
+}
+
+func quantiles(ms []float64) latencySummary {
+	if len(ms) == 0 {
+		return latencySummary{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		idx := int(q * float64(len(sorted)-1))
+		return round2(sorted[idx])
+	}
+	mean := 0.0
+	for _, v := range sorted {
+		mean += v
+	}
+	mean /= float64(len(sorted))
+	return latencySummary{
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P95:  at(0.95),
+		P99:  at(0.99),
+		Mean: round2(mean),
+		Max:  round2(sorted[len(sorted)-1]),
+	}
+}
+
+// histogram buckets latencies into half-decade log bins from 1 ms up to
+// the 10-minute client timeout (the final bucket absorbs anything above).
+func histogram(ms []float64) []histBucket {
+	if len(ms) == 0 {
+		return nil
+	}
+	bounds := []float64{1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000, 600000}
+	buckets := make([]histBucket, len(bounds))
+	for i, b := range bounds {
+		buckets[i].UpToMs = b
+	}
+	for _, v := range ms {
+		i := sort.SearchFloat64s(bounds, v)
+		if i == len(bounds) {
+			i--
+		}
+		buckets[i].Count++
+	}
+	// Trim empty tail buckets.
+	last := 0
+	for i, b := range buckets {
+		if b.Count > 0 {
+			last = i
+		}
+	}
+	return buckets[:last+1]
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }

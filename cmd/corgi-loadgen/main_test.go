@@ -1,0 +1,143 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestLoadTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	content := "# multi-region replay\nsf 1 0\nnyc 2 1\n\nla 1 2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := loadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []request{{"sf", 1, 0}, {"nyc", 2, 1}, {"la", 1, 2}}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, trace[i], want[i])
+		}
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	os.WriteFile(bad, []byte("sf one 0\n"), 0o644)
+	if _, err := loadTrace(bad); err == nil {
+		t.Error("non-integer trace line must fail")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	os.WriteFile(empty, []byte("# nothing\n"), 0o644)
+	if _, err := loadTrace(empty); err == nil {
+		t.Error("empty trace must fail")
+	}
+}
+
+func TestBuildTraceSyntheticMix(t *testing.T) {
+	regions := []string{"sf", "nyc", "la"}
+	trace, source, err := buildTrace(regions, "", "", "1,2", "0,1", "zipf", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source != "synthetic:zipf" {
+		t.Errorf("source %q", source)
+	}
+	counts := map[string]int{}
+	for _, r := range trace {
+		counts[r.Region]++
+		if r.Level != 1 && r.Level != 2 {
+			t.Fatalf("level %d escaped -levels", r.Level)
+		}
+		if r.Delta != 0 && r.Delta != 1 {
+			t.Fatalf("delta %d escaped -deltas", r.Delta)
+		}
+	}
+	// Zipf: sf must dominate nyc, nyc must dominate la.
+	if counts["sf"] <= counts["nyc"] || counts["nyc"] <= counts["la"] {
+		t.Errorf("zipf mix not monotone: %v", counts)
+	}
+
+	if _, _, err := buildTrace(regions, "", "", "1", "0", "pareto", 7); err == nil {
+		t.Error("unknown mix must fail")
+	}
+	if _, _, err := buildTrace(regions, "", "", "x", "0", "uniform", 7); err == nil {
+		t.Error("bad levels list must fail")
+	}
+	if _, _, err := buildTrace(regions, "a", "b", "1", "0", "uniform", 7); err == nil {
+		t.Error("-trace plus -checkins must fail")
+	}
+}
+
+func TestQuantilesAndHistogram(t *testing.T) {
+	var ms []float64
+	for i := 1; i <= 100; i++ {
+		ms = append(ms, float64(i))
+	}
+	q := quantiles(ms)
+	if q.P50 != 50 || q.P99 != 99 || q.Max != 100 || q.Mean != 50.5 {
+		t.Errorf("quantiles %+v", q)
+	}
+	if z := quantiles(nil); z.P50 != 0 || z.Max != 0 {
+		t.Errorf("empty quantiles %+v", z)
+	}
+
+	h := histogram([]float64{0.5, 2, 20, 20000})
+	var total int64
+	for _, b := range h {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Errorf("histogram dropped samples: %+v", h)
+	}
+	if h[len(h)-1].UpToMs != 30000 {
+		t.Errorf("tail bucket %+v", h[len(h)-1])
+	}
+	if histogram(nil) != nil {
+		t.Error("empty histogram must be nil")
+	}
+}
+
+func TestWeightedPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	counts := [3]int{}
+	for i := 0; i < 10000; i++ {
+		counts[weightedPick(rng, []float64{8, 1, 1})]++
+	}
+	if counts[0] < 7000 || counts[1] == 0 || counts[2] == 0 {
+		t.Errorf("weighted pick skew: %v", counts)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	w := &worker{itemsOK: 3, itemsErr: 1}
+	w.samples = []sample{
+		{latency: 10 * time.Millisecond, status: 200, bytes: 100, region: "sf"},
+		{latency: 20 * time.Millisecond, status: 200, bytes: 100, region: "nyc"},
+		{latency: 30 * time.Millisecond, status: 422, region: "sf", err: true},
+		{latency: 5 * time.Millisecond, err: true}, // transport error
+	}
+	rep := summarize([]*worker{w, {}}, 2*time.Second, config{Batch: 0})
+	if rep.Requests != 4 || rep.Errors != 2 || rep.ItemsOK != 3 || rep.ItemsErr != 1 {
+		t.Errorf("report counts %+v", rep)
+	}
+	if rep.ThroughputRPS != 2 {
+		t.Errorf("throughput %v", rep.ThroughputRPS)
+	}
+	if rep.StatusCounts["200"] != 2 || rep.StatusCounts["422"] != 1 || rep.StatusCounts["transport_error"] != 1 {
+		t.Errorf("status counts %v", rep.StatusCounts)
+	}
+	sf := rep.PerRegion["sf"]
+	if sf.Requests != 2 || sf.Errors != 1 || sf.Latency == nil {
+		t.Errorf("sf region report %+v", sf)
+	}
+	if rep.Latency.P50 == 0 || rep.Latency.Max != 30 {
+		t.Errorf("latency %+v", rep.Latency)
+	}
+}

@@ -1,22 +1,30 @@
-// Command corgi-server runs the CORGI cloud side (Sec. 5.1): it builds the
-// location tree over a region, computes public priors from a check-in file
-// (or the synthetic sample), and serves robust obfuscation matrices over
-// HTTP. Users never send it locations or preference contents — only the
-// privacy level and a prune allowance.
+// Command corgi-server runs the CORGI cloud side (Sec. 5.1) as a
+// multi-region sharded service: each named region owns its own location
+// tree, public priors, service targets, and concurrent generation engine,
+// bootstrapped lazily on first request (or eagerly with -eager). Users
+// never send locations or preference contents — only a region name, the
+// privacy level, and a prune allowance.
 //
-// Generation runs on the concurrent engine (see ARCHITECTURE.md): -workers
-// bounds parallel subtree LP solves, -cache-mb bounds the generated-entry
-// LRU cache, and -warmup N precomputes every (level, delta<=N) forest
-// before the listener opens. /healthz reports liveness and /v1/stats the
+// Regions come from -regions (comma-separated builtin metro names; see
+// -list-regions) or -region-config (a JSON array of region specs, each
+// overriding only what it needs). Omitting ?region= on the wire addresses
+// the first configured region, so pre-sharding clients keep working.
+//
+// Generation runs on one engine shard per region (see ARCHITECTURE.md):
+// -workers bounds parallel subtree LP solves per shard, -cache-mb bounds
+// each shard's LRU cache, and -warmup N precomputes every (level,
+// delta<=N) forest at bootstrap time. /healthz reports liveness,
+// /v1/regions the region set, and /v1/stats per-region plus aggregate
 // engine counters. SIGINT/SIGTERM drain in-flight requests gracefully.
 //
 // Usage:
 //
-//	corgi-server [-addr :8080] [-eps 15] [-height 2] [-spacing 0.1]
-//	             [-iters 5] [-checkins gowalla.txt] [-seed 1] [-targets 20]
-//	             [-workers 0] [-cache-mb 256] [-warmup -1]
-//	             [-read-timeout 30s] [-write-timeout 10m] [-idle-timeout 2m]
-//	             [-request-timeout 5m]
+//	corgi-server [-addr :8080] [-regions sf,nyc,la | -region-config regions.json]
+//	             [-eps 15] [-height 2] [-spacing 0.1] [-iters 5] [-targets 20]
+//	             [-checkins gowalla.txt] [-seed 0] [-uniform-priors]
+//	             [-workers 0] [-cache-mb 256] [-warmup -1] [-eager]
+//	             [-max-batch 64] [-read-timeout 30s] [-write-timeout 10m]
+//	             [-idle-timeout 2m] [-request-timeout 5m]
 package main
 
 import (
@@ -26,98 +34,160 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"corgi/internal/core"
-	"corgi/internal/geo"
-	"corgi/internal/gowalla"
-	"corgi/internal/hexgrid"
-	"corgi/internal/loctree"
 	"corgi/internal/proto"
+	"corgi/internal/registry"
 )
+
+// specDefaults carries the flag-level generation defaults applied to any
+// region spec field left at its zero value.
+type specDefaults struct {
+	epsilon  float64
+	height   int
+	spacing  float64
+	iters    int
+	targets  int
+	seed     int64
+	uniform  bool
+	checkins string // applied to the first (default) region only
+}
+
+// buildSpecs assembles the region specs from -regions / -region-config
+// and fills unset fields from the flag defaults.
+func buildSpecs(regionsFlag, configPath string, d specDefaults) ([]registry.Spec, error) {
+	var specs []registry.Spec
+	switch {
+	case configPath != "" && regionsFlag != "":
+		return nil, fmt.Errorf("use either -regions or -region-config, not both")
+	case configPath != "":
+		var err error
+		specs, err = registry.LoadSpecsFile(configPath)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		if regionsFlag == "" {
+			regionsFlag = "sf"
+		}
+		for _, name := range strings.Split(regionsFlag, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			spec, ok := registry.BuiltinSpec(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown builtin region %q; builtins: %s (use -region-config for custom regions)",
+					name, strings.Join(registry.BuiltinNames(), ", "))
+			}
+			specs = append(specs, spec)
+		}
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("-regions named no regions")
+		}
+	}
+	for i := range specs {
+		if specs[i].Epsilon == 0 {
+			specs[i].Epsilon = d.epsilon
+		}
+		if specs[i].Height == 0 {
+			specs[i].Height = d.height
+		}
+		if specs[i].LeafSpacingKm == 0 {
+			specs[i].LeafSpacingKm = d.spacing
+		}
+		if specs[i].Iterations == 0 {
+			specs[i].Iterations = d.iters
+		}
+		if specs[i].Targets == 0 {
+			specs[i].Targets = d.targets
+		}
+		if specs[i].Seed == 0 {
+			specs[i].Seed = d.seed
+		}
+		if d.uniform {
+			specs[i].UniformPriors = true
+		}
+	}
+	if d.checkins != "" {
+		specs[0].CheckinsPath = d.checkins
+	}
+	return specs, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	eps := flag.Float64("eps", 15, "Geo-Ind privacy budget (km^-1)")
-	height := flag.Int("height", 2, "location tree height (2 -> 49 leaves, 3 -> 343)")
-	spacing := flag.Float64("spacing", 0.1, "leaf cell center spacing in km")
-	iters := flag.Int("iters", 5, "Algorithm-1 robust iterations")
-	checkins := flag.String("checkins", "", "Gowalla check-in file (empty: synthetic sample)")
-	seed := flag.Int64("seed", 1, "seed for the synthetic sample")
-	targetsN := flag.Int("targets", 20, "number of service target locations (1..leaf count)")
-	workers := flag.Int("workers", 0, "parallel subtree solves (0: GOMAXPROCS)")
-	cacheMB := flag.Int64("cache-mb", 256, "generated-entry cache bound in MiB")
-	warmup := flag.Int("warmup", -1, "precompute all levels for deltas 0..N at startup (-1: off)")
+	regions := flag.String("regions", "", "comma-separated builtin region names (default: sf)")
+	regionConfig := flag.String("region-config", "", "JSON region-spec file (overrides -regions)")
+	listRegions := flag.Bool("list-regions", false, "print builtin region names and exit")
+	eps := flag.Float64("eps", 15, "default Geo-Ind privacy budget (km^-1)")
+	height := flag.Int("height", 2, "default tree height (2 -> 49 leaves, 3 -> 343)")
+	spacing := flag.Float64("spacing", 0.1, "default leaf cell center spacing in km")
+	iters := flag.Int("iters", 5, "default Algorithm-1 robust iterations")
+	targetsN := flag.Int("targets", 20, "default service target count per region")
+	checkins := flag.String("checkins", "", "Gowalla check-in file for the default region's priors")
+	seed := flag.Int64("seed", 0, "synthetic-prior seed override (0: per-region name hash)")
+	uniformPriors := flag.Bool("uniform-priors", false, "use uniform priors everywhere (fast bootstrap)")
+	workers := flag.Int("workers", 0, "parallel subtree solves per region shard (0: GOMAXPROCS)")
+	cacheMB := flag.Int64("cache-mb", 256, "per-shard generated-entry cache bound in MiB")
+	warmup := flag.Int("warmup", -1, "precompute all levels for deltas 0..N at shard bootstrap (-1: off)")
+	eager := flag.Bool("eager", false, "bootstrap every region at startup instead of on first request")
+	maxBatch := flag.Int("max-batch", proto.DefaultMaxBatch, "max items per POST /v1/forests request")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 10*time.Minute, "HTTP server write timeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
 	requestTimeout := flag.Duration("request-timeout", 5*time.Minute, "per-request generation timeout (0: none)")
 	flag.Parse()
 
-	sys, err := hexgrid.NewSystem(geo.SanFrancisco.Center(), *spacing)
-	if err != nil {
-		log.Fatalf("hex system: %v", err)
+	if *listRegions {
+		fmt.Println(strings.Join(registry.BuiltinNames(), "\n"))
+		os.Exit(0)
 	}
-	tree, err := loctree.NewAt(sys, geo.SanFrancisco.Center(), *height)
-	if err != nil {
-		log.Fatalf("location tree: %v", err)
+	if *targetsN < 1 {
+		log.Fatalf("targets: count must be >= 1, got %d", *targetsN)
 	}
-	var cs []gowalla.CheckIn
-	if *checkins != "" {
-		cs, err = gowalla.LoadFile(*checkins)
-		if err != nil {
-			log.Fatalf("loading %s: %v", *checkins, err)
-		}
-		cs = gowalla.FilterBBox(cs, geo.SanFrancisco)
-		log.Printf("loaded %d SF check-ins from %s", len(cs), *checkins)
-	} else {
-		ds, err := gowalla.Generate(gowalla.GenConfig{Seed: *seed})
-		if err != nil {
-			log.Fatalf("synthetic sample: %v", err)
-		}
-		cs = ds.CheckIns
-		log.Printf("generated %d synthetic check-ins (seed %d)", len(cs), *seed)
-	}
-	leaf, err := gowalla.LeafPriors(cs, tree, 1)
-	if err != nil {
-		log.Fatalf("priors: %v", err)
-	}
-	priors, err := loctree.NewPriors(tree, leaf)
-	if err != nil {
-		log.Fatalf("priors: %v", err)
-	}
-	targets, probs, err := pickTargets(tree, *targetsN)
-	if err != nil {
-		log.Fatalf("targets: %v", err)
-	}
-	srv, err := core.NewServerWithOptions(tree, priors, targets, probs, core.Params{
-		Epsilon: *eps, Iterations: *iters, UseGraphApprox: true,
-	}, core.EngineOptions{
-		Workers:    *workers,
-		CacheBytes: *cacheMB << 20,
+
+	specs, err := buildSpecs(*regions, *regionConfig, specDefaults{
+		epsilon: *eps, height: *height, spacing: *spacing, iters: *iters,
+		targets: *targetsN, seed: *seed, uniform: *uniformPriors, checkins: *checkins,
 	})
 	if err != nil {
-		log.Fatalf("server: %v", err)
+		log.Fatalf("regions: %v", err)
 	}
-	h, err := proto.NewHandler(srv, priors, *spacing)
+	reg, err := registry.New(specs, registry.Options{
+		Engine: core.EngineOptions{
+			Workers:    *workers,
+			CacheBytes: *cacheMB << 20,
+		},
+		WarmupDelta: *warmup,
+	})
+	if err != nil {
+		log.Fatalf("registry: %v", err)
+	}
+	h, err := proto.NewMultiHandler(reg)
 	if err != nil {
 		log.Fatalf("handler: %v", err)
 	}
 	h.Timeout = *requestTimeout
+	h.MaxBatch = *maxBatch
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	if *warmup >= 0 {
+	if *eager {
 		start := time.Now()
-		if err := srv.Warmup(ctx, *warmup); err != nil {
-			log.Fatalf("warmup: %v", err)
+		if err := reg.BootstrapAll(ctx); err != nil {
+			log.Fatalf("eager bootstrap: %v", err)
 		}
-		st := srv.Stats()
-		log.Printf("warmup: %d solves, %d cached entries (%.1f MiB) in %v",
-			st.Solves, st.CacheEntries, float64(st.CacheBytes)/(1<<20), time.Since(start).Round(time.Millisecond))
+		st := reg.AggregateStats()
+		log.Printf("bootstrapped %d regions: %d solves, %d cached entries (%.1f MiB) in %v",
+			reg.Bootstraps(), st.Solves, st.CacheEntries, float64(st.CacheBytes)/(1<<20),
+			time.Since(start).Round(time.Millisecond))
 	}
 
 	httpSrv := &http.Server{
@@ -129,8 +199,9 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("CORGI server on %s (eps=%g, height=%d, %d leaves, %d workers, %d MiB cache)",
-		*addr, *eps, *height, tree.NumLeaves(), srv.Stats().Workers, *cacheMB)
+	log.Printf("CORGI server on %s: regions [%s] (default %s), %d MiB cache per shard, warmup %d, %s bootstrap",
+		*addr, strings.Join(reg.Names(), ", "), reg.DefaultRegion(), *cacheMB, *warmup,
+		map[bool]string{true: "eager", false: "lazy"}[*eager])
 
 	select {
 	case err := <-errc:
@@ -148,22 +219,4 @@ func main() {
 		log.Printf("serve: %v", err)
 	}
 	log.Printf("bye")
-}
-
-// pickTargets spreads n service targets evenly over the leaves. n beyond
-// the leaf count is an error (the old stride walk silently under-delivered
-// instead of failing).
-func pickTargets(tree *loctree.Tree, n int) ([]geo.LatLng, []float64, error) {
-	leaves := tree.LevelNodes(0)
-	if n < 1 || n > len(leaves) {
-		return nil, nil, fmt.Errorf("target count must be in [1, %d], got %d", len(leaves), n)
-	}
-	targets := make([]geo.LatLng, 0, n)
-	probs := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
-		// Even spread: index i maps to floor(i * len/n).
-		targets = append(targets, tree.Center(leaves[i*len(leaves)/n]))
-		probs = append(probs, 1)
-	}
-	return targets, probs, nil
 }

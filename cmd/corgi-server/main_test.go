@@ -1,44 +1,85 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
-
-	"corgi/internal/geo"
-	"corgi/internal/hexgrid"
-	"corgi/internal/loctree"
 )
 
-func TestPickTargetsValidation(t *testing.T) {
-	sys, err := hexgrid.NewSystem(geo.SanFrancisco.Center(), 0.1)
+func defaults() specDefaults {
+	return specDefaults{epsilon: 15, height: 2, spacing: 0.1, iters: 5, targets: 20}
+}
+
+func TestBuildSpecsBuiltins(t *testing.T) {
+	specs, err := buildSpecs("", "", defaults())
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree, err := loctree.NewAt(sys, geo.SanFrancisco.Center(), 2) // 49 leaves
+	if len(specs) != 1 || specs[0].Name != "sf" {
+		t.Fatalf("default specs: %+v", specs)
+	}
+
+	specs, err = buildSpecs("sf, nyc ,la", "", defaults())
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	if _, _, err := pickTargets(tree, 0); err == nil {
-		t.Error("0 targets must fail")
+	if len(specs) != 3 || specs[1].Name != "nyc" {
+		t.Fatalf("parsed specs: %+v", specs)
 	}
-	if _, _, err := pickTargets(tree, 50); err == nil {
-		t.Error("more targets than leaves must fail instead of silently under-delivering")
+	for _, s := range specs {
+		if s.Epsilon != 15 || s.Height != 2 || s.Targets != 20 {
+			t.Errorf("flag defaults not applied to %+v", s)
+		}
 	}
 
-	for _, n := range []int{1, 7, 20, 49} {
-		targets, probs, err := pickTargets(tree, n)
-		if err != nil {
-			t.Fatalf("pickTargets(%d): %v", n, err)
-		}
-		if len(targets) != n || len(probs) != n {
-			t.Fatalf("pickTargets(%d) returned %d targets, %d probs", n, len(targets), len(probs))
-		}
-		seen := map[geo.LatLng]bool{}
-		for _, p := range targets {
-			if seen[p] {
-				t.Fatalf("pickTargets(%d) returned duplicate target %v", n, p)
-			}
-			seen[p] = true
-		}
+	if _, err := buildSpecs("atlantis", "", defaults()); err == nil ||
+		!strings.Contains(err.Error(), "sf") {
+		t.Errorf("unknown builtin must fail listing builtins, got %v", err)
+	}
+	if _, err := buildSpecs(" , ", "", defaults()); err == nil {
+		t.Error("blank region list must fail")
+	}
+}
+
+func TestBuildSpecsConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "regions.json")
+	cfg := `[
+		{"name": "alpha", "center_lat": 37.7, "center_lng": -122.4, "epsilon": 8},
+		{"name": "beta", "center_lat": 40.7, "center_lng": -74.0, "height": 3}
+	]`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := defaults()
+	d.checkins = "gowalla.txt"
+	d.uniform = true
+	specs, err := buildSpecs("", path, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("specs: %+v", specs)
+	}
+	// Explicit file values win; flag defaults fill the gaps.
+	if specs[0].Epsilon != 8 || specs[0].Height != 2 {
+		t.Errorf("alpha spec: %+v", specs[0])
+	}
+	if specs[1].Height != 3 || specs[1].Epsilon != 15 {
+		t.Errorf("beta spec: %+v", specs[1])
+	}
+	// -checkins applies to the default (first) region only.
+	if specs[0].CheckinsPath != "gowalla.txt" || specs[1].CheckinsPath != "" {
+		t.Errorf("checkins wiring: %+v", specs)
+	}
+	if !specs[0].UniformPriors || !specs[1].UniformPriors {
+		t.Error("-uniform-priors must apply everywhere")
+	}
+
+	if _, err := buildSpecs("sf", path, defaults()); err == nil {
+		t.Error("-regions and -region-config together must fail")
+	}
+	if _, err := buildSpecs("", filepath.Join(t.TempDir(), "missing.json"), defaults()); err == nil {
+		t.Error("missing config file must fail")
 	}
 }

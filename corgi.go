@@ -43,6 +43,7 @@ import (
 	"corgi/internal/loctree"
 	"corgi/internal/obf"
 	"corgi/internal/policy"
+	"corgi/internal/registry"
 )
 
 // Re-exported fundamental types. Aliases keep the public API a strict view
@@ -90,6 +91,15 @@ type (
 	CheckIn = gowalla.CheckIn
 	// Metadata holds the per-user/per-cell policy heuristics of Sec. 6.1.
 	Metadata = gowalla.Metadata
+	// RegionSpec declares one named region of a multi-region deployment
+	// (center, tree shape, generation parameters, prior source).
+	RegionSpec = registry.Spec
+	// RegionShard is one bootstrapped region: its spec plus its serving
+	// engine (tree and priors are reachable through Shard.Server).
+	RegionShard = registry.Shard
+	// MultiServer is the multi-region sharding layer: named regions, one
+	// engine shard each, bootstrapped lazily on first use.
+	MultiServer = registry.Registry
 )
 
 // SanFrancisco is the paper's evaluation region.
@@ -184,6 +194,39 @@ func NewServerWithConfig(r *Region, priors *Priors, targets []LatLng, cfg Server
 	}
 	return core.NewServerWithOptions(r.Tree, priors, targets, probs, cfg.Params, cfg.Engine)
 }
+
+// MultiServerConfig tunes a multi-region deployment.
+type MultiServerConfig struct {
+	// Engine tunes each region's shard (workers, cache bytes); every
+	// shard gets its own worker pool and cache of this shape.
+	Engine EngineOptions
+	// WarmupDelta > 0 precomputes every (level, delta <= WarmupDelta)
+	// forest right after a shard bootstraps; 0 (and negatives) disable
+	// warmup. (Warming only delta 0 is possible via the internal
+	// registry, which cmd/corgi-server uses.)
+	WarmupDelta int
+}
+
+// NewMultiServer builds the multi-region sharding layer over a set of
+// region specs: each region gets its own location tree, priors, service
+// targets, and generation engine, bootstrapped lazily (and exactly once,
+// even under concurrent first requests) when first addressed. The first
+// spec is the default region for requests that name none. Builtin metro
+// specs are available via BuiltinRegion.
+func NewMultiServer(specs []RegionSpec, cfg MultiServerConfig) (*MultiServer, error) {
+	warmup := -1
+	if cfg.WarmupDelta > 0 {
+		warmup = cfg.WarmupDelta
+	}
+	return registry.New(specs, registry.Options{Engine: cfg.Engine, WarmupDelta: warmup})
+}
+
+// BuiltinRegion returns the builtin spec for a metro name ("sf", "nyc",
+// "la", ...); see BuiltinRegionNames for the full list.
+func BuiltinRegion(name string) (RegionSpec, bool) { return registry.BuiltinSpec(name) }
+
+// BuiltinRegionNames lists the builtin metro names.
+func BuiltinRegionNames() []string { return registry.BuiltinNames() }
 
 // Obfuscate runs the user-side pipeline (Algorithm 4): locate the subtree,
 // evaluate preferences, prune, reduce precision, sample.

@@ -1,3 +1,3 @@
 module corgi
 
-go 1.24.0
+go 1.22

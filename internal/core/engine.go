@@ -40,6 +40,22 @@ type EngineStats struct {
 	Workers int
 }
 
+// Merge accumulates o into s. The multi-region registry uses it to fold
+// per-shard engine counters into one aggregate view: counters and byte
+// figures add, and Workers/CacheCapacity become fleet-wide totals rather
+// than per-shard bounds.
+func (s *EngineStats) Merge(o EngineStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.CacheBytes += o.CacheBytes
+	s.CacheEntries += o.CacheEntries
+	s.CacheCapacity += o.CacheCapacity
+	s.Solves += o.Solves
+	s.InFlight += o.InFlight
+	s.Workers += o.Workers
+}
+
 // engine is the concurrent forest-generation core: a semaphore-bounded
 // worker pool over independent subtree solves (each subtree's matrix is
 // independent, Algorithm 3), per-key singleflight so concurrent requests for

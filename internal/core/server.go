@@ -104,6 +104,10 @@ func (s *Server) Tree() *loctree.Tree { return s.tree }
 // Params returns the generation parameters in force.
 func (s *Server) Params() Params { return s.params }
 
+// Priors returns the server's public leaf priors (footnote 5: priors are
+// derived from public check-in data, so sharing them leaks nothing).
+func (s *Server) Priors() *loctree.Priors { return s.priors }
+
 // Stats snapshots the engine's cache and solve counters.
 func (s *Server) Stats() EngineStats { return s.engine.stats() }
 

@@ -1,0 +1,387 @@
+package proto
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"corgi/internal/core"
+	"corgi/internal/registry"
+)
+
+// DefaultMaxBatch bounds the item count of one POST /v1/forests request.
+const DefaultMaxBatch = 64
+
+// RegionInfo describes one configured region for /v1/regions. Everything
+// here comes from the spec, so listing regions never forces a bootstrap;
+// Ready reports whether the shard has bootstrapped yet.
+type RegionInfo struct {
+	Name          string  `json:"name"`
+	CenterLat     float64 `json:"center_lat"`
+	CenterLng     float64 `json:"center_lng"`
+	LeafSpacingKm float64 `json:"leaf_spacing_km"`
+	Height        int     `json:"height"`
+	Epsilon       float64 `json:"epsilon"`
+	Ready         bool    `json:"ready"`
+}
+
+// RegionsResponse lists the serving regions and which one requests
+// without a ?region= parameter resolve to.
+type RegionsResponse struct {
+	Default string       `json:"default"`
+	Regions []RegionInfo `json:"regions"`
+}
+
+// BatchItem is one (region, privacy level, delta) forest request inside a
+// batch.
+type BatchItem struct {
+	Region       string `json:"region"`
+	PrivacyLevel int    `json:"privacy_l"`
+	Delta        int    `json:"delta"`
+}
+
+// BatchForestRequest asks for many forests in one round trip.
+type BatchForestRequest struct {
+	Items []BatchItem `json:"items"`
+}
+
+// BatchItemResult carries one item's outcome. Items fail independently:
+// Status is the per-item HTTP-equivalent code, and exactly one of Forest
+// (v1) or ForestV2 is set on success, matching the batch's negotiated
+// encoding.
+type BatchItemResult struct {
+	Region       string            `json:"region"`
+	PrivacyLevel int               `json:"privacy_l"`
+	Delta        int               `json:"delta"`
+	Status       int               `json:"status"`
+	Error        string            `json:"error,omitempty"`
+	Forest       *ForestResponse   `json:"forest,omitempty"`
+	ForestV2     *ForestResponseV2 `json:"forest_v2,omitempty"`
+}
+
+// BatchForestResponse is the batch envelope. The HTTP status is 200 as
+// long as the batch itself was well-formed; per-item failures live in
+// Items[i].Status / Items[i].Error.
+type BatchForestResponse struct {
+	Items []BatchItemResult `json:"items"`
+}
+
+// MultiStatsResponse reports per-region engine counters plus the
+// fleet-wide aggregate. Only bootstrapped regions appear under Regions.
+type MultiStatsResponse struct {
+	Regions    map[string]StatsResponse `json:"regions"`
+	Total      StatsResponse            `json:"total"`
+	Bootstraps uint64                   `json:"bootstraps"`
+}
+
+// MultiHandler serves the region-addressed CORGI API over a registry of
+// engine shards:
+//
+//	GET  /healthz                   -> "ok" (liveness)
+//	GET  /v1/regions                -> RegionsResponse
+//	GET  /v1/stats                  -> MultiStatsResponse
+//	GET  /v1/tree?region=R          -> TreeResponse
+//	GET  /v1/priors?region=R        -> PriorsResponse
+//	GET|POST /v1/forest?region=R    -> ForestResponse (v1/v2 negotiated)
+//	POST /v1/matrices?region=R      -> same (v1-era path, kept for old clients)
+//	POST /v1/forests                -> BatchForestResponse
+//
+// Omitting ?region= addresses the registry's default region, so a
+// pre-sharding client keeps working against a multi-region server.
+// Unknown regions return 404 with a body listing the available names.
+type MultiHandler struct {
+	reg *registry.Registry
+
+	// Timeout bounds each request's generation work (the whole batch for
+	// /v1/forests); zero leaves the request context alone in charge.
+	Timeout time.Duration
+	// MaxBatch caps the items of one batch request. <= 0 uses
+	// DefaultMaxBatch.
+	MaxBatch int
+}
+
+// NewMultiHandler wires a region registry into an http.Handler.
+func NewMultiHandler(reg *registry.Registry) (*MultiHandler, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("proto: nil registry")
+	}
+	return &MultiHandler{reg: reg}, nil
+}
+
+// Mux returns the routed handler.
+func (h *MultiHandler) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", h.handleHealthz)
+	mux.HandleFunc("/v1/regions", h.handleRegions)
+	mux.HandleFunc("/v1/stats", h.handleStats)
+	mux.HandleFunc("/v1/tree", h.handleTree)
+	mux.HandleFunc("/v1/priors", h.handlePriors)
+	mux.HandleFunc("/v1/forest", h.handleForest)
+	// The v1-era route keeps its POST-only contract; GET probing belongs
+	// to /v1/forest.
+	mux.HandleFunc("/v1/matrices", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		h.handleForest(w, r)
+	})
+	mux.HandleFunc("/v1/forests", h.handleBatch)
+	return mux
+}
+
+func (h *MultiHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// shard resolves the request's ?region= to a bootstrapped shard, writing
+// the error response (404 listing available regions for unknown names)
+// itself when resolution fails.
+func (h *MultiHandler) shard(ctx context.Context, w http.ResponseWriter, r *http.Request) (*registry.Shard, bool) {
+	sh, err := h.reg.Shard(ctx, r.URL.Query().Get("region"))
+	if err != nil {
+		switch {
+		case errors.Is(err, registry.ErrUnknownRegion):
+			http.Error(w, err.Error(), http.StatusNotFound)
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			http.Error(w, "region bootstrap interrupted: "+err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, "region bootstrap failed: "+err.Error(), http.StatusInternalServerError)
+		}
+		return nil, false
+	}
+	return sh, true
+}
+
+// requestCtx applies the handler timeout to the request context.
+func (h *MultiHandler) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if h.Timeout > 0 {
+		return context.WithTimeout(r.Context(), h.Timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+func (h *MultiHandler) handleRegions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := RegionsResponse{Default: h.reg.DefaultRegion()}
+	for _, name := range h.reg.Names() {
+		spec, _ := h.reg.Spec(name)
+		resp.Regions = append(resp.Regions, RegionInfo{
+			Name:          spec.Name,
+			CenterLat:     spec.CenterLat,
+			CenterLng:     spec.CenterLng,
+			LeafSpacingKm: spec.LeafSpacingKm,
+			Height:        spec.Height,
+			Epsilon:       spec.Epsilon,
+			Ready:         h.reg.Ready(name),
+		})
+	}
+	writeJSONAs(w, r, "application/json", resp)
+}
+
+func (h *MultiHandler) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	// One snapshot feeds both views so Total always equals the sum of
+	// Regions, even under live traffic.
+	stats := h.reg.Stats()
+	var total core.EngineStats
+	resp := MultiStatsResponse{
+		Regions:    make(map[string]StatsResponse, len(stats)),
+		Bootstraps: h.reg.Bootstraps(),
+	}
+	for name, s := range stats {
+		resp.Regions[name] = statsResponse(s)
+		total.Merge(s)
+	}
+	resp.Total = statsResponse(total)
+	writeJSON(w, resp)
+}
+
+func (h *MultiHandler) handleTree(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	ctx, cancel := h.requestCtx(r)
+	defer cancel()
+	sh, ok := h.shard(ctx, w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, treeResponse(sh.Server.Tree(), sh.Spec.LeafSpacingKm, sh.Spec.Epsilon))
+}
+
+func (h *MultiHandler) handlePriors(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	ctx, cancel := h.requestCtx(r)
+	defer cancel()
+	sh, ok := h.shard(ctx, w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, priorsResponse(sh.Server.Tree(), sh.Server.Priors()))
+}
+
+// handleForest serves one region's forest. POST carries a MatrixRequest
+// body (the v1-era protocol); GET reads privacy_l and delta from the
+// query string for curl-friendly probing.
+func (h *MultiHandler) handleForest(w http.ResponseWriter, r *http.Request) {
+	var req MatrixRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	case http.MethodGet:
+		var err error
+		if req.PrivacyLevel, err = queryInt(r, "privacy_l", 1); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Delta, err = queryInt(r, "delta", 0); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	ctx, cancel := h.requestCtx(r)
+	defer cancel()
+	sh, ok := h.shard(ctx, w, r)
+	if !ok {
+		return
+	}
+	forest, err := sh.Server.GenerateForestCtx(ctx, req.PrivacyLevel, req.Delta)
+	if err != nil {
+		status, msg := generateErrStatus(err)
+		http.Error(w, msg, status)
+		return
+	}
+	writeForestNegotiated(w, r, sh.Server.Tree(), forest)
+}
+
+// handleBatch resolves many (region, level, delta) requests in one round
+// trip. Items fan out concurrently — each shard's engine still bounds its
+// own LP concurrency and deduplicates identical in-flight keys — and fail
+// independently: one bad region or level never poisons its neighbors.
+func (h *MultiHandler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BatchForestRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	maxBatch := h.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if len(req.Items) == 0 {
+		http.Error(w, "batch has no items", http.StatusBadRequest)
+		return
+	}
+	if len(req.Items) > maxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d items exceeds limit %d", len(req.Items), maxBatch),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	ctx, cancel := h.requestCtx(r)
+	defer cancel()
+	wantV2 := wantsForestV2(r)
+
+	resp := BatchForestResponse{Items: make([]BatchItemResult, len(req.Items))}
+	var wg sync.WaitGroup
+	for i, item := range req.Items {
+		wg.Add(1)
+		go func(i int, item BatchItem) {
+			defer wg.Done()
+			resp.Items[i] = h.resolveItem(ctx, item, wantV2)
+		}(i, item)
+	}
+	wg.Wait()
+	writeJSONAs(w, r, "application/json", resp)
+}
+
+// resolveItem generates and encodes one batch item's forest.
+func (h *MultiHandler) resolveItem(ctx context.Context, item BatchItem, wantV2 bool) BatchItemResult {
+	res := BatchItemResult{Region: item.Region, PrivacyLevel: item.PrivacyLevel, Delta: item.Delta}
+	fail := func(status int, msg string) BatchItemResult {
+		res.Status = status
+		res.Error = msg
+		return res
+	}
+	sh, err := h.reg.Shard(ctx, item.Region)
+	if err != nil {
+		// Mirror the single-request shard() mapping: unknown region is the
+		// caller's fault, an interrupted wait is 503, and any other
+		// bootstrap failure is a server fault, not a 422.
+		switch {
+		case errors.Is(err, registry.ErrUnknownRegion):
+			return fail(http.StatusNotFound, err.Error())
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			return fail(http.StatusServiceUnavailable, "region bootstrap interrupted: "+err.Error())
+		default:
+			return fail(http.StatusInternalServerError, "region bootstrap failed: "+err.Error())
+		}
+	}
+	if res.Region == "" {
+		res.Region = sh.Spec.Name
+	}
+	forest, err := sh.Server.GenerateForestCtx(ctx, item.PrivacyLevel, item.Delta)
+	if err != nil {
+		status, msg := generateErrStatus(err)
+		return fail(status, msg)
+	}
+	if wantV2 {
+		enc, err := EncodeForestV2(sh.Server.Tree(), forest)
+		if err != nil {
+			return fail(http.StatusInternalServerError, err.Error())
+		}
+		res.ForestV2 = enc
+	} else {
+		enc, err := EncodeForestV1(sh.Server.Tree(), forest)
+		if err != nil {
+			return fail(http.StatusInternalServerError, err.Error())
+		}
+		res.Forest = enc
+	}
+	res.Status = http.StatusOK
+	return res
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, s)
+	}
+	return v, nil
+}

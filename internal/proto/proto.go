@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -164,13 +165,9 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
-func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
-	s := h.server.Stats()
-	writeJSON(w, StatsResponse{
+// statsResponse converts engine counters to their wire form.
+func statsResponse(s core.EngineStats) StatsResponse {
+	return StatsResponse{
 		Hits:               s.Hits,
 		Misses:             s.Misses,
 		Evictions:          s.Evictions,
@@ -180,7 +177,80 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		Solves:             s.Solves,
 		InFlight:           s.InFlight,
 		Workers:            s.Workers,
-	})
+	}
+}
+
+// treeResponse describes a tree so a client can rebuild it locally.
+func treeResponse(tree *loctree.Tree, spacing, epsilon float64) TreeResponse {
+	origin := tree.System().Origin()
+	root := tree.Root()
+	return TreeResponse{
+		OriginLat:     origin.Lat,
+		OriginLng:     origin.Lng,
+		LeafSpacingKm: spacing,
+		Height:        tree.Height(),
+		RootQ:         root.Coord.Q,
+		RootR:         root.Coord.R,
+		Epsilon:       epsilon,
+	}
+}
+
+// priorsResponse flattens the public leaf priors for the wire.
+func priorsResponse(tree *loctree.Tree, priors *loctree.Priors) PriorsResponse {
+	leaves := tree.LevelNodes(0)
+	resp := PriorsResponse{Leaves: make([][2]int, len(leaves)), Probs: make([]float64, len(leaves))}
+	for i, l := range leaves {
+		resp.Leaves[i] = [2]int{l.Coord.Q, l.Coord.R}
+		resp.Probs[i] = priors.Of(tree, l)
+	}
+	return resp
+}
+
+// generateErrStatus maps a forest-generation error to an HTTP status and
+// message, shared by the single-forest and batch paths.
+func generateErrStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "generation timed out: " + err.Error()
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "request canceled"
+	default:
+		return http.StatusUnprocessableEntity, err.Error()
+	}
+}
+
+// wantsForestV2 reports whether the request negotiated the compact v2
+// forest encoding via Accept.
+func wantsForestV2(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), ContentTypeForestV2)
+}
+
+// writeForestNegotiated serves a generated forest in whichever encoding
+// the request's Accept header negotiated (v2 compact or v1 dense).
+func writeForestNegotiated(w http.ResponseWriter, r *http.Request, tree *loctree.Tree, forest *core.Forest) {
+	if wantsForestV2(r) {
+		resp, err := EncodeForestV2(tree, forest)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSONAs(w, r, ContentTypeForestV2, resp)
+		return
+	}
+	resp, err := EncodeForestV1(tree, forest)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSONAs(w, r, "application/json", resp)
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, statsResponse(h.server.Stats()))
 }
 
 func (h *Handler) handleTree(w http.ResponseWriter, r *http.Request) {
@@ -188,17 +258,7 @@ func (h *Handler) handleTree(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	origin := h.tree.System().Origin()
-	root := h.tree.Root()
-	writeJSON(w, TreeResponse{
-		OriginLat:     origin.Lat,
-		OriginLng:     origin.Lng,
-		LeafSpacingKm: h.spacing,
-		Height:        h.tree.Height(),
-		RootQ:         root.Coord.Q,
-		RootR:         root.Coord.R,
-		Epsilon:       h.server.Params().Epsilon,
-	})
+	writeJSON(w, treeResponse(h.tree, h.spacing, h.server.Params().Epsilon))
 }
 
 func (h *Handler) handlePriors(w http.ResponseWriter, r *http.Request) {
@@ -206,13 +266,7 @@ func (h *Handler) handlePriors(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	leaves := h.tree.LevelNodes(0)
-	resp := PriorsResponse{Leaves: make([][2]int, len(leaves)), Probs: make([]float64, len(leaves))}
-	for i, l := range leaves {
-		resp.Leaves[i] = [2]int{l.Coord.Q, l.Coord.R}
-		resp.Probs[i] = h.priors.Of(h.tree, l)
-	}
-	writeJSON(w, resp)
+	writeJSON(w, priorsResponse(h.tree, h.priors))
 }
 
 func (h *Handler) handleMatrices(w http.ResponseWriter, r *http.Request) {
@@ -233,31 +287,11 @@ func (h *Handler) handleMatrices(w http.ResponseWriter, r *http.Request) {
 	}
 	forest, err := h.server.GenerateForestCtx(ctx, req.PrivacyLevel, req.Delta)
 	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			http.Error(w, "generation timed out: "+err.Error(), http.StatusGatewayTimeout)
-		case errors.Is(err, context.Canceled):
-			http.Error(w, "request canceled", http.StatusServiceUnavailable)
-		default:
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-		}
+		status, msg := generateErrStatus(err)
+		http.Error(w, msg, status)
 		return
 	}
-	if strings.Contains(r.Header.Get("Accept"), ContentTypeForestV2) {
-		resp, err := EncodeForestV2(h.tree, forest)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSONAs(w, r, ContentTypeForestV2, resp)
-		return
-	}
-	resp, err := EncodeForestV1(h.tree, forest)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSONAs(w, r, "application/json", resp)
+	writeForestNegotiated(w, r, h.tree, forest)
 }
 
 // EncodeForestV1 converts a generated forest into the dense v1 wire form,
@@ -283,10 +317,13 @@ func EncodeForestV1(tree *loctree.Tree, forest *core.Forest) (*ForestResponse, e
 	return resp, nil
 }
 
-// Client is the user-side API consumer.
+// Client is the user-side API consumer. The zero Region addresses the
+// server's default region; setting Region (or using NewRegionClient)
+// routes every call to that named shard of a multi-region server.
 type Client struct {
-	base string
-	http *http.Client
+	base   string
+	region string
+	http   *http.Client
 }
 
 // NewClient targets a server base URL (e.g. "http://127.0.0.1:8080").
@@ -294,10 +331,37 @@ func NewClient(base string) *Client {
 	return &Client{base: base, http: &http.Client{Timeout: 10 * time.Minute}}
 }
 
+// NewRegionClient targets one named region of a multi-region server.
+// Unknown regions fail with the server's 404, whose message lists the
+// available region names.
+func NewRegionClient(base, region string) *Client {
+	c := NewClient(base)
+	c.region = region
+	return c
+}
+
+// path appends the client's region parameter to an API path.
+func (c *Client) path(p string) string {
+	if c.region == "" {
+		return p
+	}
+	return p + "?region=" + url.QueryEscape(c.region)
+}
+
+// FetchRegions lists the server's regions. Pre-sharding servers have no
+// /v1/regions route; callers get their 404 as an error.
+func (c *Client) FetchRegions() (*RegionsResponse, error) {
+	var rr RegionsResponse
+	if err := c.getJSON("/v1/regions", &rr); err != nil {
+		return nil, err
+	}
+	return &rr, nil
+}
+
 // FetchTree retrieves the tree parameters and rebuilds the location tree.
 func (c *Client) FetchTree() (*loctree.Tree, *TreeResponse, error) {
 	var tr TreeResponse
-	if err := c.getJSON("/v1/tree", &tr); err != nil {
+	if err := c.getJSON(c.path("/v1/tree"), &tr); err != nil {
 		return nil, nil, err
 	}
 	sys, err := hexgrid.NewSystem(geo.LatLng{Lat: tr.OriginLat, Lng: tr.OriginLng}, tr.LeafSpacingKm)
@@ -314,7 +378,7 @@ func (c *Client) FetchTree() (*loctree.Tree, *TreeResponse, error) {
 // FetchPriors retrieves the public leaf priors for a rebuilt tree.
 func (c *Client) FetchPriors(tree *loctree.Tree) (*loctree.Priors, error) {
 	var pr PriorsResponse
-	if err := c.getJSON("/v1/priors", &pr); err != nil {
+	if err := c.getJSON(c.path("/v1/priors"), &pr); err != nil {
 		return nil, err
 	}
 	if len(pr.Leaves) != tree.NumLeaves() {
@@ -341,7 +405,7 @@ func (c *Client) FetchForest(tree *loctree.Tree, privacyLevel, delta int) (*core
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/matrices", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, c.base+c.path("/v1/matrices"), bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -368,6 +432,56 @@ func (c *Client) FetchForest(tree *loctree.Tree, privacyLevel, delta int) (*core
 		return nil, err
 	}
 	return DecodeForest(tree, &fr)
+}
+
+// FetchForestBatch resolves many (region, privacy level, delta) requests
+// in one POST /v1/forests round trip, advertising the compact v2 encoding
+// for the embedded forests. Per-item outcomes come back in request order;
+// failed items carry their own status and error instead of failing the
+// batch. Decode successful items with BatchItemResult.Decode.
+func (c *Client) FetchForestBatch(items []BatchItem) (*BatchForestResponse, error) {
+	body, err := json.Marshal(BatchForestRequest{Items: items})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/forests", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", ContentTypeForestV2+", application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("proto: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var br BatchForestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, err
+	}
+	return &br, nil
+}
+
+// Decode reassembles a successful batch item's forest against its
+// region's local tree, whichever encoding the batch negotiated.
+func (r *BatchItemResult) Decode(tree *loctree.Tree) (*core.Forest, error) {
+	if r.Status != http.StatusOK {
+		return nil, fmt.Errorf("proto: batch item (%s, %d, %d) failed with %d: %s",
+			r.Region, r.PrivacyLevel, r.Delta, r.Status, r.Error)
+	}
+	switch {
+	case r.ForestV2 != nil:
+		return DecodeForestV2(tree, r.ForestV2)
+	case r.Forest != nil:
+		return DecodeForest(tree, r.Forest)
+	default:
+		return nil, fmt.Errorf("proto: batch item (%s, %d, %d) has no forest payload",
+			r.Region, r.PrivacyLevel, r.Delta)
+	}
 }
 
 // DecodeForest reassembles a dense v1 response against the local tree.

@@ -1,0 +1,495 @@
+// Package registry is the multi-region sharding layer: it owns a set of
+// named regions, each with its own location tree, priors, service targets,
+// and concurrent generation engine (a core.Server shard), and bootstraps
+// them lazily on first use.
+//
+// Real deployments of geo-indistinguishability mechanisms span many metro
+// areas with heterogeneous priors, and per-region optimal mechanisms must
+// be computed and cached independently — which maps directly onto one
+// engine shard per region. The registry guarantees each region bootstraps
+// exactly once even under a stampede of concurrent first requests
+// (per-region singleflight), optionally warms a shard's cache right after
+// bootstrap, and folds per-shard engine counters into an aggregate view.
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"corgi/internal/core"
+	"corgi/internal/geo"
+	"corgi/internal/gowalla"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+)
+
+// Spec declares one region: where it is, how its tree is built, and how
+// its matrices are generated. The zero value of every field except Name
+// and the center is completed by defaults (see withDefaults), so a config
+// file only needs to name what it wants to override.
+type Spec struct {
+	// Name addresses the region on the wire (?region=...). Required,
+	// unique within a registry.
+	Name string `json:"name"`
+	// CenterLat/CenterLng anchor the region's location tree. Required.
+	CenterLat float64 `json:"center_lat"`
+	CenterLng float64 `json:"center_lng"`
+	// LeafSpacingKm is the leaf cell center spacing. Default 0.1.
+	LeafSpacingKm float64 `json:"leaf_spacing_km,omitempty"`
+	// Height is the location-tree height (2 -> 49 leaves, 3 -> 343).
+	// Default 2.
+	Height int `json:"height,omitempty"`
+	// Epsilon is the Geo-Ind budget in km^-1. Default 15.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Iterations is the Algorithm-1 robustness round count. Default 5.
+	Iterations int `json:"iterations,omitempty"`
+	// Targets is how many service target locations to spread over the
+	// leaves. Default 20 (clamped to the leaf count).
+	Targets int `json:"targets,omitempty"`
+	// Seed drives the synthetic check-in sample that builds the priors.
+	// Default: a stable hash of Name, so distinct regions get distinct
+	// priors deterministically.
+	Seed int64 `json:"seed,omitempty"`
+	// CheckinsPath optionally points at a real Gowalla check-in file;
+	// check-ins outside the region's bounding box are dropped.
+	CheckinsPath string `json:"checkins_path,omitempty"`
+	// SyntheticCheckIns sizes the synthetic sample when CheckinsPath is
+	// empty. Default 38523 (the paper's SF sample); must be at least 500.
+	SyntheticCheckIns int `json:"synthetic_checkins,omitempty"`
+	// UniformPriors skips check-in data entirely and uses the uniform
+	// leaf distribution (fast bootstrap; useful for tests and load rigs).
+	UniformPriors bool `json:"uniform_priors,omitempty"`
+}
+
+// Center returns the region's anchor point.
+func (s Spec) Center() geo.LatLng { return geo.LatLng{Lat: s.CenterLat, Lng: s.CenterLng} }
+
+func (s Spec) withDefaults() Spec {
+	if s.LeafSpacingKm == 0 {
+		s.LeafSpacingKm = 0.1
+	}
+	if s.Height == 0 {
+		s.Height = 2
+	}
+	if s.Epsilon == 0 {
+		s.Epsilon = 15
+	}
+	if s.Iterations == 0 {
+		s.Iterations = 5
+	}
+	if s.Targets == 0 {
+		s.Targets = 20
+	}
+	if s.Seed == 0 {
+		s.Seed = nameSeed(s.Name)
+	}
+	if s.SyntheticCheckIns == 0 {
+		s.SyntheticCheckIns = 38523
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("registry: region spec needs a name")
+	}
+	if strings.ContainsAny(s.Name, " ,?&=/") {
+		return fmt.Errorf("registry: region name %q contains reserved characters", s.Name)
+	}
+	if s.CenterLat == 0 && s.CenterLng == 0 {
+		// (0,0) is open ocean; a zero center is always a missing or
+		// misspelled center_lat/center_lng in a config file.
+		return fmt.Errorf("registry: region %q needs center_lat and center_lng", s.Name)
+	}
+	if !s.Center().Valid() {
+		return fmt.Errorf("registry: region %q center %v invalid", s.Name, s.Center())
+	}
+	if s.LeafSpacingKm < 0 || s.Height < 0 || s.Epsilon < 0 || s.Iterations < 0 || s.Targets < 0 {
+		return fmt.Errorf("registry: region %q has negative parameters", s.Name)
+	}
+	// An aperture-7 height-h tree has 7^h leaves, so a bad target count
+	// can be rejected at registration instead of at (lazy) bootstrap.
+	leaves := 1
+	for i := 0; i < s.Height; i++ {
+		leaves *= 7
+	}
+	if s.Targets > leaves {
+		return fmt.Errorf("registry: region %q asks for %d targets from %d leaves", s.Name, s.Targets, leaves)
+	}
+	// gowalla.Generate rejects fewer check-ins than its 500 synthetic
+	// users; surface that at registration instead of at (lazy) bootstrap.
+	if !s.UniformPriors && s.CheckinsPath == "" && s.SyntheticCheckIns < 500 {
+		return fmt.Errorf("registry: region %q synthetic_checkins %d below the generator minimum 500",
+			s.Name, s.SyntheticCheckIns)
+	}
+	return nil
+}
+
+// nameSeed derives a stable positive seed from a region name.
+func nameSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() & (1<<63 - 1))
+}
+
+// ParseSpecs decodes a JSON array of region specs (the -region-config file
+// format of cmd/corgi-server).
+func ParseSpecs(data []byte) ([]Spec, error) {
+	var specs []Spec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("registry: parsing region config: %w", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("registry: region config is empty")
+	}
+	return specs, nil
+}
+
+// LoadSpecsFile reads a JSON region-config file.
+func LoadSpecsFile(path string) ([]Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSpecs(data)
+}
+
+// builtinMetros are the region names cmd/corgi-server accepts without a
+// config file. "sf" matches the paper's evaluation region; the rest are
+// metro centers for multi-region scale runs.
+var builtinMetros = []Spec{
+	{Name: "sf", CenterLat: 37.765, CenterLng: -122.435},
+	{Name: "nyc", CenterLat: 40.7128, CenterLng: -74.0060},
+	{Name: "la", CenterLat: 34.0522, CenterLng: -118.2437},
+	{Name: "chicago", CenterLat: 41.8781, CenterLng: -87.6298},
+	{Name: "seattle", CenterLat: 47.6062, CenterLng: -122.3321},
+	{Name: "boston", CenterLat: 42.3601, CenterLng: -71.0589},
+	{Name: "austin", CenterLat: 30.2672, CenterLng: -97.7431},
+	{Name: "london", CenterLat: 51.5074, CenterLng: -0.1278},
+	{Name: "paris", CenterLat: 48.8566, CenterLng: 2.3522},
+	{Name: "tokyo", CenterLat: 35.6762, CenterLng: 139.6503},
+}
+
+// BuiltinSpec returns the builtin spec for a metro name.
+func BuiltinSpec(name string) (Spec, bool) {
+	for _, s := range builtinMetros {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// BuiltinNames lists the builtin metro names in declaration order.
+func BuiltinNames() []string {
+	names := make([]string, len(builtinMetros))
+	for i, s := range builtinMetros {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Options tunes every shard in a registry.
+type Options struct {
+	// Engine is the per-shard engine tuning (workers, cache bytes). Each
+	// shard gets its own worker pool and cache of this shape.
+	Engine core.EngineOptions
+	// WarmupDelta >= 0 precomputes every (level, delta <= WarmupDelta)
+	// forest right after a shard bootstraps; negative disables warmup.
+	WarmupDelta int
+}
+
+// Shard is one bootstrapped region: its spec and its serving engine. The
+// tree and priors are reachable through Server.Tree and Server.Priors.
+type Shard struct {
+	Spec   Spec
+	Server *core.Server
+}
+
+// ErrUnknownRegion marks lookups of regions the registry was not
+// configured with; the wrapped message lists the available names.
+var ErrUnknownRegion = errors.New("unknown region")
+
+// bootCall is one in-progress region bootstrap that concurrent first
+// requests join instead of bootstrapping again.
+type bootCall struct {
+	done  chan struct{}
+	shard *Shard
+	err   error
+}
+
+// Registry owns the region set and their lazily-bootstrapped shards.
+type Registry struct {
+	opts  Options
+	order []string
+	specs map[string]Spec
+
+	mu     sync.Mutex
+	shards map[string]*Shard
+	boot   map[string]*bootCall
+
+	bootstraps atomic.Uint64
+}
+
+// New validates the specs (defaults applied) and returns a registry with
+// no shards bootstrapped yet. The first spec is the default region.
+func New(specs []Spec, opts Options) (*Registry, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("registry: at least one region spec required")
+	}
+	if opts.WarmupDelta < 0 {
+		opts.WarmupDelta = -1
+	}
+	r := &Registry{
+		opts:   opts,
+		specs:  make(map[string]Spec, len(specs)),
+		shards: make(map[string]*Shard, len(specs)),
+		boot:   map[string]*bootCall{},
+	}
+	for _, s := range specs {
+		s = s.withDefaults()
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := r.specs[s.Name]; dup {
+			return nil, fmt.Errorf("registry: duplicate region %q", s.Name)
+		}
+		r.specs[s.Name] = s
+		r.order = append(r.order, s.Name)
+	}
+	return r, nil
+}
+
+// Names returns the configured region names in registration order.
+func (r *Registry) Names() []string { return append([]string(nil), r.order...) }
+
+// DefaultRegion is the first configured region, used when a request names
+// no region.
+func (r *Registry) DefaultRegion() string { return r.order[0] }
+
+// Spec returns the (defaulted) spec for a region.
+func (r *Registry) Spec(name string) (Spec, bool) {
+	s, ok := r.specs[name]
+	return s, ok
+}
+
+// Ready reports whether a region's shard has bootstrapped.
+func (r *Registry) Ready(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.shards[name]
+	return ok
+}
+
+// Bootstraps counts completed shard bootstraps (lazy-init observability:
+// under any concurrency it never exceeds the region count).
+func (r *Registry) Bootstraps() uint64 { return r.bootstraps.Load() }
+
+// Shard returns the serving shard for a region, bootstrapping it on first
+// use. Concurrent first requests for the same region join one bootstrap
+// (per-region singleflight); requests for distinct regions bootstrap in
+// parallel. A waiter whose context expires abandons the wait — the
+// bootstrap itself completes for the remaining waiters and the registry.
+func (r *Registry) Shard(ctx context.Context, name string) (*Shard, error) {
+	if name == "" {
+		name = r.DefaultRegion()
+	}
+	spec, ok := r.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q; available regions: %s",
+			ErrUnknownRegion, name, strings.Join(r.order, ", "))
+	}
+	r.mu.Lock()
+	if sh, ok := r.shards[name]; ok {
+		// A ready shard costs nothing to hand out, so an expired context
+		// only matters on the wait/bootstrap paths below (the caller's
+		// own generation will still see the expiry).
+		r.mu.Unlock()
+		return sh, nil
+	}
+	if err := ctx.Err(); err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	if call, ok := r.boot[name]; ok {
+		r.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.shard, call.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	call := &bootCall{done: make(chan struct{})}
+	r.boot[name] = call
+	r.mu.Unlock()
+
+	// Bootstrap outside the lock with a background-rooted context: the
+	// shard outlives the triggering request, so one impatient client must
+	// not abort it for everyone queued behind.
+	call.shard, call.err = r.bootstrap(context.WithoutCancel(ctx), spec)
+	r.mu.Lock()
+	if call.err == nil {
+		r.shards[name] = call.shard
+	}
+	delete(r.boot, name)
+	r.mu.Unlock()
+	close(call.done)
+	if call.err == nil {
+		r.bootstraps.Add(1)
+	}
+	return call.shard, call.err
+}
+
+// BootstrapAll eagerly bootstraps every configured region in order,
+// stopping at the first failure.
+func (r *Registry) BootstrapAll(ctx context.Context) error {
+	for _, name := range r.order {
+		if _, err := r.Shard(ctx, name); err != nil {
+			return fmt.Errorf("registry: bootstrapping %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// bootstrap builds one region's tree, priors, targets, and engine shard.
+func (r *Registry) bootstrap(ctx context.Context, spec Spec) (*Shard, error) {
+	sys, err := hexgrid.NewSystem(spec.Center(), spec.LeafSpacingKm)
+	if err != nil {
+		return nil, fmt.Errorf("registry: region %q hex system: %w", spec.Name, err)
+	}
+	tree, err := loctree.NewAt(sys, spec.Center(), spec.Height)
+	if err != nil {
+		return nil, fmt.Errorf("registry: region %q tree: %w", spec.Name, err)
+	}
+	priors, err := buildPriors(spec, tree)
+	if err != nil {
+		return nil, fmt.Errorf("registry: region %q priors: %w", spec.Name, err)
+	}
+	targets, probs, err := spreadTargets(tree, spec.Targets)
+	if err != nil {
+		return nil, fmt.Errorf("registry: region %q: %w", spec.Name, err)
+	}
+	srv, err := core.NewServerWithOptions(tree, priors, targets, probs, core.Params{
+		Epsilon:        spec.Epsilon,
+		Iterations:     spec.Iterations,
+		UseGraphApprox: true,
+	}, r.opts.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("registry: region %q server: %w", spec.Name, err)
+	}
+	if r.opts.WarmupDelta >= 0 {
+		if err := srv.Warmup(ctx, r.opts.WarmupDelta); err != nil {
+			return nil, fmt.Errorf("registry: region %q warmup: %w", spec.Name, err)
+		}
+	}
+	return &Shard{Spec: spec, Server: srv}, nil
+}
+
+// buildPriors derives the region's public leaf priors: uniform, from a
+// real check-in file clipped to the region, or from a deterministic
+// synthetic sample laid over the region's own bounding box.
+func buildPriors(spec Spec, tree *loctree.Tree) (*loctree.Priors, error) {
+	if spec.UniformPriors {
+		return loctree.UniformPriors(tree), nil
+	}
+	bbox := treeBBox(tree, spec.LeafSpacingKm)
+	var cs []gowalla.CheckIn
+	if spec.CheckinsPath != "" {
+		all, err := gowalla.LoadFile(spec.CheckinsPath)
+		if err != nil {
+			return nil, err
+		}
+		cs = gowalla.FilterBBox(all, bbox)
+	} else {
+		ds, err := gowalla.Generate(gowalla.GenConfig{
+			Seed:        spec.Seed,
+			NumCheckIns: spec.SyntheticCheckIns,
+			BBox:        bbox,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cs = ds.CheckIns
+	}
+	leaf, err := gowalla.LeafPriors(cs, tree, 1)
+	if err != nil {
+		return nil, err
+	}
+	return loctree.NewPriors(tree, leaf)
+}
+
+// treeBBox bounds the tree's leaf centers, padded by one leaf spacing so
+// boundary cells still attract check-ins.
+func treeBBox(tree *loctree.Tree, spacingKm float64) geo.BoundingBox {
+	padDeg := spacingKm / 111.0 // ~1 degree latitude per 111 km
+	b := geo.BoundingBox{MinLat: 90, MinLng: 180, MaxLat: -90, MaxLng: -180}
+	for _, leaf := range tree.LevelNodes(0) {
+		c := tree.Center(leaf)
+		if c.Lat < b.MinLat {
+			b.MinLat = c.Lat
+		}
+		if c.Lat > b.MaxLat {
+			b.MaxLat = c.Lat
+		}
+		if c.Lng < b.MinLng {
+			b.MinLng = c.Lng
+		}
+		if c.Lng > b.MaxLng {
+			b.MaxLng = c.Lng
+		}
+	}
+	b.MinLat -= padDeg
+	b.MaxLat += padDeg
+	b.MinLng -= padDeg
+	b.MaxLng += padDeg
+	return b
+}
+
+// spreadTargets picks n service targets evenly over the leaves (the even
+// spread formerly private to cmd/corgi-server). n beyond the leaf count
+// is an error rather than a silent under-delivery.
+func spreadTargets(tree *loctree.Tree, n int) ([]geo.LatLng, []float64, error) {
+	leaves := tree.LevelNodes(0)
+	if n < 1 || n > len(leaves) {
+		return nil, nil, fmt.Errorf("target count must be in [1, %d], got %d", len(leaves), n)
+	}
+	targets := make([]geo.LatLng, 0, n)
+	probs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		targets = append(targets, tree.Center(leaves[i*len(leaves)/n]))
+		probs = append(probs, 1)
+	}
+	return targets, probs, nil
+}
+
+// Stats snapshots every bootstrapped shard's engine counters by region.
+func (r *Registry) Stats() map[string]core.EngineStats {
+	r.mu.Lock()
+	shards := make(map[string]*Shard, len(r.shards))
+	for name, sh := range r.shards {
+		shards[name] = sh
+	}
+	r.mu.Unlock()
+	out := make(map[string]core.EngineStats, len(shards))
+	for name, sh := range shards {
+		out[name] = sh.Server.Stats()
+	}
+	return out
+}
+
+// AggregateStats folds all shard counters into one fleet-wide snapshot.
+func (r *Registry) AggregateStats() core.EngineStats {
+	var total core.EngineStats
+	for _, s := range r.Stats() {
+		total.Merge(s)
+	}
+	return total
+}
