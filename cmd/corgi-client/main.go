@@ -9,19 +9,30 @@
 // against single-region deployments. An unknown region fails with the
 // server's 404, whose message lists the available region names.
 //
+// Forests travel in the compact wire-v2 encoding with gzip by default
+// (-v1 falls back to dense JSON), and the client keeps a small on-disk
+// forest cache: each fetch sends the cached copy's ETag as If-None-Match,
+// and a 304 reuses the cached bytes instead of re-downloading the forest.
+// -cache-dir moves the cache; -no-cache disables it.
+//
 // Usage:
 //
 //	corgi-client [-server http://127.0.0.1:8080] [-region nyc] \
 //	             -lat 37.765 -lng -122.435 \
 //	             [-privacy 1] [-precision 0] [-pref "home != true" -pref "distance <= 5"] \
-//	             [-reports 1] [-seed 0]
+//	             [-reports 1] [-seed 0] [-v1] [-no-cache] [-cache-dir DIR]
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"time"
 
 	"corgi/internal/core"
@@ -37,6 +48,95 @@ type prefList []string
 func (p *prefList) String() string     { return fmt.Sprint(*p) }
 func (p *prefList) Set(s string) error { *p = append(*p, s); return nil }
 
+// forestCacheConfig keys the on-disk conditional-fetch cache.
+type forestCacheConfig struct {
+	disabled bool
+	dir      string
+	server   string
+	region   string
+	v1       bool
+}
+
+// cachedForest is one cached forest response: the tag to revalidate with
+// and the raw body to re-decode after a 304.
+type cachedForest struct {
+	ETag        string `json:"etag"`
+	ContentType string `json:"content_type"`
+	Body        []byte `json:"body"`
+}
+
+// cachePath names one (server, region, level, delta, encoding) slot.
+func (cfg forestCacheConfig) cachePath(level, delta int) (string, error) {
+	dir := cfg.dir
+	if dir == "" {
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return "", err
+		}
+		dir = filepath.Join(base, "corgi-client")
+	}
+	wire := "v2"
+	if cfg.v1 {
+		wire = "v1"
+	}
+	key := fmt.Sprintf("%s|%s|%d|%d|%s", cfg.server, cfg.region, level, delta, wire)
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(dir, hex.EncodeToString(sum[:12])+".json"), nil
+}
+
+// fetchForestCached fetches a forest through the on-disk cache: the cached
+// copy's ETag rides as If-None-Match, a 304 reuses the cached bytes, and a
+// fresh body replaces them. Any cache trouble (unreadable dir, stale or
+// undecodable entry) silently degrades to an unconditional fetch — the
+// cache is an optimization, never a requirement.
+func fetchForestCached(c *proto.Client, tree *loctree.Tree, level, delta int, cfg forestCacheConfig) (*core.Forest, error) {
+	if cfg.disabled {
+		return c.FetchForest(tree, level, delta)
+	}
+	path, err := cfg.cachePath(level, delta)
+	if err != nil {
+		return c.FetchForest(tree, level, delta)
+	}
+	var cached *cachedForest
+	if data, err := os.ReadFile(path); err == nil {
+		var cf cachedForest
+		if json.Unmarshal(data, &cf) == nil && cf.ETag != "" {
+			cached = &cf
+		}
+	}
+	etag := ""
+	if cached != nil {
+		etag = cached.ETag
+	}
+	res, err := c.FetchForestTagged(tree, level, delta, etag)
+	if err != nil {
+		return nil, err
+	}
+	if res.NotModified {
+		forest, err := proto.DecodeForestBody(tree, cached.ContentType, cached.Body)
+		if err == nil {
+			log.Printf("forest unchanged (HTTP 304), reused cached copy from %s", path)
+			return forest, nil
+		}
+		// The cached bytes rotted; refetch unconditionally.
+		os.Remove(path)
+		res, err = c.FetchForestTagged(tree, level, delta, "")
+		if err != nil {
+			return nil, err
+		}
+	}
+	if res.ETag != "" {
+		if data, err := json.Marshal(cachedForest{ETag: res.ETag, ContentType: res.ContentType, Body: res.Body}); err == nil {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err == nil {
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					log.Printf("forest cache write failed: %v", err)
+				}
+			}
+		}
+	}
+	return res.Forest, nil
+}
+
 func main() {
 	server := flag.String("server", "http://127.0.0.1:8080", "corgi-server base URL")
 	region := flag.String("region", "", "region name on a multi-region server (empty: server default)")
@@ -46,11 +146,15 @@ func main() {
 	precision := flag.Int("precision", 0, "precision level of the report")
 	reports := flag.Int("reports", 1, "number of obfuscated reports to draw")
 	seed := flag.Int64("seed", 0, "sampling seed (0: time-based)")
+	v1 := flag.Bool("v1", false, "request the dense v1 forest encoding instead of compact v2")
+	noCache := flag.Bool("no-cache", false, "disable the on-disk forest cache")
+	cacheDir := flag.String("cache-dir", "", "forest cache directory (default: user cache dir)")
 	var prefs prefList
 	flag.Var(&prefs, "pref", "preference predicate, e.g. 'home != true' (repeatable)")
 	flag.Parse()
 
 	c := proto.NewRegionClient(*server, *region)
+	c.ForceV1 = *v1
 	tree, info, err := c.FetchTree()
 	if err != nil {
 		// The server's 404 for an unknown region already lists the
@@ -111,7 +215,13 @@ func main() {
 		delta = len(pruned)
 	}
 	log.Printf("requesting forest: privacy_l=%d delta=|S|=%d", pol.PrivacyLevel, delta)
-	forest, err := c.FetchForest(tree, pol.PrivacyLevel, delta)
+	forest, err := fetchForestCached(c, tree, pol.PrivacyLevel, delta, forestCacheConfig{
+		disabled: *noCache,
+		dir:      *cacheDir,
+		server:   *server,
+		region:   *region,
+		v1:       *v1,
+	})
 	if err != nil {
 		log.Fatalf("fetching forest: %v", err)
 	}

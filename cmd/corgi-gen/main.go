@@ -1,40 +1,151 @@
-// Command corgi-gen writes a synthetic Gowalla-style check-in sample in the
-// real dataset's format (user <TAB> RFC3339-time <TAB> lat <TAB> lng <TAB>
-// place-id), so the rest of the toolchain can be exercised without the
-// original data — or pointed at the original file interchangeably.
+// Command corgi-gen precomputes privacy forests offline and populates a
+// persistent forest store directory that corgi-server mounts with -store.
+// The iterated LP solves behind every robust matrix are the deployment
+// bottleneck, and the mechanisms are static per (prior, epsilon, delta) —
+// so they are paid here, once, instead of on the serving path: a server
+// started over a populated store serves every precomputed (region, level,
+// delta) forest with zero LP solves.
+//
+// Regions come from -regions (builtin metro names) or -region-config (the
+// same JSON spec file corgi-server takes), and the generation-default
+// flags (-eps, -height, -spacing, -iters, -targets, -seed, -checkins,
+// -uniform-priors) mirror corgi-server's exactly: both binaries assemble
+// specs through registry.BuildSpecs, so precomputing and serving with the
+// same flags addresses the same spec hashes by construction. For every
+// region, every privacy level of its tree is generated for deltas
+// 0..-max-delta and written as checksummed snapshots keyed by the
+// region's spec hash — rerunning after a spec change recomputes only
+// under the new hash, leaving nothing stale to serve.
+//
+// The original synthetic check-in generator lives on behind -checkins-out:
+// it writes a Gowalla-format sample (user <TAB> RFC3339-time <TAB> lat
+// <TAB> lng <TAB> place-id) so the toolchain can run without the real
+// dataset.
 //
 // Usage:
 //
-//	corgi-gen [-n 38523] [-users 500] [-places 2000] [-seed 1] [-o checkins.txt]
+//	corgi-gen -store ./forests [-regions sf,nyc,la | -region-config regions.json]
+//	          [-max-delta 3] [-workers 0] [-eps 15] [-height 2] [-spacing 0.1]
+//	          [-iters 5] [-targets 20] [-checkins gowalla.txt] [-seed 0]
+//	          [-uniform-priors]
+//	corgi-gen -checkins-out checkins.txt [-n 38523] [-users 500] [-places 2000] [-gen-seed 1]
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"corgi/internal/core"
 	"corgi/internal/gowalla"
+	"corgi/internal/registry"
+	"corgi/internal/store"
 )
 
 func main() {
-	n := flag.Int("n", 38523, "number of check-ins (paper's SF sample size)")
-	users := flag.Int("users", 500, "number of users")
-	places := flag.Int("places", 2000, "number of venues")
-	seed := flag.Int64("seed", 1, "generator seed")
-	out := flag.String("o", "", "output file (default stdout)")
+	storeDir := flag.String("store", "", "forest store directory to populate (required for precompute)")
+	regions := flag.String("regions", "", "comma-separated builtin region names (default: sf)")
+	regionConfig := flag.String("region-config", "", "JSON region-spec file (overrides -regions)")
+	maxDelta := flag.Int("max-delta", 3, "precompute deltas 0..N for every privacy level")
+	workers := flag.Int("workers", 0, "parallel subtree solves per region (0: GOMAXPROCS)")
+	// Generation defaults, mirroring cmd/corgi-server flag for flag: the
+	// precomputed spec hashes match a server started with the same values.
+	eps := flag.Float64("eps", 15, "default Geo-Ind privacy budget (km^-1)")
+	height := flag.Int("height", 2, "default tree height (2 -> 49 leaves, 3 -> 343)")
+	spacing := flag.Float64("spacing", 0.1, "default leaf cell center spacing in km")
+	iters := flag.Int("iters", 5, "default Algorithm-1 robust iterations")
+	targetsN := flag.Int("targets", 20, "default service target count per region")
+	checkins := flag.String("checkins", "", "Gowalla check-in file for the default region's priors")
+	seed := flag.Int64("seed", 0, "synthetic-prior seed override (0: per-region name hash)")
+	uniformPriors := flag.Bool("uniform-priors", false, "use uniform priors everywhere (fast precompute)")
+
+	checkinsOut := flag.String("checkins-out", "", "write a synthetic Gowalla-style check-in file instead of precomputing")
+	n := flag.Int("n", 38523, "check-ins to generate (paper's SF sample size)")
+	users := flag.Int("users", 500, "users in the synthetic sample")
+	places := flag.Int("places", 2000, "venues in the synthetic sample")
+	genSeed := flag.Int64("gen-seed", 1, "synthetic-sample generator seed (for -checkins-out)")
 	flag.Parse()
 
+	if *checkinsOut != "" {
+		genCheckins(*checkinsOut, *n, *users, *places, *genSeed)
+		return
+	}
+	if *storeDir == "" {
+		log.Fatalf("-store is required (or -checkins-out for the synthetic dataset mode)")
+	}
+	if *maxDelta < 0 {
+		log.Fatalf("-max-delta must be >= 0, got %d", *maxDelta)
+	}
+
+	specs, err := registry.BuildSpecs(*regions, *regionConfig, registry.SpecDefaults{
+		Epsilon: *eps, Height: *height, LeafSpacingKm: *spacing, Iterations: *iters,
+		Targets: *targetsN, Seed: *seed, UniformPriors: *uniformPriors, CheckinsPath: *checkins,
+	})
+	if err != nil {
+		log.Fatalf("regions: %v", err)
+	}
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		log.Fatalf("store: %v", err)
+	}
+	// The registry already implements precompute as "bootstrap every shard
+	// with warmup and a store attached": warmup generates every (level,
+	// delta <= max-delta) forest and the engine writes each back as a
+	// snapshot. Rerunning over a populated store hydrates first, so only
+	// missing forests are solved.
+	reg, err := registry.New(specs, registry.Options{
+		Engine:      core.EngineOptions{Workers: *workers},
+		WarmupDelta: *maxDelta,
+		Store:       st,
+	})
+	if err != nil {
+		log.Fatalf("registry: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	for _, name := range reg.Names() {
+		regionStart := time.Now()
+		sh, err := reg.Shard(ctx, name)
+		if err != nil {
+			log.Fatalf("precompute %q: %v", name, err)
+		}
+		sh.Server.FlushStore()
+		est := sh.Server.Stats()
+		log.Printf("region %s (spec %s): %d solves, %d hydrated, %d snapshots written in %v",
+			name, sh.Spec.Hash()[:16], est.Solves, est.StoreHydrated, est.StoreWrites,
+			time.Since(regionStart).Round(time.Millisecond))
+	}
+	reg.FlushStores()
+
+	agg := reg.AggregateStats()
+	size, err := st.SizeBytes()
+	if err != nil {
+		log.Printf("sizing store: %v", err)
+	}
+	log.Printf("done: %d regions, %d solves, %d snapshots written, store %s = %.2f MiB in %v",
+		len(reg.Names()), agg.Solves, agg.StoreWrites, st.Dir(), float64(size)/(1<<20),
+		time.Since(start).Round(time.Millisecond))
+}
+
+// genCheckins is the legacy synthetic-dataset mode.
+func genCheckins(out string, n, users, places int, seed int64) {
 	ds, err := gowalla.Generate(gowalla.GenConfig{
-		Seed: *seed, NumUsers: *users, NumPlaces: *places, NumCheckIns: *n,
+		Seed: seed, NumUsers: users, NumPlaces: places, NumCheckIns: n,
 	})
 	if err != nil {
 		log.Fatalf("generate: %v", err)
 	}
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "-" {
+		f, err := os.Create(out)
 		if err != nil {
-			log.Fatalf("create %s: %v", *out, err)
+			log.Fatalf("create %s: %v", out, err)
 		}
 		defer f.Close()
 		w = f
@@ -43,5 +154,5 @@ func main() {
 		log.Fatalf("save: %v", err)
 	}
 	log.Printf("wrote %d check-ins (%d users, %d places, seed %d)",
-		len(ds.CheckIns), *users, *places, *seed)
+		len(ds.CheckIns), users, places, seed)
 }

@@ -23,7 +23,11 @@
 // The report is JSON (stdout, or -out FILE): request and per-item counts,
 // error breakdown, req/s, p50/p90/p95/p99/max latency, a log-scaled
 // latency histogram, and per-region counts (with latency quantiles in
-// single-request mode, where a request maps to one region).
+// single-request mode, where a request maps to one region). Latency is
+// additionally split into a cold slice (the first request per (region,
+// level, delta) key, which absorbs lazy bootstraps and first LP solves)
+// and a warm slice (steady state), so bootstrap absorption stops polluting
+// p99/max.
 //
 // Usage:
 //
@@ -32,6 +36,15 @@
 //	              [-levels 1,2] [-deltas 0,1,2] [-mix uniform|zipf]
 //	              [-batch 0] [-trace FILE | -checkins FILE]
 //	              [-wire v2|v1] [-seed 1] [-out report.json]
+//
+// To measure the persistent forest store's effect on cold starts, drive a
+// store-backed server and compare latency_cold against a storeless run —
+// precomputed keys skip their LP solves entirely:
+//
+//	corgi-gen -store ./forests -regions sf,nyc,la -max-delta 2
+//	corgi-server -addr :18080 -regions sf,nyc,la -store ./forests &
+//	corgi-loadgen -server http://127.0.0.1:18080 -duration 15s \
+//	              -levels 1,2 -deltas 0,1,2 -out report-store.json
 package main
 
 import (
@@ -74,6 +87,29 @@ type sample struct {
 	bytes   int64
 	region  string // "" for batch requests (they span regions)
 	err     bool
+	// cold marks the first request touching a (region, level, delta) key
+	// (any key in the batch, for batch requests): it may absorb a region
+	// bootstrap and the key's LP solves, so its latency is reported in a
+	// separate slice instead of polluting warm p99/max.
+	cold bool
+}
+
+// coldTracker decides request temperature: the first request per (region,
+// level, delta) across all workers is cold, everything after is warm. A
+// failed first request releases its claim (forget), so the request that
+// actually absorbs the bootstrap — not a pre-listen connection refusal —
+// is the one labeled cold.
+type coldTracker struct{ seen sync.Map }
+
+func (t *coldTracker) first(r request) bool {
+	_, loaded := t.seen.LoadOrStore(t.key(r), struct{}{})
+	return !loaded
+}
+
+func (t *coldTracker) forget(r request) { t.seen.Delete(t.key(r)) }
+
+func (t *coldTracker) key(r request) string {
+	return fmt.Sprintf("%s|%d|%d", r.Region, r.Level, r.Delta)
 }
 
 // worker accumulates samples and per-item outcomes locally to avoid lock
@@ -127,16 +163,17 @@ func main() {
 	var (
 		next    atomic.Int64 // next trace index to issue
 		dropped atomic.Int64 // open-loop arrivals that found the queue full
+		cold    coldTracker
 		wg      sync.WaitGroup
 	)
 	deadline := time.Now().Add(*duration)
 	issue := func(w *worker) {
 		idx := next.Add(1) - 1
 		if *batch > 0 {
-			w.record(doBatch(client, *server, trace, idx, *batch, *wire))
+			w.record(doBatch(client, *server, trace, idx, *batch, *wire, &cold))
 		} else {
 			entry := trace[int(idx)%len(trace)]
-			w.record(doSingle(client, *server, entry, *wire))
+			w.record(doSingle(client, *server, entry, *wire, &cold))
 		}
 	}
 
@@ -438,7 +475,8 @@ func weightedPick(rng *rand.Rand, weights []float64) int {
 }
 
 // doSingle issues one region-addressed forest request.
-func doSingle(client *http.Client, server string, entry request, wire string) (sample, int64, int64) {
+func doSingle(client *http.Client, server string, entry request, wire string, cold *coldTracker) (sample, int64, int64) {
+	isCold := cold.first(entry)
 	body, _ := json.Marshal(proto.MatrixRequest{PrivacyLevel: entry.Level, Delta: entry.Delta})
 	target := server + "/v1/forest"
 	if entry.Region != "" {
@@ -446,7 +484,10 @@ func doSingle(client *http.Client, server string, entry request, wire string) (s
 	}
 	req, err := http.NewRequest(http.MethodPost, target, bytes.NewReader(body))
 	if err != nil {
-		return sample{region: entry.Region, err: true}, 0, 1
+		if isCold {
+			cold.forget(entry)
+		}
+		return sample{region: entry.Region, err: true, cold: isCold}, 0, 1
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Accept-Encoding", "gzip")
@@ -455,7 +496,11 @@ func doSingle(client *http.Client, server string, entry request, wire string) (s
 	}
 	s := roundTrip(client, req)
 	s.region = entry.Region
+	s.cold = isCold
 	if s.err {
+		if isCold {
+			cold.forget(entry)
+		}
 		return s, 0, 1
 	}
 	return s, 1, 0
@@ -463,16 +508,34 @@ func doSingle(client *http.Client, server string, entry request, wire string) (s
 
 // doBatch packs n consecutive trace entries into one /v1/forests request
 // and counts per-item outcomes from the envelope.
-func doBatch(client *http.Client, server string, trace []request, idx int64, n int, wire string) (sample, int64, int64) {
+func doBatch(client *http.Client, server string, trace []request, idx int64, n int, wire string, cold *coldTracker) (sample, int64, int64) {
 	items := make([]proto.BatchItem, n)
+	entries := make([]request, n)
+	claimed := make([]bool, n) // this batch first-saw entry i's key
+	isCold := false
 	for i := 0; i < n; i++ {
-		entry := trace[int(idx*int64(n)+int64(i))%len(trace)]
-		items[i] = proto.BatchItem{Region: entry.Region, PrivacyLevel: entry.Level, Delta: entry.Delta}
+		entries[i] = trace[int(idx*int64(n)+int64(i))%len(trace)]
+		items[i] = proto.BatchItem{Region: entries[i].Region, PrivacyLevel: entries[i].Level, Delta: entries[i].Delta}
+		if cold.first(entries[i]) {
+			claimed[i] = true
+			isCold = true
+		}
+	}
+	// A failed request — or a failed item inside a 200 envelope — releases
+	// its cold claims so the request that really absorbs each key's
+	// bootstrap gets the cold label.
+	forgetAll := func() {
+		for i, c := range claimed {
+			if c {
+				cold.forget(entries[i])
+			}
+		}
 	}
 	body, _ := json.Marshal(proto.BatchForestRequest{Items: items})
 	req, err := http.NewRequest(http.MethodPost, server+"/v1/forests", bytes.NewReader(body))
 	if err != nil {
-		return sample{err: true}, 0, int64(n)
+		forgetAll()
+		return sample{err: true, cold: isCold}, 0, int64(n)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	// No explicit Accept-Encoding here: the transport negotiates gzip on
@@ -485,23 +548,28 @@ func doBatch(client *http.Client, server string, trace []request, idx int64, n i
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		return sample{latency: time.Since(start), err: true}, 0, int64(n)
+		forgetAll()
+		return sample{latency: time.Since(start), err: true, cold: isCold}, 0, int64(n)
 	}
 	defer resp.Body.Close()
 	var envelope proto.BatchForestResponse
 	dec := json.NewDecoder(resp.Body)
 	decodeErr := dec.Decode(&envelope)
-	s := sample{latency: time.Since(start), status: resp.StatusCode}
+	s := sample{latency: time.Since(start), status: resp.StatusCode, cold: isCold}
 	if resp.StatusCode != http.StatusOK || decodeErr != nil {
+		forgetAll()
 		s.err = true
 		return s, 0, int64(n)
 	}
 	var ok, bad int64
-	for _, item := range envelope.Items {
+	for i, item := range envelope.Items {
 		if item.Status == http.StatusOK {
 			ok++
 		} else {
 			bad++
+			if i < len(claimed) && claimed[i] {
+				cold.forget(entries[i])
+			}
 		}
 	}
 	return s, ok, bad
@@ -557,7 +625,12 @@ type regionReport struct {
 	Latency  *latencySummary `json:"latency,omitempty"`
 }
 
-// report is the JSON output.
+// report is the JSON output. Latency splits three ways: the overall
+// distribution, the cold slice (first request per (region, level, delta) —
+// absorbs lazy bootstraps and first solves), and the warm slice
+// (everything else — the steady-state serving latency). Without the split,
+// a handful of multi-second bootstraps pollute p99/max of a run whose
+// steady state sits at single-digit milliseconds.
 type report struct {
 	Config          config                  `json:"config"`
 	ElapsedS        float64                 `json:"elapsed_s"`
@@ -569,7 +642,10 @@ type report struct {
 	ThroughputRPS   float64                 `json:"throughput_rps"`
 	ItemsPerSec     float64                 `json:"items_per_sec"`
 	BytesReceived   int64                   `json:"bytes_received"`
+	ColdRequests    int64                   `json:"cold_requests"`
 	Latency         latencySummary          `json:"latency"`
+	LatencyCold     *latencySummary         `json:"latency_cold,omitempty"`
+	LatencyWarm     *latencySummary         `json:"latency_warm,omitempty"`
 	Histogram       []histBucket            `json:"latency_histogram"`
 	StatusCounts    map[string]int64        `json:"status_counts"`
 	PerRegion       map[string]regionReport `json:"per_region"`
@@ -582,7 +658,7 @@ func summarize(workers []*worker, elapsed time.Duration, cfg config) *report {
 		StatusCounts: map[string]int64{},
 		PerRegion:    map[string]regionReport{},
 	}
-	var all []float64
+	var all, coldMs, warmMs []float64
 	perRegion := map[string][]float64{}
 	for _, w := range workers {
 		rep.ItemsOK += w.itemsOK
@@ -592,6 +668,12 @@ func summarize(workers []*worker, elapsed time.Duration, cfg config) *report {
 			rep.BytesReceived += s.bytes
 			ms := float64(s.latency) / float64(time.Millisecond)
 			all = append(all, ms)
+			if s.cold {
+				rep.ColdRequests++
+				coldMs = append(coldMs, ms)
+			} else {
+				warmMs = append(warmMs, ms)
+			}
 			key := "transport_error"
 			if s.status != 0 {
 				key = strconv.Itoa(s.status)
@@ -621,6 +703,14 @@ func summarize(workers []*worker, elapsed time.Duration, cfg config) *report {
 	}
 	rep.Latency = quantiles(all)
 	rep.Histogram = histogram(all)
+	if len(coldMs) > 0 {
+		q := quantiles(coldMs)
+		rep.LatencyCold = &q
+	}
+	if len(warmMs) > 0 {
+		q := quantiles(warmMs)
+		rep.LatencyWarm = &q
+	}
 	for name, ms := range perRegion {
 		rr := rep.PerRegion[name]
 		q := quantiles(ms)

@@ -115,6 +115,61 @@ func TestWeightedPick(t *testing.T) {
 	}
 }
 
+func TestColdTracker(t *testing.T) {
+	var ct coldTracker
+	a := request{Region: "sf", Level: 1, Delta: 0}
+	b := request{Region: "sf", Level: 1, Delta: 1}
+	if !ct.first(a) {
+		t.Error("first sighting of a key must be cold")
+	}
+	if ct.first(a) {
+		t.Error("second sighting of a key must be warm")
+	}
+	if !ct.first(b) {
+		t.Error("a distinct (region, level, delta) key must be cold")
+	}
+	// A failed first request releases its claim: the retry that actually
+	// absorbs the bootstrap is the one labeled cold.
+	ct.forget(a)
+	if !ct.first(a) {
+		t.Error("a forgotten key must be cold again")
+	}
+	if ct.first(a) {
+		t.Error("re-claimed key must be warm")
+	}
+}
+
+// TestSummarizeColdWarmSplit checks cold samples are sliced out of the
+// warm quantiles: a multi-second bootstrap absorbed by a first request
+// must not set the warm max.
+func TestSummarizeColdWarmSplit(t *testing.T) {
+	w := &worker{}
+	w.samples = []sample{
+		{latency: 2 * time.Second, status: 200, region: "sf", cold: true},
+		{latency: 5 * time.Millisecond, status: 200, region: "sf"},
+		{latency: 7 * time.Millisecond, status: 200, region: "sf"},
+	}
+	rep := summarize([]*worker{w}, time.Second, config{})
+	if rep.ColdRequests != 1 {
+		t.Fatalf("cold requests %d, want 1", rep.ColdRequests)
+	}
+	if rep.LatencyCold == nil || rep.LatencyCold.Max != 2000 {
+		t.Fatalf("cold latency %+v", rep.LatencyCold)
+	}
+	if rep.LatencyWarm == nil || rep.LatencyWarm.Max != 7 {
+		t.Fatalf("warm latency %+v, want max 7ms without the bootstrap", rep.LatencyWarm)
+	}
+	if rep.Latency.Max != 2000 {
+		t.Fatalf("overall latency must still include cold samples: %+v", rep.Latency)
+	}
+
+	// All-warm runs omit the cold block rather than reporting zeros.
+	rep = summarize([]*worker{{samples: []sample{{latency: time.Millisecond, status: 200}}}}, time.Second, config{})
+	if rep.LatencyCold != nil || rep.LatencyWarm == nil {
+		t.Fatalf("all-warm run: cold %+v warm %+v", rep.LatencyCold, rep.LatencyWarm)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	w := &worker{itemsOK: 3, itemsErr: 1}
 	w.samples = []sample{

@@ -13,9 +13,14 @@
 // Generation runs on one engine shard per region (see ARCHITECTURE.md):
 // -workers bounds parallel subtree LP solves per shard, -cache-mb bounds
 // each shard's LRU cache, and -warmup N precomputes every (level,
-// delta<=N) forest at bootstrap time. /healthz reports liveness,
-// /v1/regions the region set, and /v1/stats per-region plus aggregate
-// engine counters. SIGINT/SIGTERM drain in-flight requests gracefully.
+// delta<=N) forest at bootstrap time. -store DIR attaches the persistent
+// forest store: shards hydrate from snapshots at bootstrap (a restart or
+// a corgi-gen precompute means zero LP solves for covered forests) and
+// newly solved forests write back asynchronously. /healthz reports
+// liveness, /v1/regions the region set, and /v1/stats per-region plus
+// aggregate engine counters (including store hit/miss/write counts).
+// SIGINT/SIGTERM drain in-flight requests gracefully and flush pending
+// store writes.
 //
 // Usage:
 //
@@ -23,8 +28,8 @@
 //	             [-eps 15] [-height 2] [-spacing 0.1] [-iters 5] [-targets 20]
 //	             [-checkins gowalla.txt] [-seed 0] [-uniform-priors]
 //	             [-workers 0] [-cache-mb 256] [-warmup -1] [-eager]
-//	             [-max-batch 64] [-read-timeout 30s] [-write-timeout 10m]
-//	             [-idle-timeout 2m] [-request-timeout 5m]
+//	             [-store ./forests] [-max-batch 64] [-read-timeout 30s]
+//	             [-write-timeout 10m] [-idle-timeout 2m] [-request-timeout 5m]
 package main
 
 import (
@@ -43,82 +48,8 @@ import (
 	"corgi/internal/core"
 	"corgi/internal/proto"
 	"corgi/internal/registry"
+	"corgi/internal/store"
 )
-
-// specDefaults carries the flag-level generation defaults applied to any
-// region spec field left at its zero value.
-type specDefaults struct {
-	epsilon  float64
-	height   int
-	spacing  float64
-	iters    int
-	targets  int
-	seed     int64
-	uniform  bool
-	checkins string // applied to the first (default) region only
-}
-
-// buildSpecs assembles the region specs from -regions / -region-config
-// and fills unset fields from the flag defaults.
-func buildSpecs(regionsFlag, configPath string, d specDefaults) ([]registry.Spec, error) {
-	var specs []registry.Spec
-	switch {
-	case configPath != "" && regionsFlag != "":
-		return nil, fmt.Errorf("use either -regions or -region-config, not both")
-	case configPath != "":
-		var err error
-		specs, err = registry.LoadSpecsFile(configPath)
-		if err != nil {
-			return nil, err
-		}
-	default:
-		if regionsFlag == "" {
-			regionsFlag = "sf"
-		}
-		for _, name := range strings.Split(regionsFlag, ",") {
-			name = strings.TrimSpace(name)
-			if name == "" {
-				continue
-			}
-			spec, ok := registry.BuiltinSpec(name)
-			if !ok {
-				return nil, fmt.Errorf("unknown builtin region %q; builtins: %s (use -region-config for custom regions)",
-					name, strings.Join(registry.BuiltinNames(), ", "))
-			}
-			specs = append(specs, spec)
-		}
-		if len(specs) == 0 {
-			return nil, fmt.Errorf("-regions named no regions")
-		}
-	}
-	for i := range specs {
-		if specs[i].Epsilon == 0 {
-			specs[i].Epsilon = d.epsilon
-		}
-		if specs[i].Height == 0 {
-			specs[i].Height = d.height
-		}
-		if specs[i].LeafSpacingKm == 0 {
-			specs[i].LeafSpacingKm = d.spacing
-		}
-		if specs[i].Iterations == 0 {
-			specs[i].Iterations = d.iters
-		}
-		if specs[i].Targets == 0 {
-			specs[i].Targets = d.targets
-		}
-		if specs[i].Seed == 0 {
-			specs[i].Seed = d.seed
-		}
-		if d.uniform {
-			specs[i].UniformPriors = true
-		}
-	}
-	if d.checkins != "" {
-		specs[0].CheckinsPath = d.checkins
-	}
-	return specs, nil
-}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -136,6 +67,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel subtree solves per region shard (0: GOMAXPROCS)")
 	cacheMB := flag.Int64("cache-mb", 256, "per-shard generated-entry cache bound in MiB")
 	warmup := flag.Int("warmup", -1, "precompute all levels for deltas 0..N at shard bootstrap (-1: off)")
+	storeDir := flag.String("store", "", "persistent forest store directory (populate offline with corgi-gen)")
 	eager := flag.Bool("eager", false, "bootstrap every region at startup instead of on first request")
 	maxBatch := flag.Int("max-batch", proto.DefaultMaxBatch, "max items per POST /v1/forests request")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
@@ -152,12 +84,21 @@ func main() {
 		log.Fatalf("targets: count must be >= 1, got %d", *targetsN)
 	}
 
-	specs, err := buildSpecs(*regions, *regionConfig, specDefaults{
-		epsilon: *eps, height: *height, spacing: *spacing, iters: *iters,
-		targets: *targetsN, seed: *seed, uniform: *uniformPriors, checkins: *checkins,
+	// registry.BuildSpecs is shared with cmd/corgi-gen so both binaries
+	// derive identical spec hashes from identical flags — a store
+	// populated offline is hit here by construction.
+	specs, err := registry.BuildSpecs(*regions, *regionConfig, registry.SpecDefaults{
+		Epsilon: *eps, Height: *height, LeafSpacingKm: *spacing, Iterations: *iters,
+		Targets: *targetsN, Seed: *seed, UniformPriors: *uniformPriors, CheckinsPath: *checkins,
 	})
 	if err != nil {
 		log.Fatalf("regions: %v", err)
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		if st, err = store.Open(*storeDir); err != nil {
+			log.Fatalf("store: %v", err)
+		}
 	}
 	reg, err := registry.New(specs, registry.Options{
 		Engine: core.EngineOptions{
@@ -165,6 +106,7 @@ func main() {
 			CacheBytes: *cacheMB << 20,
 		},
 		WarmupDelta: *warmup,
+		Store:       st,
 	})
 	if err != nil {
 		log.Fatalf("registry: %v", err)
@@ -184,9 +126,9 @@ func main() {
 		if err := reg.BootstrapAll(ctx); err != nil {
 			log.Fatalf("eager bootstrap: %v", err)
 		}
-		st := reg.AggregateStats()
-		log.Printf("bootstrapped %d regions: %d solves, %d cached entries (%.1f MiB) in %v",
-			reg.Bootstraps(), st.Solves, st.CacheEntries, float64(st.CacheBytes)/(1<<20),
+		agg := reg.AggregateStats()
+		log.Printf("bootstrapped %d regions: %d solves, %d entries hydrated from store, %d cached entries (%.1f MiB) in %v",
+			reg.Bootstraps(), agg.Solves, agg.StoreHydrated, agg.CacheEntries, float64(agg.CacheBytes)/(1<<20),
 			time.Since(start).Round(time.Millisecond))
 	}
 
@@ -199,8 +141,12 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("CORGI server on %s: regions [%s] (default %s), %d MiB cache per shard, warmup %d, %s bootstrap",
-		*addr, strings.Join(reg.Names(), ", "), reg.DefaultRegion(), *cacheMB, *warmup,
+	storeDesc := "no store"
+	if st != nil {
+		storeDesc = "store " + st.Dir()
+	}
+	log.Printf("CORGI server on %s: regions [%s] (default %s), %d MiB cache per shard, warmup %d, %s, %s bootstrap",
+		*addr, strings.Join(reg.Names(), ", "), reg.DefaultRegion(), *cacheMB, *warmup, storeDesc,
 		map[bool]string{true: "eager", false: "lazy"}[*eager])
 
 	select {
@@ -214,6 +160,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if st != nil {
+		// Freshly solved forests persist asynchronously; make them durable
+		// before exit so the next start hydrates them.
+		reg.FlushStores()
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve: %v", err)

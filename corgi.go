@@ -44,6 +44,7 @@ import (
 	"corgi/internal/obf"
 	"corgi/internal/policy"
 	"corgi/internal/registry"
+	"corgi/internal/store"
 )
 
 // Re-exported fundamental types. Aliases keep the public API a strict view
@@ -198,13 +199,22 @@ func NewServerWithConfig(r *Region, priors *Priors, targets []LatLng, cfg Server
 // MultiServerConfig tunes a multi-region deployment.
 type MultiServerConfig struct {
 	// Engine tunes each region's shard (workers, cache bytes); every
-	// shard gets its own worker pool and cache of this shape.
+	// shard gets its own worker pool and cache of this shape. Engine.Store
+	// must be nil here — it has no region namespacing; use StoreDir, which
+	// keys each shard's snapshots by its region's spec hash.
 	Engine EngineOptions
 	// WarmupDelta > 0 precomputes every (level, delta <= WarmupDelta)
 	// forest right after a shard bootstraps; 0 (and negatives) disable
 	// warmup. (Warming only delta 0 is possible via the internal
 	// registry, which cmd/corgi-server uses.)
 	WarmupDelta int
+	// StoreDir, when non-empty, attaches the persistent forest store at
+	// that directory: shards hydrate from snapshots when they bootstrap
+	// (a restart over a populated store serves precomputed forests with
+	// zero LP solves) and newly solved forests write back asynchronously,
+	// keyed by each region's spec hash so spec changes invalidate stale
+	// snapshots. Populate a store offline with cmd/corgi-gen.
+	StoreDir string
 }
 
 // NewMultiServer builds the multi-region sharding layer over a set of
@@ -218,7 +228,14 @@ func NewMultiServer(specs []RegionSpec, cfg MultiServerConfig) (*MultiServer, er
 	if cfg.WarmupDelta > 0 {
 		warmup = cfg.WarmupDelta
 	}
-	return registry.New(specs, registry.Options{Engine: cfg.Engine, WarmupDelta: warmup})
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		if st, err = store.Open(cfg.StoreDir); err != nil {
+			return nil, err
+		}
+	}
+	return registry.New(specs, registry.Options{Engine: cfg.Engine, WarmupDelta: warmup, Store: st})
 }
 
 // BuiltinRegion returns the builtin spec for a metro name ("sf", "nyc",

@@ -52,14 +52,30 @@ func entrySizeBytes(e *ForestEntry) int64 {
 }
 
 func (c *entryCache) get(key forestKey) (*ForestEntry, bool) {
+	return c.lookup(key, true)
+}
+
+// peek is get without touching the hit/miss counters. The engine uses it
+// for second-look checks on paths that already recorded their miss (the
+// post-semaphore re-check and snapshot-load followers), so the counters
+// keep meaning "one per request" instead of double-counting.
+func (c *entryCache) peek(key forestKey) (*ForestEntry, bool) {
+	return c.lookup(key, false)
+}
+
+func (c *entryCache) lookup(key forestKey, count bool) (*ForestEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses++
+		if count {
+			c.misses++
+		}
 		return nil, false
 	}
-	c.hits++
+	if count {
+		c.hits++
+	}
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheItem).entry, true
 }

@@ -13,6 +13,30 @@ import (
 // height-3 evaluation tree with room to spare.
 const DefaultCacheBytes = 256 << 20
 
+// StoredForestRef names one persisted forest: a (privacy level, delta)
+// pair within a server's own region.
+type StoredForestRef struct {
+	Level, Delta int
+}
+
+// ForestStore is the engine's second tier: a durable home for completed
+// forests that outlives the process. internal/store provides the on-disk
+// implementation; the engine only assumes these semantics:
+//
+//   - Load returns the complete entry set of a previously saved (level,
+//     delta) forest, or (nil, nil) when no usable snapshot exists — absent,
+//     corrupt, and stale snapshots all look identical to the engine, which
+//     simply falls through to compute.
+//   - Save persists a complete level's entries; it must be atomic enough
+//     that a concurrent Load never observes a partial forest.
+//   - List enumerates the (level, delta) forests currently stored, for
+//     warm-restart hydration.
+type ForestStore interface {
+	Load(ctx context.Context, level, delta int) ([]*ForestEntry, error)
+	Save(ctx context.Context, level, delta int, entries []*ForestEntry) error
+	List() ([]StoredForestRef, error)
+}
+
 // EngineOptions tunes the concurrent generation engine behind a Server.
 type EngineOptions struct {
 	// Workers bounds concurrent subtree LP solves. <= 0 uses GOMAXPROCS.
@@ -20,6 +44,11 @@ type EngineOptions struct {
 	// CacheBytes bounds the generated-entry LRU cache. <= 0 uses
 	// DefaultCacheBytes.
 	CacheBytes int64
+	// Store, when non-nil, is the durable second tier: cache misses fall
+	// through to it before solving, completed forests write back to it
+	// asynchronously, and Server.HydrateFromStore preloads it into the
+	// cache at startup.
+	Store ForestStore
 }
 
 // EngineStats is a point-in-time snapshot of the engine's counters, exposed
@@ -32,12 +61,18 @@ type EngineStats struct {
 	CacheEntries  int
 	CacheCapacity int64
 	// Solves counts completed subtree generations (LP solves actually run;
-	// cache hits and singleflight followers do not increment it).
+	// cache hits, store hits, and singleflight followers do not increment
+	// it).
 	Solves uint64
 	// InFlight is the number of subtree generations running right now.
 	InFlight int64
 	// Workers is the configured solve-concurrency bound.
 	Workers int
+	// StoreHits/StoreMisses count snapshot lookups on the cache-miss path;
+	// StoreWrites counts completed asynchronous write-backs; StoreHydrated
+	// counts entries preloaded by HydrateFromStore. All zero when no store
+	// is attached.
+	StoreHits, StoreMisses, StoreWrites, StoreHydrated uint64
 }
 
 // Merge accumulates o into s. The multi-region registry uses it to fold
@@ -54,23 +89,41 @@ func (s *EngineStats) Merge(o EngineStats) {
 	s.Solves += o.Solves
 	s.InFlight += o.InFlight
 	s.Workers += o.Workers
+	s.StoreHits += o.StoreHits
+	s.StoreMisses += o.StoreMisses
+	s.StoreWrites += o.StoreWrites
+	s.StoreHydrated += o.StoreHydrated
 }
 
 // engine is the concurrent forest-generation core: a semaphore-bounded
 // worker pool over independent subtree solves (each subtree's matrix is
 // independent, Algorithm 3), per-key singleflight so concurrent requests for
-// the same (node, delta) share one LP solve, and a byte-bounded LRU cache of
-// finished entries.
+// the same (node, delta) share one LP solve, and a two-tier read path over
+// finished entries — a byte-bounded in-memory LRU backed by an optional
+// durable snapshot store consulted before any solve runs.
 type engine struct {
 	workers int
 	sem     chan struct{}
 	cache   *entryCache
+	store   ForestStore
 
 	mu     sync.Mutex
 	flight map[forestKey]*flightCall
 
-	solves   atomic.Uint64
-	inFlight atomic.Int64
+	// storeMu guards the snapshot-load singleflight and the set of (level,
+	// delta) forests known to be persisted (or being persisted), which
+	// dedupes write-backs.
+	storeMu     sync.Mutex
+	storeFlight map[StoredForestRef]*storeCall
+	persisted   map[StoredForestRef]bool
+	writeWG     sync.WaitGroup
+
+	solves        atomic.Uint64
+	inFlight      atomic.Int64
+	storeHits     atomic.Uint64
+	storeMisses   atomic.Uint64
+	storeWrites   atomic.Uint64
+	storeHydrated atomic.Uint64
 
 	// generate runs one uncached subtree solve; wired to Server.generate.
 	generate func(ctx context.Context, root forestKey) (*ForestEntry, error)
@@ -84,6 +137,13 @@ type flightCall struct {
 	err   error
 }
 
+// storeCall is one in-progress snapshot load that concurrent cache misses
+// for sibling keys of the same (level, delta) forest wait on instead of
+// re-reading the file.
+type storeCall struct {
+	done chan struct{}
+}
+
 func newEngine(opts EngineOptions, generate func(context.Context, forestKey) (*ForestEntry, error)) *engine {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -94,11 +154,14 @@ func newEngine(opts EngineOptions, generate func(context.Context, forestKey) (*F
 		capacity = DefaultCacheBytes
 	}
 	return &engine{
-		workers:  workers,
-		sem:      make(chan struct{}, workers),
-		cache:    newEntryCache(capacity),
-		flight:   map[forestKey]*flightCall{},
-		generate: generate,
+		workers:     workers,
+		sem:         make(chan struct{}, workers),
+		cache:       newEntryCache(capacity),
+		store:       opts.Store,
+		flight:      map[forestKey]*flightCall{},
+		storeFlight: map[StoredForestRef]*storeCall{},
+		persisted:   map[StoredForestRef]bool{},
+		generate:    generate,
 	}
 }
 
@@ -148,8 +211,10 @@ func (en *engine) entryOnce(ctx context.Context, key forestKey) (*ForestEntry, e
 	return call.entry, call.err
 }
 
-// solve runs one generation under the worker-pool semaphore and publishes
-// the result to the cache.
+// solve resolves one cache miss under the worker-pool semaphore: first a
+// re-check of the cache (a sibling's snapshot load may have filled it while
+// this key queued for a slot), then the durable store, then a real LP
+// solve whose result is published to the cache.
 func (en *engine) solve(ctx context.Context, key forestKey) (*ForestEntry, error) {
 	select {
 	case en.sem <- struct{}{}:
@@ -157,6 +222,18 @@ func (en *engine) solve(ctx context.Context, key forestKey) (*ForestEntry, error
 		return nil, ctx.Err()
 	}
 	defer func() { <-en.sem }()
+
+	if e, ok := en.cache.peek(key); ok {
+		return e, nil
+	}
+	if en.store != nil {
+		if e, ok := en.storeFetch(ctx, key); ok {
+			return e, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 
 	en.inFlight.Add(1)
 	defer en.inFlight.Add(-1)
@@ -167,6 +244,125 @@ func (en *engine) solve(ctx context.Context, key forestKey) (*ForestEntry, error
 	en.solves.Add(1)
 	en.cache.add(key, e)
 	return e, nil
+}
+
+// storeFetch consults the durable store for the forest containing key.
+// Snapshot files hold whole (level, delta) forests, so a hit publishes
+// every sibling entry to the cache at once; concurrent misses for siblings
+// of the same forest share one file read (per-forest singleflight).
+func (en *engine) storeFetch(ctx context.Context, key forestKey) (*ForestEntry, bool) {
+	ref := StoredForestRef{Level: key.node.Level, Delta: key.delta}
+	en.storeMu.Lock()
+	if call, ok := en.storeFlight[ref]; ok {
+		en.storeMu.Unlock()
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			return nil, false
+		}
+		// The leader published any snapshot entries to the cache.
+		return en.cache.peek(key)
+	}
+	call := &storeCall{done: make(chan struct{})}
+	en.storeFlight[ref] = call
+	en.storeMu.Unlock()
+
+	var hit *ForestEntry
+	entries, err := en.store.Load(ctx, ref.Level, ref.Delta)
+	if err == nil && len(entries) > 0 {
+		en.storeHits.Add(1)
+		en.markPersisted(ref)
+		for _, e := range entries {
+			k := forestKey{node: e.Root, delta: ref.Delta}
+			en.cache.add(k, e)
+			if k == key {
+				hit = e
+			}
+		}
+	} else {
+		en.storeMisses.Add(1)
+	}
+	en.storeMu.Lock()
+	delete(en.storeFlight, ref)
+	en.storeMu.Unlock()
+	close(call.done)
+	return hit, hit != nil
+}
+
+// markPersisted records that ref is durably stored (or being stored).
+func (en *engine) markPersisted(ref StoredForestRef) {
+	en.storeMu.Lock()
+	en.persisted[ref] = true
+	en.storeMu.Unlock()
+}
+
+// persistAsync writes a completed forest back to the durable store without
+// blocking the request that generated it. Write-backs dedupe on (level,
+// delta): the first completed forest claims the slot, and a failed write
+// releases it so a later request can retry. The entries slice is the
+// assembled forest itself — not a cache read — so LRU eviction racing the
+// write can never truncate the snapshot.
+func (en *engine) persistAsync(level, delta int, entries []*ForestEntry) {
+	if en.store == nil || len(entries) == 0 {
+		return
+	}
+	ref := StoredForestRef{Level: level, Delta: delta}
+	en.storeMu.Lock()
+	if en.persisted[ref] {
+		en.storeMu.Unlock()
+		return
+	}
+	en.persisted[ref] = true
+	en.storeMu.Unlock()
+
+	en.writeWG.Add(1)
+	go func() {
+		defer en.writeWG.Done()
+		// Detached from any request context: the snapshot outlives the
+		// request that happened to complete the forest first.
+		if err := en.store.Save(context.Background(), level, delta, entries); err != nil {
+			en.storeMu.Lock()
+			delete(en.persisted, ref)
+			en.storeMu.Unlock()
+			return
+		}
+		en.storeWrites.Add(1)
+	}()
+}
+
+// flushStore blocks until every write-back started so far has finished.
+func (en *engine) flushStore() { en.writeWG.Wait() }
+
+// hydrate preloads every stored forest into the entry cache, so a restarted
+// process serves its first request for any precomputed (level, delta) with
+// zero LP solves. Unreadable or corrupt snapshots are skipped (the adapter
+// already reports them as absent); the cache's byte bound still applies, so
+// hydrating more than the cache holds simply evicts the coldest entries.
+func (en *engine) hydrate(ctx context.Context) (int, error) {
+	if en.store == nil {
+		return 0, nil
+	}
+	refs, err := en.store.List()
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, ref := range refs {
+		if err := ctx.Err(); err != nil {
+			return loaded, err
+		}
+		entries, err := en.store.Load(ctx, ref.Level, ref.Delta)
+		if err != nil || len(entries) == 0 {
+			continue
+		}
+		en.markPersisted(ref)
+		for _, e := range entries {
+			en.cache.add(forestKey{node: e.Root, delta: ref.Delta}, e)
+		}
+		loaded += len(entries)
+		en.storeHydrated.Add(uint64(len(entries)))
+	}
+	return loaded, nil
 }
 
 // forest fans the privacy level's nodes out across the worker pool and
@@ -217,5 +413,9 @@ func (en *engine) stats() EngineStats {
 		Solves:        en.solves.Load(),
 		InFlight:      en.inFlight.Load(),
 		Workers:       en.workers,
+		StoreHits:     en.storeHits.Load(),
+		StoreMisses:   en.storeMisses.Load(),
+		StoreWrites:   en.storeWrites.Load(),
+		StoreHydrated: en.storeHydrated.Load(),
 	}
 }

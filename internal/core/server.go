@@ -46,7 +46,10 @@ type Forest struct {
 // Generation runs on a concurrent engine: subtree solves fan out across a
 // bounded worker pool (each subtree's matrix is independent, Algorithm 3),
 // concurrent requests for the same (node, delta) share one LP solve, and
-// finished entries live in a byte-bounded LRU cache. See EngineOptions.
+// finished entries live on a two-tier read path — a byte-bounded in-memory
+// LRU backed by an optional durable snapshot store (EngineOptions.Store)
+// consulted before any solve runs, with completed forests written back
+// asynchronously. See EngineOptions.
 type Server struct {
 	tree        *loctree.Tree
 	priors      *loctree.Priors
@@ -193,11 +196,32 @@ func (s *Server) GenerateForestCtx(ctx context.Context, privacyLevel, delta int)
 		Delta:        delta,
 		Entries:      make(map[loctree.NodeID]*ForestEntry, len(keys)),
 	}
-	for _, key := range keys {
+	entries := make([]*ForestEntry, len(keys))
+	for i, key := range keys {
 		forest.Entries[key.node] = got[key]
+		entries[i] = got[key]
 	}
+	// Write the completed forest back to the durable store asynchronously.
+	// The slice above is the assembled forest itself, so cache eviction
+	// racing the write cannot truncate the snapshot; write-backs dedupe
+	// per (level, delta) inside the engine.
+	s.engine.persistAsync(privacyLevel, delta, entries)
 	return forest, nil
 }
+
+// HydrateFromStore preloads every snapshot the configured store holds into
+// the entry cache and returns the number of entries loaded. A server
+// restarted over a populated store (or bootstrapped by the registry with
+// one attached) serves its first forest request for every precomputed
+// (level, delta) with zero LP solves. Without a store it is a no-op.
+func (s *Server) HydrateFromStore(ctx context.Context) (int, error) {
+	return s.engine.hydrate(ctx)
+}
+
+// FlushStore blocks until every asynchronous store write-back started so
+// far has finished. Call before process exit so freshly solved forests are
+// durable.
+func (s *Server) FlushStore() { s.engine.flushStore() }
 
 // Warmup precomputes every (level, delta) combination for privacy levels
 // 1..Height and deltas 0..maxDelta, filling the cache before traffic

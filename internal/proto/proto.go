@@ -11,14 +11,22 @@
 // quantized row-sparse binary encoding negotiated via the Accept header
 // (ContentTypeForestV2) that cuts forest payloads by >3x before
 // compression; responses are additionally gzipped when the client offers
-// Accept-Encoding: gzip. Requests carry the caller's context through the
-// handler into the generation engine, bounded by Handler.Timeout.
+// Accept-Encoding: gzip. Forest responses carry strong ETags (a SHA-256
+// over the encoded body, suffixed per content coding — stable across
+// restarts because generation is deterministic and the v2 quantization
+// idempotent) plus Vary: Accept, Accept-Encoding, and requests with a
+// matching If-None-Match get 304 Not Modified with no body, so clients can
+// keep their own on-disk forest caches and revalidate for free. Requests
+// carry the caller's context through the handler into the generation
+// engine, bounded by Handler.Timeout.
 package proto
 
 import (
 	"bytes"
 	"compress/gzip"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -105,6 +113,10 @@ type StatsResponse struct {
 	Solves             uint64 `json:"solves"`
 	InFlight           int64  `json:"in_flight"`
 	Workers            int    `json:"workers"`
+	StoreHits          uint64 `json:"store_hits"`
+	StoreMisses        uint64 `json:"store_misses"`
+	StoreWrites        uint64 `json:"store_writes"`
+	StoreHydrated      uint64 `json:"store_hydrated"`
 }
 
 // NewHandler wires a core server into an http.Handler.
@@ -141,6 +153,12 @@ func writeJSONAs(w http.ResponseWriter, r *http.Request, contentType string, v i
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	writeRaw(w, r, contentType, body)
+}
+
+// writeRaw sends a pre-marshaled body, gzipping when the client offered
+// Accept-Encoding: gzip (r may be nil to skip negotiation).
+func writeRaw(w http.ResponseWriter, r *http.Request, contentType string, body []byte) {
 	w.Header().Set("Content-Type", contentType)
 	if r != nil && strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
 		w.Header().Set("Content-Encoding", "gzip")
@@ -150,6 +168,34 @@ func writeJSONAs(w http.ResponseWriter, r *http.Request, contentType string, v i
 		return
 	}
 	w.Write(body)
+}
+
+// forestETag derives the strong ETag for an encoded forest body. Forest
+// generation is deterministic and the v2 codec's quantization idempotent,
+// so the tag is stable across processes and store round-trips for v2
+// responses; it covers the exact representation — v1 and v2 bodies tag
+// differently, and (strong ETags name the representation including its
+// content coding, RFC 9110 §8.8.3) a gzipped response tags differently
+// from the identity one.
+func forestETag(body []byte, gzipped bool) string {
+	sum := sha256.Sum256(body)
+	tag := hex.EncodeToString(sum[:16])
+	if gzipped {
+		tag += "-gzip"
+	}
+	return `"` + tag + `"`
+}
+
+// etagMatches implements the If-None-Match strong comparison: any listed
+// tag equal to etag (weak W/ tags never strongly match), or "*".
+func etagMatches(header, etag string) bool {
+	for _, tok := range strings.Split(header, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "*" || tok == etag {
+			return tok != ""
+		}
+	}
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -177,6 +223,10 @@ func statsResponse(s core.EngineStats) StatsResponse {
 		Solves:             s.Solves,
 		InFlight:           s.InFlight,
 		Workers:            s.Workers,
+		StoreHits:          s.StoreHits,
+		StoreMisses:        s.StoreMisses,
+		StoreWrites:        s.StoreWrites,
+		StoreHydrated:      s.StoreHydrated,
 	}
 }
 
@@ -226,23 +276,46 @@ func wantsForestV2(r *http.Request) bool {
 }
 
 // writeForestNegotiated serves a generated forest in whichever encoding
-// the request's Accept header negotiated (v2 compact or v1 dense).
+// the request's Accept header negotiated (v2 compact or v1 dense), with a
+// strong ETag over the encoded body. A request whose If-None-Match lists
+// the current tag gets 304 Not Modified with no body — clients keep a
+// small forest cache and revalidate for free (generation itself is served
+// by the engine's own caches; the 304 saves the payload bytes).
 func writeForestNegotiated(w http.ResponseWriter, r *http.Request, tree *loctree.Tree, forest *core.Forest) {
+	var (
+		v     interface{}
+		ctype string
+		err   error
+	)
 	if wantsForestV2(r) {
-		resp, err := EncodeForestV2(tree, forest)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSONAs(w, r, ContentTypeForestV2, resp)
-		return
+		ctype = ContentTypeForestV2
+		v, err = EncodeForestV2(tree, forest)
+	} else {
+		ctype = "application/json"
+		v, err = EncodeForestV1(tree, forest)
 	}
-	resp, err := EncodeForestV1(tree, forest)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSONAs(w, r, "application/json", resp)
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// The response varies by negotiated encoding (Accept) and content
+	// coding (Accept-Encoding), and the strong ETag must name that exact
+	// representation — without both, a shared cache could satisfy a
+	// v1/identity client with v2/gzip bytes.
+	gzipped := strings.Contains(r.Header.Get("Accept-Encoding"), "gzip")
+	etag := forestETag(body, gzipped)
+	w.Header().Set("Vary", "Accept, Accept-Encoding")
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	writeRaw(w, r, ctype, body)
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -320,10 +393,18 @@ func EncodeForestV1(tree *loctree.Tree, forest *core.Forest) (*ForestResponse, e
 // Client is the user-side API consumer. The zero Region addresses the
 // server's default region; setting Region (or using NewRegionClient)
 // routes every call to that named shard of a multi-region server.
+//
+// Forest requests advertise the compact v2 encoding and (via the
+// transport's default negotiation) gzip; ForceV1 is the escape hatch back
+// to dense v1 JSON for debugging or very old servers.
 type Client struct {
 	base   string
 	region string
 	http   *http.Client
+
+	// ForceV1 stops advertising the compact v2 forest encoding, so
+	// responses come back as dense v1 JSON.
+	ForceV1 bool
 }
 
 // NewClient targets a server base URL (e.g. "http://127.0.0.1:8080").
@@ -396,11 +477,49 @@ func (c *Client) FetchPriors(tree *loctree.Tree) (*loctree.Priors, error) {
 	return loctree.NewPriors(tree, leaf)
 }
 
+// accept is the Accept header this client advertises for forest routes.
+func (c *Client) accept() string {
+	if c.ForceV1 {
+		return "application/json"
+	}
+	return ContentTypeForestV2 + ", application/json"
+}
+
+// ForestResult is one forest fetch outcome, carrying enough for a caller
+// to maintain its own conditional-fetch cache: the decoded forest, the
+// response's strong ETag, and the raw body + content type to store and
+// re-decode after a later 304.
+type ForestResult struct {
+	// Forest is the decoded forest; nil when NotModified.
+	Forest *core.Forest
+	// ETag is the response's entity tag ("" if the server sent none).
+	ETag string
+	// NotModified reports a 304: the caller's cached copy (whose tag was
+	// sent as ifNoneMatch) is still current.
+	NotModified bool
+	// ContentType and Body are the raw representation, for caching. Empty
+	// when NotModified.
+	ContentType string
+	Body        []byte
+}
+
 // FetchForest requests the privacy forest for (privacyLevel, delta) and
 // reassembles it against the local tree. The request advertises the compact
-// v2 encoding; the response Content-Type decides which decoder runs, so a
-// v1-only server keeps working unchanged.
+// v2 encoding (unless ForceV1); the response Content-Type decides which
+// decoder runs, so a v1-only server keeps working unchanged.
 func (c *Client) FetchForest(tree *loctree.Tree, privacyLevel, delta int) (*core.Forest, error) {
+	res, err := c.FetchForestTagged(tree, privacyLevel, delta, "")
+	if err != nil {
+		return nil, err
+	}
+	return res.Forest, nil
+}
+
+// FetchForestTagged is FetchForest with conditional-fetch support: a
+// non-empty ifNoneMatch is sent as If-None-Match, and a 304 comes back as
+// NotModified=true with no body re-downloaded or decoded. Decode a cached
+// body with DecodeForestBody.
+func (c *Client) FetchForestTagged(tree *loctree.Tree, privacyLevel, delta int, ifNoneMatch string) (*ForestResult, error) {
 	body, err := json.Marshal(MatrixRequest{PrivacyLevel: privacyLevel, Delta: delta})
 	if err != nil {
 		return nil, err
@@ -410,25 +529,57 @@ func (c *Client) FetchForest(tree *loctree.Tree, privacyLevel, delta int) (*core
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("Accept", ContentTypeForestV2+", application/json")
+	req.Header.Set("Accept", c.accept())
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		etag := resp.Header.Get("ETag")
+		if etag == "" {
+			etag = ifNoneMatch
+		}
+		return &ForestResult{ETag: etag, NotModified: true}, nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return nil, fmt.Errorf("proto: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
-	if strings.Contains(resp.Header.Get("Content-Type"), ContentTypeForestV2) {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	ctype := resp.Header.Get("Content-Type")
+	forest, err := DecodeForestBody(tree, ctype, raw)
+	if err != nil {
+		return nil, err
+	}
+	return &ForestResult{
+		Forest:      forest,
+		ETag:        resp.Header.Get("ETag"),
+		ContentType: ctype,
+		Body:        raw,
+	}, nil
+}
+
+// DecodeForestBody reassembles a raw forest response body against the
+// local tree, dispatching on the response's Content-Type (v2 compact or v1
+// dense). It is the decoding half of FetchForestTagged, exported so
+// callers can re-decode bodies they cached across a 304.
+func DecodeForestBody(tree *loctree.Tree, contentType string, body []byte) (*core.Forest, error) {
+	if strings.Contains(contentType, ContentTypeForestV2) {
 		var fr ForestResponseV2
-		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		if err := json.Unmarshal(body, &fr); err != nil {
 			return nil, err
 		}
 		return DecodeForestV2(tree, &fr)
 	}
 	var fr ForestResponse
-	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+	if err := json.Unmarshal(body, &fr); err != nil {
 		return nil, err
 	}
 	return DecodeForest(tree, &fr)
@@ -449,7 +600,7 @@ func (c *Client) FetchForestBatch(items []BatchItem) (*BatchForestResponse, erro
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("Accept", ContentTypeForestV2+", application/json")
+	req.Header.Set("Accept", c.accept())
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err

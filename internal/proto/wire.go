@@ -1,39 +1,20 @@
 package proto
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 
+	"corgi/internal/codec"
 	"corgi/internal/core"
 	"corgi/internal/hexgrid"
 	"corgi/internal/loctree"
-	"corgi/internal/obf"
 )
 
-// Wire format v2: a compact, quantized, row-sparse matrix encoding.
-//
-// Each matrix entry is a probability in [0, 1], quantized to a 32-bit fixed
-// point q = round(v * (2^32 - 1)); the decode error per entry is at most
-// 0.5/(2^32-1) ≈ 1.2e-10, far inside the 1e-9 wire tolerance and the 1e-6
-// row-stochasticity check. Rows are stored back-to-back in one binary blob
-// (JSON-marshaled as base64):
-//
-//	uint16 n  (little endian)
-//	n == 0xFFFF: a dense row follows — dim × uint32 quantized values
-//	otherwise:   n sparse entries of (uint16 column, uint32 value)
-//
-// The encoder picks per row whichever form is smaller. LP basic solutions
-// are naturally sparse (few nonzero transitions per row), so the sparse arm
-// dominates in practice; even a fully dense matrix is ~4 bytes per entry
-// versus ~19 characters of decimal JSON.
-
-// quantScale maps [0,1] onto the full uint32 range.
-const quantScale = float64(1<<32 - 1)
-
-// denseRowMark flags a dense row in the per-row header. Matrix dimensions
-// must stay below it (the paper's largest tree has 343 leaves).
-const denseRowMark = 0xFFFF
+// Wire format v2 frames the quantized row-sparse matrix encoding of
+// internal/codec (see its package comment for the byte layout and error
+// bounds): each entry's rows pack into one binary blob, base64-framed by
+// JSON. The same blob format is the forest store's at-rest representation
+// (internal/store), so a snapshot and a v2 response carry identical matrix
+// bytes.
 
 // ContentTypeForestV2 is the negotiated media type for the compact forest
 // encoding. Clients request it via Accept; the server confirms it via
@@ -56,108 +37,6 @@ type ForestResponseV2 struct {
 	Entries      []ForestEntryWire2 `json:"entries"`
 }
 
-func quantize(v float64) uint32 {
-	if v <= 0 {
-		return 0
-	}
-	if v >= 1 {
-		return math.MaxUint32
-	}
-	return uint32(math.Round(v * quantScale))
-}
-
-func dequantize(q uint32) float64 { return float64(q) / quantScale }
-
-// encodeMatrixV2 packs a matrix into the v2 binary blob.
-func encodeMatrixV2(m *obf.Matrix) ([]byte, error) {
-	dim := m.Dim()
-	if dim >= denseRowMark {
-		return nil, fmt.Errorf("proto: matrix dimension %d exceeds wire v2 limit %d", dim, denseRowMark-1)
-	}
-	var buf []byte
-	qrow := make([]uint32, dim)
-	for i := 0; i < dim; i++ {
-		row := m.Row(i)
-		nnz := 0
-		for j, v := range row {
-			qrow[j] = quantize(v)
-			if qrow[j] != 0 {
-				nnz++
-			}
-		}
-		sparseBytes := 2 + 6*nnz
-		denseBytes := 2 + 4*dim
-		if sparseBytes < denseBytes {
-			buf = binary.LittleEndian.AppendUint16(buf, uint16(nnz))
-			for j, q := range qrow {
-				if q == 0 {
-					continue
-				}
-				buf = binary.LittleEndian.AppendUint16(buf, uint16(j))
-				buf = binary.LittleEndian.AppendUint32(buf, q)
-			}
-		} else {
-			buf = binary.LittleEndian.AppendUint16(buf, denseRowMark)
-			for _, q := range qrow {
-				buf = binary.LittleEndian.AppendUint32(buf, q)
-			}
-		}
-	}
-	return buf, nil
-}
-
-// decodeMatrixV2 unpacks a v2 blob back into a dense matrix.
-func decodeMatrixV2(data []byte, dim int) (*obf.Matrix, error) {
-	if dim < 1 || dim >= denseRowMark {
-		return nil, fmt.Errorf("proto: wire v2 dimension %d out of range", dim)
-	}
-	m := obf.NewMatrix(dim)
-	off := 0
-	need := func(n int) error {
-		if off+n > len(data) {
-			return fmt.Errorf("proto: wire v2 blob truncated at byte %d", off)
-		}
-		return nil
-	}
-	for i := 0; i < dim; i++ {
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		n := binary.LittleEndian.Uint16(data[off:])
-		off += 2
-		row := m.Row(i)
-		if n == denseRowMark {
-			if err := need(4 * dim); err != nil {
-				return nil, err
-			}
-			for j := 0; j < dim; j++ {
-				row[j] = dequantize(binary.LittleEndian.Uint32(data[off:]))
-				off += 4
-			}
-			continue
-		}
-		if int(n) > dim {
-			return nil, fmt.Errorf("proto: wire v2 row %d claims %d entries for dim %d", i, n, dim)
-		}
-		if err := need(6 * int(n)); err != nil {
-			return nil, err
-		}
-		for k := 0; k < int(n); k++ {
-			col := binary.LittleEndian.Uint16(data[off:])
-			off += 2
-			if int(col) >= dim {
-				return nil, fmt.Errorf("proto: wire v2 row %d column %d out of range", i, col)
-			}
-			row[col] = dequantize(binary.LittleEndian.Uint32(data[off:]))
-			off += 4
-		}
-	}
-	if off != len(data) {
-		return nil, fmt.Errorf("proto: wire v2 blob has %d trailing bytes", len(data)-off)
-	}
-	return m, nil
-}
-
 // EncodeForestV2 converts a generated forest into the compact wire form.
 // Entries are emitted in the tree's level-node order for determinism.
 func EncodeForestV2(tree *loctree.Tree, forest *core.Forest) (*ForestResponseV2, error) {
@@ -167,7 +46,7 @@ func EncodeForestV2(tree *loctree.Tree, forest *core.Forest) (*ForestResponseV2,
 		if !ok {
 			return nil, fmt.Errorf("proto: forest missing entry for %v", node)
 		}
-		data, err := encodeMatrixV2(e.Matrix)
+		data, err := codec.EncodeMatrix(e.Matrix)
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +80,7 @@ func DecodeForestV2(tree *loctree.Tree, fr *ForestResponseV2) (*core.Forest, err
 		if wire.Dim != len(wire.Leaves) {
 			return nil, fmt.Errorf("proto: entry %v has dim %d for %d leaves", root, wire.Dim, len(wire.Leaves))
 		}
-		m, err := decodeMatrixV2(wire.Data, wire.Dim)
+		m, err := codec.DecodeMatrix(wire.Data, wire.Dim)
 		if err != nil {
 			return nil, fmt.Errorf("proto: entry %v: %w", root, err)
 		}

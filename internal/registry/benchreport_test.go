@@ -1,0 +1,216 @@
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"corgi/internal/store"
+)
+
+// benchStoreDir precomputes a store for specs once per benchmark run.
+func benchStoreDir(b *testing.B, specs []Spec, maxDelta int) string {
+	b.Helper()
+	dir := b.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, err := New(specs, Options{WarmupDelta: maxDelta, Store: st})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.BootstrapAll(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	reg.FlushStores()
+	return dir
+}
+
+func benchSpecs(names ...string) []Spec {
+	specs := make([]Spec, len(names))
+	for i, name := range names {
+		specs[i] = Spec{
+			Name:      name,
+			CenterLat: 37.765 + float64(i),
+			CenterLng: -122.435,
+			Height:    2, Iterations: 1, Targets: 3,
+			UniformPriors: true,
+		}
+	}
+	return specs
+}
+
+// BenchmarkStoreHydration measures loading a full precomputed region
+// (every level, deltas 0..2) from disk into the entry cache — the work a
+// warm restart pays instead of LP solves.
+func BenchmarkStoreHydration(b *testing.B) {
+	specs := benchSpecs("bench-hydrate")
+	dir := benchStoreDir(b, specs, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg, err := New(specs, Options{Store: st})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		sh, err := reg.Shard(context.Background(), specs[0].Name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if est := sh.Server.Stats(); est.StoreHydrated == 0 {
+			b.Fatal("benchmark hydrated nothing")
+		}
+	}
+}
+
+// BenchmarkWarmRestartFirstForest measures the full restart-to-first-byte
+// path: bootstrap a shard over a populated store and serve one forest,
+// with zero LP solves allowed.
+func BenchmarkWarmRestartFirstForest(b *testing.B) {
+	specs := benchSpecs("bench-restart")
+	dir := benchStoreDir(b, specs, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg, err := New(specs, Options{Store: st})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		sh, err := reg.Shard(context.Background(), specs[0].Name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sh.Server.GenerateForest(1, 0); err != nil {
+			b.Fatal(err)
+		}
+		if est := sh.Server.Stats(); est.Solves != 0 {
+			b.Fatalf("warm restart ran %d solves", est.Solves)
+		}
+	}
+}
+
+// benchReport is the BENCH_pr3.json shape consumed by CI: the store's
+// warm-restart value in three numbers — serving throughput, cold-start
+// tail latency over a populated store, and the LP solves a restart costs.
+type benchReport struct {
+	// WarmReqPerSec is closed-loop in-process GenerateForest throughput
+	// over hydrated keys.
+	WarmReqPerSec float64 `json:"req_per_sec"`
+	// ColdStartP99Ms / ColdStartMaxMs are quantiles over the first request
+	// of every (region, level, delta) on a freshly restarted, store-backed
+	// registry (includes shard bootstrap for each region's first key).
+	ColdStartP99Ms float64 `json:"cold_start_p99_ms"`
+	ColdStartMaxMs float64 `json:"cold_start_max_ms"`
+	// SolvesOnRestart counts LP solves during that cold sweep; a populated
+	// store makes it 0.
+	SolvesOnRestart uint64 `json:"solves_on_restart"`
+	// HydratedEntries is how many matrices the restart loaded from disk.
+	HydratedEntries uint64 `json:"hydrated_entries"`
+	Regions         int    `json:"regions"`
+	MaxDelta        int    `json:"max_delta"`
+}
+
+// TestBenchReportPR3 writes BENCH_pr3.json for the CI benchmark artifact.
+// It is skipped unless BENCH_PR3_OUT names the output path, so regular
+// test runs stay fast.
+func TestBenchReportPR3(t *testing.T) {
+	out := os.Getenv("BENCH_PR3_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PR3_OUT=path to generate the benchmark report")
+	}
+	specs := fastSpecs("bench-a", "bench-b", "bench-c")
+	const maxDelta = 1
+	dir := t.TempDir()
+	precompute(t, dir, specs, maxDelta)
+
+	// Restart over the populated store and sweep every precomputed key
+	// cold, timing each first request.
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := New(specs, Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var coldMs []float64
+	type key struct {
+		name         string
+		level, delta int
+	}
+	var keys []key
+	for _, spec := range specs {
+		for level := 1; level <= spec.Height; level++ {
+			for delta := 0; delta <= maxDelta; delta++ {
+				keys = append(keys, key{spec.Name, level, delta})
+			}
+		}
+	}
+	for _, k := range keys {
+		start := time.Now()
+		sh, err := reg.Shard(ctx, k.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sh.Server.GenerateForest(k.level, k.delta); err != nil {
+			t.Fatal(err)
+		}
+		coldMs = append(coldMs, float64(time.Since(start))/float64(time.Millisecond))
+	}
+	agg := reg.AggregateStats()
+
+	// Warm throughput: closed-loop requests over the now-hot keys.
+	warmStart := time.Now()
+	warmReqs := 0
+	for time.Since(warmStart) < 2*time.Second {
+		k := keys[warmReqs%len(keys)]
+		sh, err := reg.Shard(ctx, k.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sh.Server.GenerateForest(k.level, k.delta); err != nil {
+			t.Fatal(err)
+		}
+		warmReqs++
+	}
+	warmElapsed := time.Since(warmStart).Seconds()
+
+	sort.Float64s(coldMs)
+	rep := benchReport{
+		WarmReqPerSec:   math.Round(float64(warmReqs) / warmElapsed),
+		ColdStartP99Ms:  coldMs[int(0.99*float64(len(coldMs)-1))],
+		ColdStartMaxMs:  coldMs[len(coldMs)-1],
+		SolvesOnRestart: agg.Solves,
+		HydratedEntries: agg.StoreHydrated,
+		Regions:         len(specs),
+		MaxDelta:        maxDelta,
+	}
+	if rep.SolvesOnRestart != 0 {
+		t.Fatalf("benchmark restart ran %d solves over a populated store", rep.SolvesOnRestart)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("BENCH_pr3: %s\n", data)
+}

@@ -1,0 +1,89 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SpecDefaults carries flag-level generation defaults applied to any spec
+// field left at its zero value. cmd/corgi-server and cmd/corgi-gen share
+// this assembly (and expose the same flags with the same defaults), so the
+// spec hashes — and therefore the persistent-store snapshots — they
+// address agree by construction: a store populated by corgi-gen under some
+// flag set is hit by a corgi-server started with the same flags.
+type SpecDefaults struct {
+	Epsilon       float64
+	Height        int
+	LeafSpacingKm float64
+	Iterations    int
+	Targets       int
+	Seed          int64
+	UniformPriors bool
+	// CheckinsPath is applied to the first (default) region only.
+	CheckinsPath string
+}
+
+// BuildSpecs assembles region specs from a -regions flag value
+// (comma-separated builtin metro names; empty means "sf") or a
+// -region-config file path (a JSON array of specs), then fills unset
+// fields from the flag defaults. Exactly one of the two sources may be
+// non-empty.
+func BuildSpecs(regionsFlag, configPath string, d SpecDefaults) ([]Spec, error) {
+	var specs []Spec
+	switch {
+	case configPath != "" && regionsFlag != "":
+		return nil, fmt.Errorf("use either -regions or -region-config, not both")
+	case configPath != "":
+		var err error
+		specs, err = LoadSpecsFile(configPath)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		if regionsFlag == "" {
+			regionsFlag = "sf"
+		}
+		for _, name := range strings.Split(regionsFlag, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			spec, ok := BuiltinSpec(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown builtin region %q; builtins: %s (use -region-config for custom regions)",
+					name, strings.Join(BuiltinNames(), ", "))
+			}
+			specs = append(specs, spec)
+		}
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("-regions named no regions")
+		}
+	}
+	for i := range specs {
+		if specs[i].Epsilon == 0 {
+			specs[i].Epsilon = d.Epsilon
+		}
+		if specs[i].Height == 0 {
+			specs[i].Height = d.Height
+		}
+		if specs[i].LeafSpacingKm == 0 {
+			specs[i].LeafSpacingKm = d.LeafSpacingKm
+		}
+		if specs[i].Iterations == 0 {
+			specs[i].Iterations = d.Iterations
+		}
+		if specs[i].Targets == 0 {
+			specs[i].Targets = d.Targets
+		}
+		if specs[i].Seed == 0 {
+			specs[i].Seed = d.Seed
+		}
+		if d.UniformPriors {
+			specs[i].UniformPriors = true
+		}
+	}
+	if d.CheckinsPath != "" {
+		specs[0].CheckinsPath = d.CheckinsPath
+	}
+	return specs, nil
+}

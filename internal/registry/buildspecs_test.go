@@ -1,4 +1,4 @@
-package main
+package registry
 
 import (
 	"os"
@@ -7,12 +7,12 @@ import (
 	"testing"
 )
 
-func defaults() specDefaults {
-	return specDefaults{epsilon: 15, height: 2, spacing: 0.1, iters: 5, targets: 20}
+func flagDefaults() SpecDefaults {
+	return SpecDefaults{Epsilon: 15, Height: 2, LeafSpacingKm: 0.1, Iterations: 5, Targets: 20}
 }
 
 func TestBuildSpecsBuiltins(t *testing.T) {
-	specs, err := buildSpecs("", "", defaults())
+	specs, err := BuildSpecs("", "", flagDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +20,7 @@ func TestBuildSpecsBuiltins(t *testing.T) {
 		t.Fatalf("default specs: %+v", specs)
 	}
 
-	specs, err = buildSpecs("sf, nyc ,la", "", defaults())
+	specs, err = BuildSpecs("sf, nyc ,la", "", flagDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,11 +33,11 @@ func TestBuildSpecsBuiltins(t *testing.T) {
 		}
 	}
 
-	if _, err := buildSpecs("atlantis", "", defaults()); err == nil ||
+	if _, err := BuildSpecs("atlantis", "", flagDefaults()); err == nil ||
 		!strings.Contains(err.Error(), "sf") {
 		t.Errorf("unknown builtin must fail listing builtins, got %v", err)
 	}
-	if _, err := buildSpecs(" , ", "", defaults()); err == nil {
+	if _, err := BuildSpecs(" , ", "", flagDefaults()); err == nil {
 		t.Error("blank region list must fail")
 	}
 }
@@ -51,10 +51,10 @@ func TestBuildSpecsConfigFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	d := defaults()
-	d.checkins = "gowalla.txt"
-	d.uniform = true
-	specs, err := buildSpecs("", path, d)
+	d := flagDefaults()
+	d.CheckinsPath = "gowalla.txt"
+	d.UniformPriors = true
+	specs, err := BuildSpecs("", path, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,10 +76,41 @@ func TestBuildSpecsConfigFile(t *testing.T) {
 		t.Error("-uniform-priors must apply everywhere")
 	}
 
-	if _, err := buildSpecs("sf", path, defaults()); err == nil {
+	if _, err := BuildSpecs("sf", path, flagDefaults()); err == nil {
 		t.Error("-regions and -region-config together must fail")
 	}
-	if _, err := buildSpecs("", filepath.Join(t.TempDir(), "missing.json"), defaults()); err == nil {
+	if _, err := BuildSpecs("", filepath.Join(t.TempDir(), "missing.json"), flagDefaults()); err == nil {
 		t.Error("missing config file must fail")
+	}
+}
+
+// TestBuildSpecsHashesAgreeAcrossBinaries guards the corgi-gen /
+// corgi-server store contract: assembling the same flags through
+// BuildSpecs must produce identical spec hashes, whether the spec came
+// from the builtin table or a config file.
+func TestBuildSpecsHashesAgreeAcrossBinaries(t *testing.T) {
+	genSpecs, err := BuildSpecs("sf,nyc", "", flagDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvSpecs, err := BuildSpecs("sf,nyc", "", flagDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range genSpecs {
+		if genSpecs[i].Hash() != srvSpecs[i].Hash() {
+			t.Errorf("region %s: hashes diverge for identical flags", genSpecs[i].Name)
+		}
+	}
+	// And a flag override must move the hash (the store is then
+	// legitimately cold for the new parameters).
+	d := flagDefaults()
+	d.Epsilon = 10
+	changed, err := BuildSpecs("sf,nyc", "", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed[0].Hash() == genSpecs[0].Hash() {
+		t.Error("changed -eps did not change the spec hash")
 	}
 }

@@ -14,6 +14,8 @@ package registry
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,6 +30,7 @@ import (
 	"corgi/internal/gowalla"
 	"corgi/internal/hexgrid"
 	"corgi/internal/loctree"
+	"corgi/internal/store"
 )
 
 // Spec declares one region: where it is, how its tree is built, and how
@@ -132,6 +135,32 @@ func (s Spec) validate() error {
 	return nil
 }
 
+// specHashVersion stamps the hash input so a future change to generation
+// semantics (not just spec fields) can invalidate every existing snapshot
+// at once by bumping it.
+const specHashVersion = "corgi-spec-v1"
+
+// Hash fingerprints the full set of generation inputs this spec implies:
+// the canonical JSON of the spec with defaults applied, prefixed by a
+// format-version tag, hashed with SHA-256. It keys the persistent forest
+// store (internal/store) — any change to a region's priors, tree shape, or
+// generation parameters changes the hash, so stale snapshots are never
+// addressed again, let alone served. Note the hash covers CheckinsPath's
+// value, not the file's contents; republishing changed check-in data under
+// the same path requires a new path (or clearing the store).
+func (s Spec) Hash() string {
+	canon, err := json.Marshal(s.withDefaults())
+	if err != nil {
+		// Spec is a plain struct of scalars; Marshal cannot fail on it.
+		panic(fmt.Sprintf("registry: marshaling spec: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(specHashVersion))
+	h.Write([]byte{0})
+	h.Write(canon)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // nameSeed derives a stable positive seed from a region name.
 func nameSeed(name string) int64 {
 	h := fnv.New64a()
@@ -199,11 +228,19 @@ func BuiltinNames() []string {
 // Options tunes every shard in a registry.
 type Options struct {
 	// Engine is the per-shard engine tuning (workers, cache bytes). Each
-	// shard gets its own worker pool and cache of this shape.
+	// shard gets its own worker pool and cache of this shape. Engine.Store
+	// is overridden per shard when Store is set.
 	Engine core.EngineOptions
 	// WarmupDelta >= 0 precomputes every (level, delta <= WarmupDelta)
 	// forest right after a shard bootstraps; negative disables warmup.
 	WarmupDelta int
+	// Store, when non-nil, is the persistent forest store shared by every
+	// shard: each bootstrap attaches a per-region view keyed by the spec's
+	// hash, hydrates the shard's cache from existing snapshots (so a
+	// restarted or -eager server serves precomputed forests with zero LP
+	// solves), and newly solved forests write back asynchronously. A spec
+	// change changes the hash, invalidating that region's old snapshots.
+	Store *store.Store
 }
 
 // Shard is one bootstrapped region: its spec and its serving engine. The
@@ -243,6 +280,13 @@ type Registry struct {
 func New(specs []Spec, opts Options) (*Registry, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("registry: at least one region spec required")
+	}
+	if opts.Engine.Store != nil {
+		// A raw engine store has no region namespacing: every shard would
+		// read and write the same bare (level, delta) keys, cross-serving
+		// forests between regions. The registry only supports the
+		// spec-hash-keyed path.
+		return nil, fmt.Errorf("registry: set Options.Store (per-region, spec-hash keyed) instead of Options.Engine.Store")
 	}
 	if opts.WarmupDelta < 0 {
 		opts.WarmupDelta = -1
@@ -377,13 +421,30 @@ func (r *Registry) bootstrap(ctx context.Context, spec Spec) (*Shard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("registry: region %q: %w", spec.Name, err)
 	}
+	engineOpts := r.opts.Engine
+	if r.opts.Store != nil {
+		fs, err := store.NewForestStore(r.opts.Store, spec.Hash(), tree)
+		if err != nil {
+			return nil, fmt.Errorf("registry: region %q store: %w", spec.Name, err)
+		}
+		engineOpts.Store = fs
+	}
 	srv, err := core.NewServerWithOptions(tree, priors, targets, probs, core.Params{
 		Epsilon:        spec.Epsilon,
 		Iterations:     spec.Iterations,
 		UseGraphApprox: true,
-	}, r.opts.Engine)
+	}, engineOpts)
 	if err != nil {
 		return nil, fmt.Errorf("registry: region %q server: %w", spec.Name, err)
+	}
+	if r.opts.Store != nil {
+		// Best-effort warm restart: snapshots for this spec hash preload
+		// the cache so precomputed forests serve with zero LP solves.
+		// Hydration failures (unreadable store) degrade to computing —
+		// corrupt individual snapshots are already skipped one level down.
+		if _, err := srv.HydrateFromStore(ctx); err == nil {
+			_ = r.opts.Store.WriteSpecNote(spec.Hash(), spec)
+		}
 	}
 	if r.opts.WarmupDelta >= 0 {
 		if err := srv.Warmup(ctx, r.opts.WarmupDelta); err != nil {
@@ -468,6 +529,21 @@ func spreadTargets(tree *loctree.Tree, n int) ([]geo.LatLng, []float64, error) {
 		probs = append(probs, 1)
 	}
 	return targets, probs, nil
+}
+
+// FlushStores blocks until every bootstrapped shard's pending store
+// write-backs have finished. Call before process exit so freshly solved
+// forests are durable; without a configured store it is a no-op.
+func (r *Registry) FlushStores() {
+	r.mu.Lock()
+	shards := make([]*Shard, 0, len(r.shards))
+	for _, sh := range r.shards {
+		shards = append(shards, sh)
+	}
+	r.mu.Unlock()
+	for _, sh := range shards {
+		sh.Server.FlushStore()
+	}
 }
 
 // Stats snapshots every bootstrapped shard's engine counters by region.
