@@ -9,6 +9,18 @@
 // against single-region deployments. An unknown region fails with the
 // server's 404, whose message lists the available region names.
 //
+// Local draws run through one report session bound to the fetched forest:
+// the pruned, renormalized row and its O(1) alias sampler are derived once
+// and reused across every -reports N draw, and a fixed -seed makes the
+// printed sequence deterministic.
+//
+// -remote switches to the server-side report pipeline instead: the client
+// sends (region, cell, inline policy, uid, seed, count) to POST /v1/report
+// and prints the drawn reports. This trades the paper's trust model (the
+// true cell and the policy cross the wire) for never downloading a matrix;
+// preference evaluation then uses the *server's* region metadata, so
+// remote draws with -pref may prune differently than local ones.
+//
 // Forests travel in the compact wire-v2 encoding with gzip by default
 // (-v1 falls back to dense JSON), and the client keeps a small on-disk
 // forest cache: each fetch sends the cached copy's ETag as If-None-Match,
@@ -20,7 +32,8 @@
 //	corgi-client [-server http://127.0.0.1:8080] [-region nyc] \
 //	             -lat 37.765 -lng -122.435 \
 //	             [-privacy 1] [-precision 0] [-pref "home != true" -pref "distance <= 5"] \
-//	             [-reports 1] [-seed 0] [-v1] [-no-cache] [-cache-dir DIR]
+//	             [-reports 1] [-seed 0] [-remote] [-uid 0] \
+//	             [-v1] [-no-cache] [-cache-dir DIR]
 package main
 
 import (
@@ -30,7 +43,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 	"path/filepath"
 	"time"
@@ -41,6 +53,7 @@ import (
 	"corgi/internal/loctree"
 	"corgi/internal/policy"
 	"corgi/internal/proto"
+	"corgi/internal/session"
 )
 
 type prefList []string
@@ -146,6 +159,8 @@ func main() {
 	precision := flag.Int("precision", 0, "precision level of the report")
 	reports := flag.Int("reports", 1, "number of obfuscated reports to draw")
 	seed := flag.Int64("seed", 0, "sampling seed (0: time-based)")
+	remote := flag.Bool("remote", false, "draw via the server-side report pipeline (POST /v1/report)")
+	uid := flag.Int64("uid", 0, "user id for remote metadata attributes and session state")
 	v1 := flag.Bool("v1", false, "request the dense v1 forest encoding instead of compact v2")
 	noCache := flag.Bool("no-cache", false, "disable the on-disk forest cache")
 	cacheDir := flag.String("cache-dir", "", "forest cache directory (default: user cache dir)")
@@ -166,10 +181,6 @@ func main() {
 		which = "server default"
 	}
 	log.Printf("region %s: tree height %d, %d leaves, eps=%g", which, info.Height, tree.NumLeaves(), info.Epsilon)
-	priors, err := c.FetchPriors(tree)
-	if err != nil {
-		log.Fatalf("fetching priors: %v", err)
-	}
 
 	pol := policy.Policy{PrivacyLevel: *privacy, PrecisionLevel: *precision}
 	for _, s := range prefs {
@@ -183,6 +194,44 @@ func main() {
 		log.Fatalf("policy: %v", err)
 	}
 	real := geo.LatLng{Lat: *lat, Lng: *lng}
+	leaf, ok := tree.Locate(real, 0)
+	if !ok {
+		log.Fatalf("location outside the service region")
+	}
+
+	s := *seed
+	if s == 0 {
+		s = time.Now().UnixNano()
+	}
+
+	if *remote {
+		log.Printf("remote report: cell (%d,%d) uid %d seed %d count %d (cell and policy cross the wire)",
+			leaf.Coord.Q, leaf.Coord.R, *uid, s, *reports)
+		resp, err := c.Report(proto.ReportRequest{
+			Cell:   [2]int{leaf.Coord.Q, leaf.Coord.R},
+			UID:    *uid,
+			Policy: pol,
+			Seed:   s,
+			Count:  *reports,
+		})
+		if err != nil {
+			log.Fatalf("remote report: %v", err)
+		}
+		for i, rep := range resp.Reports {
+			center := geo.LatLng{Lat: rep.Lat, Lng: rep.Lng}
+			fmt.Printf("report %d: node L%d(%d,%d) center %.6f,%.6f (moved %.3f km, pruned %d)\n",
+				i+1, resp.PrecisionLevel, rep.Q, rep.R, rep.Lat, rep.Lng,
+				geo.Haversine(real, center), resp.Pruned)
+		}
+		return
+	}
+
+	// Only the local sampling path needs the public priors (precision
+	// reduction, Equ. 17); the remote path above never fetches them.
+	priors, err := c.FetchPriors(tree)
+	if err != nil {
+		log.Fatalf("fetching priors: %v", err)
+	}
 
 	// Local attributes for preference evaluation: derived from the
 	// synthetic corpus (a real deployment would use the user's own data —
@@ -203,10 +252,6 @@ func main() {
 	// Count the prune set first so only |S| is requested from the server.
 	delta := 0
 	if len(pol.Preferences) > 0 {
-		leaf, ok := tree.Locate(real, 0)
-		if !ok {
-			log.Fatalf("location outside the service region")
-		}
 		root, _ := tree.AncestorAt(leaf, pol.PrivacyLevel)
 		pruned, err := core.EvalPreferences(tree.LeavesUnder(root), pol, attrs)
 		if err != nil {
@@ -226,19 +271,37 @@ func main() {
 		log.Fatalf("fetching forest: %v", err)
 	}
 
-	s := *seed
-	if s == 0 {
-		s = time.Now().UnixNano()
+	// Bind one local report session to the fetched forest: the pruned,
+	// renormalized row and its alias sampler derive once, and every draw
+	// after the first is O(1) — no per-report re-customization.
+	root, ok := tree.AncestorAt(leaf, pol.PrivacyLevel)
+	if !ok {
+		log.Fatalf("no ancestor at privacy level %d", pol.PrivacyLevel)
 	}
-	rng := rand.New(rand.NewSource(s))
+	entry, ok := forest.Entries[root]
+	if !ok {
+		log.Fatalf("forest has no entry for subtree %v", root)
+	}
+	sess, err := session.New(session.Config{
+		Tree:   tree,
+		Entry:  entry,
+		Delta:  forest.Delta,
+		Policy: pol,
+		Attrs:  attrs,
+		Priors: priors,
+		Seed:   s,
+	})
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
 	for i := 0; i < *reports; i++ {
-		out, err := core.GenerateObfuscatedLocation(tree, forest, real, pol, attrs, priors, rng)
+		reported, err := sess.DrawCell(leaf)
 		if err != nil {
 			log.Fatalf("obfuscating: %v", err)
 		}
-		center := tree.Center(out.Reported)
+		center := tree.Center(reported)
 		fmt.Printf("report %d: node %v center %.6f,%.6f (moved %.3f km, pruned %d)\n",
-			i+1, out.Reported, center.Lat, center.Lng,
-			geo.Haversine(real, center), len(out.Pruned))
+			i+1, reported, center.Lat, center.Lng,
+			geo.Haversine(real, center), len(sess.Pruned()))
 	}
 }

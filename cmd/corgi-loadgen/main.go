@@ -2,38 +2,56 @@
 // mix and reports latency and throughput, so scale claims about the
 // sharded serving layer are measurable instead of anecdotal.
 //
+// Two workloads exist (-workload):
+//
+//   - forest (default): the matrix-distribution path — POST /v1/forest
+//     (or batched /v1/forests) requests for (region, privacy level,
+//     delta) keys;
+//   - report: the per-report hot path — POST /v1/report (or batched
+//     /v1/reports) requests carrying a true cell, an inline policy, a
+//     user id, and a seed, exercising the server-side session + alias
+//     sampling pipeline end to end.
+//
 // The request stream is a replayable trace. It comes from one of:
 //
 //   - a trace file (-trace): whitespace-separated lines of
-//     "region privacy_level delta", replayed in order (cycling);
+//     "region privacy_level delta" (forest workload) or
+//     "region privacy_level q r" (report workload), replayed in order
+//     (cycling);
 //   - a Gowalla-format check-in file (-checkins): each check-in is
 //     assigned to the nearest serving region's center, and the resulting
 //     per-region weights drive a synthetic mix — a data-derived workload;
 //   - a synthetic mix (default): regions weighted uniformly or by a Zipf
 //     law (-mix zipf, mimicking the few-hot-metros shape of real traffic)
 //     over the privacy levels of -levels and prune allowances of -deltas.
+//     For the report workload, true cells are drawn per region uniformly
+//     or Zipf-weighted (-cell-mix zipf: a few hot cells dominate, the
+//     shape of real check-in data), user ids spread over -users, and each
+//     request draws -report-count reports.
 //
 // The generator runs closed-loop by default (-concurrency workers, each
 // issuing the next request as soon as the previous completes) or open-loop
 // with -rate R (arrivals at R req/s dispatched to the worker pool;
 // arrivals that find no free worker within the queue bound count as
 // dropped, keeping the arrival process honest under overload). -batch N
-// packs N consecutive trace entries into one POST /v1/forests round trip.
+// packs N consecutive trace entries into one batched round trip.
 //
 // The report is JSON (stdout, or -out FILE): request and per-item counts,
-// error breakdown, req/s, p50/p90/p95/p99/max latency, a log-scaled
-// latency histogram, and per-region counts (with latency quantiles in
-// single-request mode, where a request maps to one region). Latency is
-// additionally split into a cold slice (the first request per (region,
-// level, delta) key, which absorbs lazy bootstraps and first LP solves)
-// and a warm slice (steady state), so bootstrap absorption stops polluting
-// p99/max.
+// error breakdown, req/s (and drawn reports/s for the report workload),
+// p50/p90/p95/p99/max latency, a log-scaled latency histogram, and
+// per-region counts. Latency is additionally split into a cold slice (the
+// first request per key — (region, level, delta) for forests, (region,
+// level, subtree) for reports — which absorbs lazy bootstraps and first
+// LP solves) and a warm slice (steady state), so bootstrap absorption
+// stops polluting p99/max.
 //
 // Usage:
 //
 //	corgi-loadgen [-server http://127.0.0.1:8080] [-duration 10s]
-//	              [-concurrency 8] [-rate 0] [-regions sf,nyc,la]
-//	              [-levels 1,2] [-deltas 0,1,2] [-mix uniform|zipf]
+//	              [-workload forest|report] [-concurrency 8] [-rate 0]
+//	              [-regions sf,nyc,la] [-levels 1,2] [-deltas 0,1,2]
+//	              [-mix uniform|zipf] [-cell-mix uniform|zipf]
+//	              [-users 1000] [-report-count 1] [-precision 0]
 //	              [-batch 0] [-trace FILE | -checkins FILE]
 //	              [-wire v2|v1] [-seed 1] [-out report.json]
 //
@@ -69,15 +87,24 @@ import (
 
 	"corgi/internal/geo"
 	"corgi/internal/gowalla"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/policy"
 	"corgi/internal/proto"
 	"corgi/internal/registry"
 )
 
-// request is one trace entry.
+// request is one trace entry. Forest entries use (Region, Level, Delta);
+// report entries use (Region, Level, Cell, UID, Seed) and carry ColdKey,
+// the subtree identity the first-request cold split keys on.
 type request struct {
-	Region string
-	Level  int
-	Delta  int
+	Region  string
+	Level   int
+	Delta   int
+	Cell    [2]int
+	UID     int64
+	Seed    int64
+	ColdKey string
 }
 
 // sample is one measured HTTP round trip.
@@ -109,6 +136,9 @@ func (t *coldTracker) first(r request) bool {
 func (t *coldTracker) forget(r request) { t.seen.Delete(t.key(r)) }
 
 func (t *coldTracker) key(r request) string {
+	if r.ColdKey != "" {
+		return r.ColdKey
+	}
 	return fmt.Sprintf("%s|%d|%d", r.Region, r.Level, r.Delta)
 }
 
@@ -123,14 +153,19 @@ type worker struct {
 func main() {
 	server := flag.String("server", "http://127.0.0.1:8080", "corgi-server base URL")
 	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	workload := flag.String("workload", "forest", "request type: forest (matrix distribution) or report (server-side draws)")
 	concurrency := flag.Int("concurrency", 8, "worker count (max in-flight requests)")
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s (0: closed loop)")
 	regionsFlag := flag.String("regions", "", "comma-separated regions to hit (empty: ask /v1/regions)")
 	levelsFlag := flag.String("levels", "1", "comma-separated privacy levels to mix")
-	deltasFlag := flag.String("deltas", "0,1", "comma-separated prune allowances to mix")
+	deltasFlag := flag.String("deltas", "0,1", "comma-separated prune allowances to mix (forest workload)")
 	mix := flag.String("mix", "uniform", "region weighting: uniform or zipf")
-	batch := flag.Int("batch", 0, "pack N trace entries per POST /v1/forests (0: single requests)")
-	tracePath := flag.String("trace", "", "trace file of 'region level delta' lines to replay")
+	cellMix := flag.String("cell-mix", "uniform", "report workload true-cell weighting: uniform or zipf")
+	users := flag.Int("users", 1000, "report workload distinct user-id pool")
+	reportCount := flag.Int("report-count", 1, "draws per report request")
+	precisionFlag := flag.Int("precision", 0, "report workload precision level")
+	batch := flag.Int("batch", 0, "pack N trace entries per batched round trip (0: single requests)")
+	tracePath := flag.String("trace", "", "trace file: 'region level delta' (forest) or 'region level q r' (report) lines")
 	checkinsPath := flag.String("checkins", "", "Gowalla check-in file; per-region weights follow its geography")
 	wire := flag.String("wire", "v2", "forest encoding to request: v1 or v2")
 	seed := flag.Int64("seed", 1, "mix/shuffle seed")
@@ -143,17 +178,30 @@ func main() {
 	if *wire != "v1" && *wire != "v2" {
 		log.Fatalf("-wire must be v1 or v2")
 	}
+	if *workload != "forest" && *workload != "report" {
+		log.Fatalf("-workload must be forest or report")
+	}
 
 	client := &http.Client{Timeout: 10 * time.Minute}
 	regions, err := resolveRegions(client, *server, *regionsFlag)
 	if err != nil {
 		log.Fatalf("regions: %v", err)
 	}
-	trace, traceSource, err := buildTrace(regions, *tracePath, *checkinsPath, *levelsFlag, *deltasFlag, *mix, *seed)
+	var trace []request
+	var traceSource string
+	if *workload == "report" {
+		trace, traceSource, err = buildReportTrace(*server, regions, reportTraceConfig{
+			TracePath: *tracePath, CheckinsPath: *checkinsPath,
+			Levels: *levelsFlag, Mix: *mix, CellMix: *cellMix,
+			Users: *users, Precision: *precisionFlag, Seed: *seed,
+		})
+	} else {
+		trace, traceSource, err = buildTrace(regions, *tracePath, *checkinsPath, *levelsFlag, *deltasFlag, *mix, *seed)
+	}
 	if err != nil {
 		log.Fatalf("trace: %v", err)
 	}
-	log.Printf("trace: %d entries (%s) over regions [%s]", len(trace), traceSource, strings.Join(regions, ", "))
+	log.Printf("trace: %d %s entries (%s) over regions [%s]", len(trace), *workload, traceSource, strings.Join(regions, ", "))
 
 	workers := make([]*worker, *concurrency)
 	for i := range workers {
@@ -169,9 +217,15 @@ func main() {
 	deadline := time.Now().Add(*duration)
 	issue := func(w *worker) {
 		idx := next.Add(1) - 1
-		if *batch > 0 {
+		switch {
+		case *workload == "report" && *batch > 0:
+			w.record(doReportBatch(client, *server, trace, idx, *batch, *precisionFlag, *reportCount, &cold))
+		case *workload == "report":
+			entry := trace[int(idx)%len(trace)]
+			w.record(doReport(client, *server, entry, *precisionFlag, *reportCount, &cold))
+		case *batch > 0:
 			w.record(doBatch(client, *server, trace, idx, *batch, *wire, &cold))
-		} else {
+		default:
 			entry := trace[int(idx)%len(trace)]
 			w.record(doSingle(client, *server, entry, *wire, &cold))
 		}
@@ -232,9 +286,10 @@ func main() {
 	elapsed := time.Since(start)
 
 	report := summarize(workers, elapsed, config{
-		Server: *server, Regions: regions, DurationS: duration.Seconds(),
+		Server: *server, Workload: *workload, Regions: regions, DurationS: duration.Seconds(),
 		Concurrency: *concurrency, RateRPS: *rate, Batch: *batch,
-		Wire: *wire, Mix: *mix, TraceSource: traceSource,
+		Wire: *wire, Mix: *mix, CellMix: *cellMix, ReportCount: *reportCount,
+		TraceSource: traceSource,
 	})
 	report.DroppedArrivals = dropped.Load()
 
@@ -351,6 +406,194 @@ func buildTrace(regions []string, tracePath, checkinsPath, levelsFlag, deltasFla
 		}
 	}
 	return trace, source, nil
+}
+
+// reportTraceConfig bundles the report-workload trace parameters.
+type reportTraceConfig struct {
+	TracePath    string
+	CheckinsPath string
+	Levels       string
+	Mix          string
+	CellMix      string
+	Users        int
+	Precision    int
+	Seed         int64
+}
+
+// regionWorld is one region's client-side view for trace building: its
+// rebuilt tree and leaf list.
+type regionWorld struct {
+	tree   *loctree.Tree
+	leaves []loctree.NodeID
+}
+
+// fetchRegionWorld rebuilds one region's tree from /v1/tree.
+func fetchRegionWorld(server, region string) (*regionWorld, error) {
+	tree, _, err := proto.NewRegionClient(server, region).FetchTree()
+	if err != nil {
+		return nil, fmt.Errorf("region %q tree: %w", region, err)
+	}
+	return &regionWorld{tree: tree, leaves: tree.LevelNodes(0)}, nil
+}
+
+// reportColdKey identifies the server work a report request can be the
+// first to absorb: the (region, level, subtree) whose forest entry must be
+// solved. Distinct cells of one subtree share the key, so only the true
+// first solve lands in the cold latency slice.
+func reportColdKey(w *regionWorld, region string, level int, leaf loctree.NodeID) string {
+	if root, ok := w.tree.AncestorAt(leaf, level); ok {
+		return fmt.Sprintf("%s|%d|%v", region, level, root)
+	}
+	return fmt.Sprintf("%s|%d|%v", region, level, leaf)
+}
+
+// buildReportTrace materializes the report-workload trace: every entry
+// carries a true cell (uniform or Zipf-weighted over the region's leaves),
+// a user id from the -users pool with a per-user seed (so one user's
+// repeat requests hit one server session), and the privacy level mix.
+func buildReportTrace(server string, regions []string, cfg reportTraceConfig) ([]request, string, error) {
+	if cfg.TracePath != "" && cfg.CheckinsPath != "" {
+		return nil, "", fmt.Errorf("use either -trace or -checkins, not both")
+	}
+	worlds := map[string]*regionWorld{}
+	world := func(region string) (*regionWorld, error) {
+		if w, ok := worlds[region]; ok {
+			return w, nil
+		}
+		w, err := fetchRegionWorld(server, region)
+		if err != nil {
+			return nil, err
+		}
+		worlds[region] = w
+		return w, nil
+	}
+
+	if cfg.TracePath != "" {
+		entries, err := loadReportTrace(cfg.TracePath, cfg.Users, cfg.Seed, world)
+		return entries, "replay:" + cfg.TracePath, err
+	}
+
+	levels, err := parseIntList(cfg.Levels)
+	if err != nil {
+		return nil, "", fmt.Errorf("-levels: %w", err)
+	}
+	weights := make([]float64, len(regions))
+	source := "synthetic:" + cfg.Mix + "/cells:" + cfg.CellMix
+	switch {
+	case cfg.CheckinsPath != "":
+		if err := checkinWeights(cfg.CheckinsPath, regions, weights); err != nil {
+			return nil, "", err
+		}
+		source = "gowalla:" + cfg.CheckinsPath + "/cells:" + cfg.CellMix
+	case cfg.Mix == "zipf":
+		for i := range weights {
+			weights[i] = 1 / float64(i+1)
+		}
+	case cfg.Mix == "uniform":
+		for i := range weights {
+			weights[i] = 1
+		}
+	default:
+		return nil, "", fmt.Errorf("unknown -mix %q (uniform or zipf)", cfg.Mix)
+	}
+	cellWeights := map[string][]float64{}
+	for _, region := range regions {
+		w, err := world(region)
+		if err != nil {
+			return nil, "", err
+		}
+		cw := make([]float64, len(w.leaves))
+		switch cfg.CellMix {
+		case "zipf":
+			for i := range cw {
+				cw[i] = 1 / float64(i+1) // Zipf s=1 over leaf order
+			}
+		case "uniform":
+			for i := range cw {
+				cw[i] = 1
+			}
+		default:
+			return nil, "", fmt.Errorf("unknown -cell-mix %q (uniform or zipf)", cfg.CellMix)
+		}
+		cellWeights[region] = cw
+	}
+	users := cfg.Users
+	if users < 1 {
+		users = 1
+	}
+	const traceLen = 65536
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trace := make([]request, traceLen)
+	for i := range trace {
+		region := regions[weightedPick(rng, weights)]
+		w := worlds[region]
+		leaf := w.leaves[weightedPick(rng, cellWeights[region])]
+		level := levels[rng.Intn(len(levels))]
+		uid := int64(rng.Intn(users))
+		trace[i] = request{
+			Region:  region,
+			Level:   level,
+			Cell:    [2]int{leaf.Coord.Q, leaf.Coord.R},
+			UID:     uid,
+			Seed:    uid*1000003 + 7, // per-user stream: repeat requests share a session
+			ColdKey: reportColdKey(w, region, level, leaf),
+		}
+	}
+	return trace, source, nil
+}
+
+// loadReportTrace parses "region level q r" lines; '#' starts a comment.
+func loadReportTrace(path string, users int, seed int64, world func(string) (*regionWorld, error)) ([]request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if users < 1 {
+		users = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var trace []request
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("%s:%d: want 'region level q r', got %q", path, line, text)
+		}
+		level, err1 := strconv.Atoi(fields[1])
+		q, err2 := strconv.Atoi(fields[2])
+		r, err3 := strconv.Atoi(fields[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%s:%d: bad integers in %q", path, line, text)
+		}
+		w, err := world(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		uid := int64(rng.Intn(users))
+		leaf := loctree.NodeID{Level: 0, Coord: hexgrid.Coord{Q: q, R: r}}
+		trace = append(trace, request{
+			Region:  fields[0],
+			Level:   level,
+			Cell:    [2]int{q, r},
+			UID:     uid,
+			Seed:    uid*1000003 + 7,
+			ColdKey: reportColdKey(w, fields[0], level, leaf),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("%s: empty trace", path)
+	}
+	return trace, nil
 }
 
 // checkinWeights assigns each check-in to the nearest serving region
@@ -575,6 +818,101 @@ func doBatch(client *http.Client, server string, trace []request, idx int64, n i
 	return s, ok, bad
 }
 
+// reportWireRequest translates a trace entry into the /v1/report body.
+func reportWireRequest(entry request, precision, count int) proto.ReportRequest {
+	return proto.ReportRequest{
+		Region: entry.Region,
+		Cell:   entry.Cell,
+		UID:    entry.UID,
+		Policy: policy.Policy{PrivacyLevel: entry.Level, PrecisionLevel: precision},
+		Seed:   entry.Seed,
+		Count:  count,
+	}
+}
+
+// doReport issues one POST /v1/report draw.
+func doReport(client *http.Client, server string, entry request, precision, count int, cold *coldTracker) (sample, int64, int64) {
+	isCold := cold.first(entry)
+	body, _ := json.Marshal(reportWireRequest(entry, precision, count))
+	req, err := http.NewRequest(http.MethodPost, server+"/v1/report", bytes.NewReader(body))
+	if err != nil {
+		if isCold {
+			cold.forget(entry)
+		}
+		return sample{region: entry.Region, err: true, cold: isCold}, 0, 1
+	}
+	req.Header.Set("Content-Type", "application/json")
+	s := roundTrip(client, req)
+	s.region = entry.Region
+	s.cold = isCold
+	if s.err {
+		if isCold {
+			cold.forget(entry)
+		}
+		return s, 0, 1
+	}
+	return s, 1, 0
+}
+
+// doReportBatch packs n consecutive trace entries into one /v1/reports
+// request and counts per-item outcomes from the envelope.
+func doReportBatch(client *http.Client, server string, trace []request, idx int64, n, precision, count int, cold *coldTracker) (sample, int64, int64) {
+	items := make([]proto.ReportRequest, n)
+	entries := make([]request, n)
+	claimed := make([]bool, n)
+	isCold := false
+	for i := 0; i < n; i++ {
+		entries[i] = trace[int(idx*int64(n)+int64(i))%len(trace)]
+		items[i] = reportWireRequest(entries[i], precision, count)
+		if cold.first(entries[i]) {
+			claimed[i] = true
+			isCold = true
+		}
+	}
+	forgetAll := func() {
+		for i, c := range claimed {
+			if c {
+				cold.forget(entries[i])
+			}
+		}
+	}
+	body, _ := json.Marshal(proto.BatchReportRequest{Items: items})
+	req, err := http.NewRequest(http.MethodPost, server+"/v1/reports", bytes.NewReader(body))
+	if err != nil {
+		forgetAll()
+		return sample{err: true, cold: isCold}, 0, int64(n)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		forgetAll()
+		return sample{latency: time.Since(start), err: true, cold: isCold}, 0, int64(n)
+	}
+	defer resp.Body.Close()
+	var envelope proto.BatchReportResponse
+	decodeErr := json.NewDecoder(resp.Body).Decode(&envelope)
+	s := sample{latency: time.Since(start), status: resp.StatusCode, cold: isCold}
+	if resp.StatusCode != http.StatusOK || decodeErr != nil {
+		forgetAll()
+		s.err = true
+		return s, 0, int64(n)
+	}
+	var ok, bad int64
+	for i, item := range envelope.Items {
+		if item.Status == http.StatusOK {
+			ok++
+		} else {
+			bad++
+			if i < len(claimed) && claimed[i] {
+				cold.forget(entries[i])
+			}
+		}
+	}
+	return s, ok, bad
+}
+
 // roundTrip measures one request to full-body completion.
 func roundTrip(client *http.Client, req *http.Request) sample {
 	start := time.Now()
@@ -592,6 +930,7 @@ func roundTrip(client *http.Client, req *http.Request) sample {
 // config echoes the run parameters into the report.
 type config struct {
 	Server      string   `json:"server"`
+	Workload    string   `json:"workload"`
 	Regions     []string `json:"regions"`
 	DurationS   float64  `json:"duration_s"`
 	Concurrency int      `json:"concurrency"`
@@ -599,6 +938,8 @@ type config struct {
 	Batch       int      `json:"batch"`
 	Wire        string   `json:"wire"`
 	Mix         string   `json:"mix"`
+	CellMix     string   `json:"cell_mix,omitempty"`
+	ReportCount int      `json:"report_count,omitempty"`
 	TraceSource string   `json:"trace_source"`
 }
 
@@ -641,6 +982,7 @@ type report struct {
 	ItemsErr        int64                   `json:"items_err"`
 	ThroughputRPS   float64                 `json:"throughput_rps"`
 	ItemsPerSec     float64                 `json:"items_per_sec"`
+	ReportsPerSec   float64                 `json:"reports_per_sec,omitempty"`
 	BytesReceived   int64                   `json:"bytes_received"`
 	ColdRequests    int64                   `json:"cold_requests"`
 	Latency         latencySummary          `json:"latency"`
@@ -700,6 +1042,13 @@ func summarize(workers []*worker, elapsed time.Duration, cfg config) *report {
 	if elapsed > 0 {
 		rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
 		rep.ItemsPerSec = float64(rep.ItemsOK+rep.ItemsErr) / elapsed.Seconds()
+		if cfg.Workload == "report" {
+			count := cfg.ReportCount
+			if count < 1 {
+				count = 1
+			}
+			rep.ReportsPerSec = float64(rep.ItemsOK*int64(count)) / elapsed.Seconds()
+		}
 	}
 	rep.Latency = quantiles(all)
 	rep.Histogram = histogram(all)

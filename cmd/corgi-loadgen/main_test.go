@@ -2,10 +2,16 @@ package main
 
 import (
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
+
+	"corgi/internal/proto"
+	"corgi/internal/registry"
 )
 
 func TestLoadTrace(t *testing.T) {
@@ -18,7 +24,11 @@ func TestLoadTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []request{{"sf", 1, 0}, {"nyc", 2, 1}, {"la", 1, 2}}
+	want := []request{
+		{Region: "sf", Level: 1, Delta: 0},
+		{Region: "nyc", Level: 2, Delta: 1},
+		{Region: "la", Level: 1, Delta: 2},
+	}
 	if len(trace) != len(want) {
 		t.Fatalf("trace %v", trace)
 	}
@@ -74,6 +84,129 @@ func TestBuildTraceSyntheticMix(t *testing.T) {
 		t.Error("-trace plus -checkins must fail")
 	}
 }
+
+// reportTestServer runs an in-process multi-region server for the report
+// workload tests.
+func reportTestServer(t *testing.T, names ...string) *httptest.Server {
+	t.Helper()
+	specs := make([]registry.Spec, len(names))
+	for i, name := range names {
+		specs[i] = registry.Spec{
+			Name:      name,
+			CenterLat: 37.765 + float64(i),
+			CenterLng: -122.435,
+			Height:    2, Iterations: 1, Targets: 3,
+			UniformPriors: true,
+		}
+	}
+	reg, err := registry.New(specs, registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := proto.NewMultiHandler(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h.Mux())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestBuildReportTraceAndDraw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a real region")
+	}
+	srv := reportTestServer(t, "lg-a", "lg-b")
+	regions := []string{"lg-a", "lg-b"}
+	trace, source, err := buildReportTrace(srv.URL, regions, reportTraceConfig{
+		Levels: "1", Mix: "zipf", CellMix: "zipf", Users: 10, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source == "" || len(trace) == 0 {
+		t.Fatalf("trace %d entries, source %q", len(trace), source)
+	}
+	counts := map[string]int{}
+	for _, r := range trace {
+		counts[r.Region]++
+		if r.ColdKey == "" {
+			t.Fatal("report entry without a cold key")
+		}
+		if r.Level != 1 {
+			t.Fatalf("level %d escaped -levels", r.Level)
+		}
+	}
+	if counts["lg-a"] <= counts["lg-b"] {
+		t.Errorf("zipf region mix not monotone: %v", counts)
+	}
+
+	// One end-to-end draw through the real wire path.
+	client := &http.Client{Timeout: time.Minute}
+	var cold coldTracker
+	s, ok, bad := doReport(client, srv.URL, trace[0], 0, 3, &cold)
+	if s.err || ok != 1 || bad != 0 {
+		t.Fatalf("doReport: sample %+v ok %d bad %d", s, ok, bad)
+	}
+	if !s.cold {
+		t.Error("first draw for a subtree must be cold")
+	}
+	s, _, _ = doReport(client, srv.URL, trace[0], 0, 3, &cold)
+	if s.cold {
+		t.Error("repeat draw for the same subtree must be warm")
+	}
+
+	// Batch path with per-item accounting.
+	s, ok, bad = doReportBatch(client, srv.URL, trace, 1, 4, 0, 2, &cold)
+	if s.err || ok != 4 || bad != 0 {
+		t.Fatalf("doReportBatch: sample %+v ok %d bad %d", s, ok, bad)
+	}
+
+	// Reports/s lands in the summary for the report workload.
+	w := &worker{itemsOK: 6}
+	w.samples = []sample{{latency: time.Millisecond, status: 200, region: "lg-a"}}
+	rep := summarize([]*worker{w}, 2*time.Second, config{Workload: "report", ReportCount: 3})
+	if rep.ReportsPerSec != 9 {
+		t.Errorf("reports_per_sec = %v, want 9", rep.ReportsPerSec)
+	}
+}
+
+func TestLoadReportTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a real region")
+	}
+	srv := reportTestServer(t, "lg-a")
+	// Grab two real cells via the proto client.
+	tree, _, err := proto.NewRegionClient(srv.URL, "lg-a").FetchTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.LevelNodes(0)
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	content := "# report replay\n"
+	for _, l := range leaves[:2] {
+		content += "lg-a 1 " + itoa(l.Coord.Q) + " " + itoa(l.Coord.R) + "\n"
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace, source, err := buildReportTrace(srv.URL, []string{"lg-a"}, reportTraceConfig{
+		TracePath: path, Users: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 || source != "replay:"+path {
+		t.Fatalf("trace %v source %q", trace, source)
+	}
+	for _, r := range trace {
+		if r.ColdKey == "" || r.Region != "lg-a" {
+			t.Fatalf("bad entry %+v", r)
+		}
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
 
 func TestQuantilesAndHistogram(t *testing.T) {
 	var ms []float64

@@ -18,9 +18,15 @@
 // a corgi-gen precompute means zero LP solves for covered forests) and
 // newly solved forests write back asynchronously. /healthz reports
 // liveness, /v1/regions the region set, and /v1/stats per-region plus
-// aggregate engine counters (including store hit/miss/write counts).
-// SIGINT/SIGTERM drain in-flight requests gracefully and flush pending
-// store writes.
+// aggregate engine counters (including store hit/miss/write counts and
+// report-session/alias-table counters). SIGINT/SIGTERM drain in-flight
+// requests gracefully and flush pending store writes.
+//
+// Beyond forest distribution, the server runs the report pipeline: POST
+// /v1/report (and batch /v1/reports) evaluates an inline policy, prunes,
+// and draws obfuscated reports server-side from per-user sessions with
+// O(1) alias-table sampling. -max-sessions bounds each region's live
+// session LRU; -max-report-count caps draws per request.
 //
 // Usage:
 //
@@ -28,7 +34,8 @@
 //	             [-eps 15] [-height 2] [-spacing 0.1] [-iters 5] [-targets 20]
 //	             [-checkins gowalla.txt] [-seed 0] [-uniform-priors]
 //	             [-workers 0] [-cache-mb 256] [-warmup -1] [-eager]
-//	             [-store ./forests] [-max-batch 64] [-read-timeout 30s]
+//	             [-store ./forests] [-max-batch 64] [-max-sessions 4096]
+//	             [-max-report-count 1000] [-read-timeout 30s]
 //	             [-write-timeout 10m] [-idle-timeout 2m] [-request-timeout 5m]
 package main
 
@@ -69,7 +76,9 @@ func main() {
 	warmup := flag.Int("warmup", -1, "precompute all levels for deltas 0..N at shard bootstrap (-1: off)")
 	storeDir := flag.String("store", "", "persistent forest store directory (populate offline with corgi-gen)")
 	eager := flag.Bool("eager", false, "bootstrap every region at startup instead of on first request")
-	maxBatch := flag.Int("max-batch", proto.DefaultMaxBatch, "max items per POST /v1/forests request")
+	maxBatch := flag.Int("max-batch", proto.DefaultMaxBatch, "max items per POST /v1/forests or /v1/reports request")
+	maxSessions := flag.Int("max-sessions", 0, "live report sessions per region shard (0: default 4096)")
+	maxReportCount := flag.Int("max-report-count", proto.DefaultMaxReportCount, "max draws per POST /v1/report request")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 10*time.Minute, "HTTP server write timeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
@@ -107,6 +116,7 @@ func main() {
 		},
 		WarmupDelta: *warmup,
 		Store:       st,
+		SessionCap:  *maxSessions,
 	})
 	if err != nil {
 		log.Fatalf("registry: %v", err)
@@ -117,6 +127,7 @@ func main() {
 	}
 	h.Timeout = *requestTimeout
 	h.MaxBatch = *maxBatch
+	h.MaxReportCount = *maxReportCount
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -44,6 +44,7 @@ import (
 	"corgi/internal/obf"
 	"corgi/internal/policy"
 	"corgi/internal/registry"
+	"corgi/internal/session"
 	"corgi/internal/store"
 )
 
@@ -101,6 +102,11 @@ type (
 	// MultiServer is the multi-region sharding layer: named regions, one
 	// engine shard each, bootstrapped lazily on first use.
 	MultiServer = registry.Registry
+	// ReportSession is a bound per-user report stream: one forest entry,
+	// one evaluated policy, one seeded RNG, O(1) alias-table draws.
+	ReportSession = session.Session
+	// ReportSessionConfig configures NewReportSession.
+	ReportSessionConfig = session.Config
 )
 
 // SanFrancisco is the paper's evaluation region.
@@ -246,13 +252,24 @@ func BuiltinRegion(name string) (RegionSpec, bool) { return registry.BuiltinSpec
 func BuiltinRegionNames() []string { return registry.BuiltinNames() }
 
 // Obfuscate runs the user-side pipeline (Algorithm 4): locate the subtree,
-// evaluate preferences, prune, reduce precision, sample.
+// evaluate preferences, prune, reduce precision, sample. Each call
+// re-derives the customized matrix; for repeated reports under one policy,
+// NewReportSession amortizes the customization and draws in O(1).
 func Obfuscate(r *Region, forest *Forest, real LatLng, pol Policy,
 	attrs map[NodeID]Attributes, priors *Priors, rng *rand.Rand) (*Outcome, error) {
 	if r == nil {
 		return nil, fmt.Errorf("corgi: nil region")
 	}
 	return core.GenerateObfuscatedLocation(r.Tree, forest, real, pol, attrs, priors, rng)
+}
+
+// NewReportSession binds a per-user report session: preferences are
+// evaluated once, |S| is verified against the forest entry's reserved
+// prune budget, and every draw is O(1) via cached Walker alias tables —
+// the row-wise hot path the serving stack's POST /v1/report uses. Draw
+// sequences are deterministic per Config.Seed.
+func NewReportSession(cfg ReportSessionConfig) (*ReportSession, error) {
+	return session.New(cfg)
 }
 
 // RandomLeafTargets picks n distinct leaf centers as service targets, the

@@ -1,44 +1,88 @@
 // Custompolicy: the paper's headline capability — a user removes sensitive
 // cells (home, office, odd-hour outliers) from the obfuscation range, and
 // the robust matrix keeps its Geo-Ind guarantee while a non-robust matrix
-// breaks (Sec. 4.4, Fig. 12). The example prints both violation rates.
+// breaks (Sec. 4.4, Fig. 12) — run against a real corgi-server over HTTP.
+//
+// The example exercises both serving paths. The audit half fetches robust
+// (delta = |S|) and non-robust (delta = 0) forests over the wire, prunes
+// them with the user's local policy, and prints both violation rates; the
+// drawing half sends the same policy inline to POST /v1/report and lets
+// the server's session pipeline prune and draw — the end-to-end report
+// path this repo serves at scale.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math/rand"
+	"net"
+	"net/http"
 
-	"corgi"
+	"corgi/internal/core"
+	"corgi/internal/geo"
+	"corgi/internal/gowalla"
+	"corgi/internal/graphx"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/obf"
+	"corgi/internal/policy"
+	"corgi/internal/proto"
+	"corgi/internal/registry"
 )
 
+const eps = 15.0
+
 func main() {
-	// 0.25 km cells over ~3.5 km: large enough that real users' homes and
-	// offices fall inside the obfuscation range.
-	region, err := corgi.NewRegion(corgi.SanFrancisco.Center(), 0.25, 2)
+	// ---- cloud side: a region with 0.25 km cells over ~3.5 km, large
+	// enough that real users' homes and offices fall inside the
+	// obfuscation range. The server derives its own report-path metadata
+	// from its seeded sample; the device keeps a separate local corpus,
+	// which is exactly the paper's split — user data stays user data.
+	spec := registry.Spec{
+		Name:          "sf-custom",
+		CenterLat:     geo.SanFrancisco.Center().Lat,
+		CenterLng:     geo.SanFrancisco.Center().Lng,
+		LeafSpacingKm: 0.25,
+		Height:        2,
+		Epsilon:       eps,
+		Iterations:    4,
+		Targets:       10,
+		Seed:          1,
+	}
+	reg, err := registry.New([]registry.Spec{spec}, registry.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	checkins, err := corgi.GenerateCheckIns(1)
+	h, err := proto.NewMultiHandler(reg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	priors, err := corgi.PriorsFromCheckIns(checkins, region.Tree)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	md, err := corgi.BuildMetadata(checkins, region.Tree)
+	go func() {
+		if err := http.Serve(ln, h.Mux()); err != nil {
+			log.Printf("server stopped: %v", err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("cloud: CORGI server on", base)
+
+	// ---- device side ----
+	c := proto.NewRegionClient(base, spec.Name)
+	tree, info, err := c.FetchTree()
 	if err != nil {
 		log.Fatal(err)
 	}
-	targets, err := corgi.RandomLeafTargets(region.Tree, 10, 5)
+	// The user's own metadata (home/office/outlier heuristics) derives
+	// locally; it never leaves the device on the forest path. (The remote
+	// report below evaluates against the server's metadata instead — the
+	// trust trade-off that path makes.)
+	ds, err := gowalla.Generate(gowalla.GenConfig{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	const eps = 15.0
-	server, err := corgi.NewServer(region, priors, targets, corgi.Params{
-		Epsilon: eps, Iterations: 4, UseGraphApprox: true,
-	})
+	md, err := gowalla.BuildMetadata(ds.CheckIns, tree, 0.2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,22 +90,22 @@ func main() {
 	// The user's policy: keep home, office, and outlier cells out of the
 	// obfuscation range (exactly the predicates of Sec. 6.1).
 	preds := []string{"home != true", "office != true", "outlier != true"}
-	pol := corgi.Policy{PrivacyLevel: 2, PrecisionLevel: 0}
+	pol := policy.Policy{PrivacyLevel: 2, PrecisionLevel: 0}
 	for _, s := range preds {
-		p, err := corgi.ParsePredicate(s)
+		p, err := policy.ParsePredicate(s)
 		if err != nil {
 			log.Fatal(err)
 		}
 		pol.Preferences = append(pol.Preferences, p)
 	}
-	real := corgi.SanFrancisco.Center()
-	realLeaf, _ := region.Tree.Locate(real, 0)
-	root, _ := region.Tree.AncestorAt(realLeaf, 2)
-	leaves := region.Tree.LeavesUnder(root)
+	real := geo.SanFrancisco.Center()
+	realLeaf, _ := tree.Locate(real, 0)
+	root, _ := tree.AncestorAt(realLeaf, 2)
+	leaves := tree.LeavesUnder(root)
 
 	// Pick a user whose inferred home lies inside the obfuscation range
 	// (and is not the cell the user currently stands in).
-	inRange := map[corgi.NodeID]bool{}
+	inRange := map[loctree.NodeID]bool{}
 	for _, l := range leaves {
 		inRange[l] = true
 	}
@@ -76,52 +120,58 @@ func main() {
 		log.Fatal("no user with a home in range; try another seed")
 	}
 	attrs := md.Annotate(user, real)
-	pruneCount := 0
+	var s []int
+	idxOf := map[loctree.NodeID]int{}
+	for i, l := range leaves {
+		idxOf[l] = i
+	}
 	for _, l := range leaves {
 		ok, err := pol.Allowed(attrs[l])
 		if err != nil {
 			log.Fatal(err)
 		}
 		if !ok {
-			pruneCount++
+			s = append(s, idxOf[l])
 		}
 	}
-	fmt.Printf("policy %v prunes %d of %d cells\n", preds, pruneCount, len(leaves))
+	fmt.Printf("policy %v prunes %d of %d cells\n", preds, len(s), len(leaves))
 
-	// Robust (delta = |S|) vs non-robust (delta = 0) forests.
-	robust, err := server.GenerateForest(2, pruneCount)
+	// Robust (delta = |S|) vs non-robust (delta = 0) forests, fetched over
+	// the wire; only (privacy_l, |S|) reaches the server on this path.
+	robust, err := c.FetchForest(tree, 2, len(s))
 	if err != nil {
 		log.Fatal(err)
 	}
-	plain, err := server.GenerateForest(2, 0)
+	plain, err := c.FetchForest(tree, 2, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(11))
-	out, err := corgi.Obfuscate(region, robust, real, pol, attrs, priors, rng)
+
+	// Wire forests carry matrices, not constraint sets; rebuild the
+	// graph-approximation pairs locally to audit what was served.
+	cellCoords := make([]hexgrid.Coord, len(leaves))
+	leafPriors := make([]float64, len(leaves))
+	for i, l := range leaves {
+		cellCoords[i] = l.Coord
+		leafPriors[i] = 1
+	}
+	sys, err := hexgrid.NewSystem(geo.LatLng{Lat: info.OriginLat, Lng: info.OriginLng}, info.LeafSpacingKm)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("customized robust matrix: %d x %d, reported %v\n",
-		out.Matrix.Dim(), out.Matrix.Dim(), out.Reported)
+	auditInst, err := core.NewInstance(sys, cellCoords, leafPriors,
+		[]geo.LatLng{real}, []float64{1}, graphx.WeightPaper)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := auditInst.NeighborPairs()
 
 	// Audit both matrices after the same customization (Fig. 12's metric).
 	for _, f := range []struct {
 		name   string
-		forest *corgi.Forest
+		forest *core.Forest
 	}{{"robust (CORGI)", robust}, {"non-robust", plain}} {
 		entry := f.forest.Entries[root]
-		idx := map[corgi.NodeID]int{}
-		for i, l := range entry.Leaves {
-			idx[l] = i
-		}
-		var s []int
-		for _, l := range leaves {
-			ok, _ := pol.Allowed(attrs[l])
-			if !ok {
-				s = append(s, idx[l])
-			}
-		}
 		pruned, keep, err := entry.Matrix.Prune(s)
 		if err != nil {
 			log.Fatal(err)
@@ -130,17 +180,34 @@ func main() {
 		for ni, oi := range keep {
 			newIdx[oi] = ni
 		}
-		var surviving []corgi.Pair
-		for _, p := range entry.Pairs {
+		var surviving []obf.Pair
+		for _, p := range pairs {
 			ni, iok := newIdx[p.I]
 			nj, jok := newIdx[p.J]
 			if iok && jok {
-				surviving = append(surviving, corgi.Pair{I: ni, J: nj, Dist: p.Dist})
+				surviving = append(surviving, obf.Pair{I: ni, J: nj, Dist: p.Dist})
 			}
 		}
 		rep := pruned.CheckGeoInd(surviving, eps, 1e-6)
 		fmt.Printf("%-16s violations after pruning: %d / %d (%.2f%%)\n",
 			f.name, rep.Violated, rep.Total, rep.Percent())
+	}
+
+	// The same policy served end to end: POST /v1/report lets the server
+	// evaluate, prune, and draw from a per-user session.
+	resp, err := c.Report(proto.ReportRequest{
+		Cell:   [2]int{realLeaf.Coord.Q, realLeaf.Coord.R},
+		UID:    int64(user),
+		Policy: pol,
+		Seed:   11,
+		Count:  3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, rep := range resp.Reports {
+		fmt.Printf("remote report %d: cell (%d,%d) center %.6f,%.6f (server pruned %d)\n",
+			i+1, rep.Q, rep.R, rep.Lat, rep.Lng, resp.Pruned)
 	}
 	fmt.Println("\nThe robust matrix absorbs the customization; the non-robust one leaks.")
 }

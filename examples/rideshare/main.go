@@ -1,75 +1,112 @@
-// Rideshare: the paper's motivating service scenario (Sec. 2.2). A rider
-// shares an obfuscated pickup area with a ride-hailing service; the service
-// estimates travel cost from the reported location. This example measures
-// the rider-visible utility loss (Equ. 3: the difference in estimated
-// travel distance) across privacy budgets, demonstrating the
-// privacy/utility dial the paper's Fig. 11 sweeps.
+// Rideshare: the paper's motivating service scenario (Sec. 2.2), served
+// over the remote report API. A rider asks a multi-region corgi-server for
+// obfuscated pickup reports via POST /v1/report — one privacy-budget
+// region per epsilon — and the ride-hailing side estimates travel cost
+// from each reported location. The example measures the rider-visible
+// utility loss (Equ. 3: the difference in estimated travel distance)
+// across privacy budgets, demonstrating the privacy/utility dial the
+// paper's Fig. 11 sweeps, now end to end through the serving stack: the
+// server evaluates the policy, prunes nothing (no preferences), and draws
+// every report from a per-user session with O(1) alias sampling.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math/rand"
+	"net"
+	"net/http"
 
-	"corgi"
+	"corgi/internal/geo"
+	"corgi/internal/policy"
+	"corgi/internal/proto"
+	"corgi/internal/registry"
 )
 
 func main() {
-	region, err := corgi.NewRegion(corgi.SanFrancisco.Center(), 0.1, 2)
+	// One region per privacy budget: a multi-region server shards them.
+	budgets := []float64{15, 17, 19}
+	var specs []registry.Spec
+	for _, eps := range budgets {
+		specs = append(specs, registry.Spec{
+			Name:       fmt.Sprintf("sf-eps%g", eps),
+			CenterLat:  geo.SanFrancisco.Center().Lat,
+			CenterLng:  geo.SanFrancisco.Center().Lng,
+			Epsilon:    eps,
+			Height:     2,
+			Targets:    8, // the driver staging spots Q
+			Iterations: 1,
+			Seed:       1,
+		})
+	}
+	reg, err := registry.New(specs, registry.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	checkins, err := corgi.GenerateCheckIns(1)
+	h, err := proto.NewMultiHandler(reg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	priors, err := corgi.PriorsFromCheckIns(checkins, region.Tree)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Drivers idle at a handful of staging spots: the target set Q.
-	stagingSpots, err := corgi.RandomLeafTargets(region.Tree, 8, 99)
-	if err != nil {
-		log.Fatal(err)
-	}
+	go func() {
+		if err := http.Serve(ln, h.Mux()); err != nil {
+			log.Printf("server stopped: %v", err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("cloud: multi-region CORGI server on", base)
 
-	rider := corgi.SanFrancisco.Center()
-	rng := rand.New(rand.NewSource(3))
-	pol := corgi.Policy{PrivacyLevel: 2, PrecisionLevel: 0}
+	rider := geo.SanFrancisco.Center()
+	pol := policy.Policy{PrivacyLevel: 2, PrecisionLevel: 0}
+	const reports = 200
 
-	fmt.Println("eps(km^-1)  mean pickup estimation error (km) over 200 reports")
-	for _, eps := range []float64{15, 17, 19} {
-		server, err := corgi.NewServer(region, priors, stagingSpots, corgi.Params{
-			Epsilon: eps, Iterations: 1, UseGraphApprox: true,
+	fmt.Println("eps(km^-1)  mean pickup estimation error (km) over", reports, "remote reports")
+	for i, eps := range budgets {
+		c := proto.NewRegionClient(base, specs[i].Name)
+		tree, _, err := c.FetchTree()
+		if err != nil {
+			log.Fatal(err)
+		}
+		leaf, ok := tree.Locate(rider, 0)
+		if !ok {
+			log.Fatal("rider outside the service region")
+		}
+		// Drivers idle at the region's service targets: recompute the same
+		// even spread the server configured, purely for cost estimation.
+		leaves := tree.LevelNodes(0)
+		var stagingSpots []geo.LatLng
+		for k := 0; k < specs[i].Targets; k++ {
+			stagingSpots = append(stagingSpots, tree.Center(leaves[k*len(leaves)/specs[i].Targets]))
+		}
+
+		resp, err := c.Report(proto.ReportRequest{
+			Cell:   [2]int{leaf.Coord.Q, leaf.Coord.R},
+			UID:    3,
+			Policy: pol,
+			Seed:   3,
+			Count:  reports,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		forest, err := server.GenerateForest(2, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
 		var total float64
-		const reports = 200
-		for i := 0; i < reports; i++ {
-			out, err := corgi.Obfuscate(region, forest, rider, pol, nil, priors, rng)
-			if err != nil {
-				log.Fatal(err)
-			}
-			reported := region.Tree.Center(out.Reported)
+		for _, rep := range resp.Reports {
+			reported := geo.LatLng{Lat: rep.Lat, Lng: rep.Lng}
 			// The service dispatches from the staging spot nearest the
 			// *reported* location; the rider pays the difference between
 			// the estimated and true pickup distance (Equ. 3).
-			var bestSpot corgi.LatLng
+			var bestSpot geo.LatLng
 			best := -1.0
 			for _, s := range stagingSpots {
-				if d := corgi.Haversine(reported, s); best < 0 || d < best {
+				if d := geo.Haversine(reported, s); best < 0 || d < best {
 					best = d
 					bestSpot = s
 				}
 			}
-			est := corgi.Haversine(reported, bestSpot)
-			truth := corgi.Haversine(rider, bestSpot)
+			est := geo.Haversine(reported, bestSpot)
+			truth := geo.Haversine(rider, bestSpot)
 			if est > truth {
 				total += est - truth
 			} else {
@@ -79,5 +116,5 @@ func main() {
 		fmt.Printf("%10.0f  %.4f\n", eps, total/reports)
 	}
 	fmt.Println("\nHigher eps (weaker privacy) -> smaller pickup estimation error,")
-	fmt.Println("the trade-off CORGI's Fig. 11 quantifies.")
+	fmt.Println("the trade-off CORGI's Fig. 11 quantifies — measured through /v1/report.")
 }

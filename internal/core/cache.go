@@ -17,6 +17,10 @@ type entryCache struct {
 	ll       *list.List // front = most recently used
 	items    map[forestKey]*list.Element
 
+	// alias receives each admitted entry's alias-table accounting; evicted
+	// entries detach from it so AliasBytes tracks only LRU-pinned tables.
+	alias *aliasMetrics
+
 	hits, misses, evictions uint64
 }
 
@@ -26,12 +30,20 @@ type cacheItem struct {
 	size  int64
 }
 
-func newEntryCache(capacity int64) *entryCache {
-	return &entryCache{
+func newEntryCache(capacity int64, alias *aliasMetrics) *entryCache {
+	c := &entryCache{
 		capacity: capacity,
 		ll:       list.New(),
 		items:    map[forestKey]*list.Element{},
+		alias:    alias,
 	}
+	if alias != nil {
+		// Alias builds on cached entries re-run the bound check, so a
+		// steady state with no new admissions still cannot outgrow the
+		// capacity. Wired before the cache is shared.
+		alias.enforce = c.enforceBound
+	}
+	return c
 }
 
 // entrySizeBytes estimates the resident footprint of one forest entry. The
@@ -82,6 +94,14 @@ func (c *entryCache) lookup(key forestKey, count bool) (*ForestEntry, bool) {
 
 // add inserts an entry and evicts least-recently-used items until the byte
 // bound holds. The new entry itself is evicted if it alone exceeds the bound.
+// Admitted entries attach to the engine's alias counters; evicted entries
+// detach, so alias bytes shrink in step with the matrices they shadow.
+//
+// The bound covers the cache's full resident footprint: entry sizes plus
+// the alias tables lazily built on cached entries (the engine-wide alias
+// byte counter tracks exactly the attached set). Both admissions and
+// alias builds (via aliasMetrics.enforce) run the eviction loop, so the
+// bound holds in steady state too, not just at the next add.
 func (c *entryCache) add(key forestKey, e *ForestEntry) {
 	size := entrySizeBytes(e)
 	c.mu.Lock()
@@ -91,17 +111,43 @@ func (c *entryCache) add(key forestKey, e *ForestEntry) {
 		c.ll.MoveToFront(el)
 		return
 	}
+	if c.alias != nil {
+		e.attachAliasMetrics(c.alias)
+	}
 	el := c.ll.PushFront(&cacheItem{key: key, entry: e, size: size})
 	c.items[key] = el
 	c.bytes += size
-	for c.bytes > c.capacity && c.ll.Len() > 0 {
+	c.evictLocked()
+}
+
+// enforceBound evicts cold entries until the byte bound (entries + alias
+// tables) holds again; alias builds on cached entries call it.
+func (c *entryCache) enforceBound() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictLocked()
+}
+
+// evictLocked runs the LRU eviction loop. Caller holds c.mu.
+func (c *entryCache) evictLocked() {
+	for c.bytes+c.aliasBytes() > c.capacity && c.ll.Len() > 0 {
 		back := c.ll.Back()
 		it := back.Value.(*cacheItem)
 		c.ll.Remove(back)
 		delete(c.items, it.key)
 		c.bytes -= it.size
 		c.evictions++
+		it.entry.detachAliasMetrics()
 	}
+}
+
+// aliasBytes reads the resident footprint of alias tables attached to
+// cached entries (0 when the cache has no alias accounting).
+func (c *entryCache) aliasBytes() int64 {
+	if c.alias == nil {
+		return 0
+	}
+	return c.alias.bytes.Load()
 }
 
 type cacheStats struct {

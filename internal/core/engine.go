@@ -73,6 +73,11 @@ type EngineStats struct {
 	// counts entries preloaded by HydrateFromStore. All zero when no store
 	// is attached.
 	StoreHits, StoreMisses, StoreWrites, StoreHydrated uint64
+	// AliasBuilds/AliasHits count lazy per-row alias-table constructions
+	// and reuses on the report path; AliasBytes is the resident footprint
+	// of tables attached to currently cached entries (eviction subtracts).
+	AliasBuilds, AliasHits uint64
+	AliasBytes             int64
 }
 
 // Merge accumulates o into s. The multi-region registry uses it to fold
@@ -93,6 +98,9 @@ func (s *EngineStats) Merge(o EngineStats) {
 	s.StoreMisses += o.StoreMisses
 	s.StoreWrites += o.StoreWrites
 	s.StoreHydrated += o.StoreHydrated
+	s.AliasBuilds += o.AliasBuilds
+	s.AliasHits += o.AliasHits
+	s.AliasBytes += o.AliasBytes
 }
 
 // engine is the concurrent forest-generation core: a semaphore-bounded
@@ -125,6 +133,11 @@ type engine struct {
 	storeWrites   atomic.Uint64
 	storeHydrated atomic.Uint64
 
+	// alias aggregates the per-row alias-table counters of every cached
+	// entry (builds, reuse hits, resident bytes); the entry cache attaches
+	// it on admission and detaches on eviction.
+	alias aliasMetrics
+
 	// generate runs one uncached subtree solve; wired to Server.generate.
 	generate func(ctx context.Context, root forestKey) (*ForestEntry, error)
 }
@@ -153,16 +166,17 @@ func newEngine(opts EngineOptions, generate func(context.Context, forestKey) (*F
 	if capacity <= 0 {
 		capacity = DefaultCacheBytes
 	}
-	return &engine{
+	en := &engine{
 		workers:     workers,
 		sem:         make(chan struct{}, workers),
-		cache:       newEntryCache(capacity),
 		store:       opts.Store,
 		flight:      map[forestKey]*flightCall{},
 		storeFlight: map[StoredForestRef]*storeCall{},
 		persisted:   map[StoredForestRef]bool{},
 		generate:    generate,
 	}
+	en.cache = newEntryCache(capacity, &en.alias)
+	return en
 }
 
 // entry returns the forest entry for key, consulting the cache, then joining
@@ -417,5 +431,8 @@ func (en *engine) stats() EngineStats {
 		StoreMisses:   en.storeMisses.Load(),
 		StoreWrites:   en.storeWrites.Load(),
 		StoreHydrated: en.storeHydrated.Load(),
+		AliasBuilds:   en.alias.builds.Load(),
+		AliasHits:     en.alias.hits.Load(),
+		AliasBytes:    en.alias.bytes.Load(),
 	}
 }

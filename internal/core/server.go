@@ -13,6 +13,10 @@ import (
 // ForestEntry is one privacy-forest element: the robust obfuscation matrix
 // for the descendant leaves of a subtree rooted at the privacy level. The
 // matrix index order is Leaves' order.
+//
+// Entries additionally carry a lazily-built per-row alias-table cache for
+// O(1) report draws (see AliasRow); the mutex inside means entries must be
+// shared by pointer, which every existing path already does.
 type ForestEntry struct {
 	Root   loctree.NodeID
 	Leaves []loctree.NodeID
@@ -22,6 +26,8 @@ type ForestEntry struct {
 	Pairs []obf.Pair
 	// Result carries generation statistics (trace, LP iterations, timing).
 	Result *Result
+
+	alias aliasState
 }
 
 // CheckGeoInd audits the entry's matrix against its own constraint set.

@@ -125,7 +125,7 @@ func GenerateObfuscatedLocation(tree *loctree.Tree, forest *Forest, real geo.Lat
 	// leaves.
 	nodes := keptLeaves
 	if pol.PrecisionLevel > 0 {
-		groups, groupNodes, err := groupByAncestor(tree, keptLeaves, pol.PrecisionLevel)
+		groups, groupNodes, err := GroupByAncestor(tree, keptLeaves, pol.PrecisionLevel)
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +160,11 @@ func GenerateObfuscatedLocation(tree *loctree.Tree, forest *Forest, real geo.Lat
 	if row < 0 {
 		return nil, fmt.Errorf("core: node %v missing from the customized matrix", rowNode)
 	}
-	reported := nodes[matrix.SampleRow(row, rng)]
+	j, err := matrix.SampleRow(row, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling: %w", err)
+	}
+	reported := nodes[j]
 	return &Outcome{
 		Reported:    reported,
 		SubtreeRoot: root,
@@ -170,9 +174,11 @@ func GenerateObfuscatedLocation(tree *loctree.Tree, forest *Forest, real geo.Lat
 	}, nil
 }
 
-// groupByAncestor partitions leaf indices by their ancestor at the given
-// level, preserving first-seen ancestor order.
-func groupByAncestor(tree *loctree.Tree, leaves []loctree.NodeID, level int) ([][]int, []loctree.NodeID, error) {
+// GroupByAncestor partitions leaf indices by their ancestor at the given
+// level, preserving first-seen ancestor order. It is shared by the
+// user-side customization path here and the row-wise report sessions of
+// internal/session, so both derive identical precision groupings.
+func GroupByAncestor(tree *loctree.Tree, leaves []loctree.NodeID, level int) ([][]int, []loctree.NodeID, error) {
 	order := make([]loctree.NodeID, 0)
 	groups := map[loctree.NodeID][]int{}
 	for i, leaf := range leaves {

@@ -489,12 +489,20 @@ func BuildMetadata(cs []CheckIn, t *loctree.Tree, popularFrac float64) (*Metadat
 // the paper's example predicates (home, office, outlier, popular, distance,
 // checkins) evaluate against.
 func (md *Metadata) Annotate(userID int, refLoc geo.LatLng) map[loctree.NodeID]policy.Attributes {
+	return md.AnnotateLeaves(userID, refLoc, md.tree.LevelNodes(0))
+}
+
+// AnnotateLeaves is Annotate restricted to the given leaves. Preference
+// evaluation over one privacy subtree only reads that subtree's leaves, so
+// the report path annotates O(subtree) instead of O(region) per session
+// bind.
+func (md *Metadata) AnnotateLeaves(userID int, refLoc geo.LatLng, leaves []loctree.NodeID) map[loctree.NodeID]policy.Attributes {
 	t := md.tree
-	out := make(map[loctree.NodeID]policy.Attributes, t.NumLeaves())
+	out := make(map[loctree.NodeID]policy.Attributes, len(leaves))
 	home, hasHome := md.HomeLeaf[userID]
 	office, hasOffice := md.OfficeLeaf[userID]
 	outliers := md.OutlierLeaf[userID]
-	for _, leaf := range t.LevelNodes(0) {
+	for _, leaf := range leaves {
 		attrs := policy.Attributes{
 			"home":     policy.Bool(hasHome && leaf == home),
 			"office":   policy.Bool(hasOffice && leaf == office),

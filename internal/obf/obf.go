@@ -4,6 +4,13 @@
 // precision reduction (Sec. 4.5, Algorithm 2), and obfuscated-location
 // sampling. It is deliberately independent of how matrices are generated;
 // internal/core builds matrices, this package transforms and audits them.
+//
+// Sampling note: every sampling entry point takes a caller-owned
+// *rand.Rand, and *rand.Rand is NOT safe for concurrent use. Concurrent
+// samplers must serialize access to a shared RNG or keep one per
+// goroutine; the matrices themselves are safe to read concurrently. For
+// O(1) repeated draws from the same row, build an alias table with
+// internal/sample instead of rescanning via SampleRow.
 package obf
 
 import (
@@ -262,28 +269,44 @@ func PrecisionReduce(m *Matrix, groups [][]int, leafPriors []float64) (*Matrix, 
 	return out, nil
 }
 
-// SampleRow draws an obfuscated location index from row i's distribution.
-// The row should be (approximately) stochastic; residual mass due to
-// floating-point rounding falls to the last index.
-func (m *Matrix) SampleRow(i int, rng *rand.Rand) int {
+// SampleRow draws an obfuscated location index from row i's distribution
+// with an O(n) inverse-CDF scan. The uniform variate is scaled by the
+// row's total positive mass, so a row that sums to less than 1 — a
+// floating-point shortfall, or a pruned row awaiting renormalization —
+// samples each index proportionally instead of silently inflating the
+// last positive index (the old behavior, which biased exactly the rows
+// the pruning path produces). A row with no positive mass is an error.
+//
+// rng is caller-owned and not safe for concurrent use; see the package
+// note. For repeated draws from one row, an internal/sample alias table
+// draws in O(1) after an O(n) build.
+func (m *Matrix) SampleRow(i int, rng *rand.Rand) (int, error) {
 	row := m.Row(i)
-	u := rng.Float64()
+	total := 0.0
+	for _, v := range row {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("obf: row %d has no positive probability mass", i)
+	}
+	u := rng.Float64() * total
 	acc := 0.0
+	last := -1
 	for j, v := range row {
 		if v <= 0 {
 			continue
 		}
 		acc += v
+		last = j
 		if u < acc {
-			return j
+			return j, nil
 		}
 	}
-	for j := m.n - 1; j >= 0; j-- {
-		if row[j] > 0 {
-			return j
-		}
-	}
-	return m.n - 1
+	// u landed on the accumulated total's rounding edge; the last positive
+	// index owns that sliver.
+	return last, nil
 }
 
 // Uniform returns the maximally private n x n matrix (every row uniform).

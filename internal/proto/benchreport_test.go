@@ -1,0 +1,223 @@
+package proto
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"corgi/internal/hexgrid"
+	"corgi/internal/obf"
+	"corgi/internal/policy"
+	"corgi/internal/registry"
+	"corgi/internal/sample"
+)
+
+// BenchmarkReportEndpoint measures the full /v1/report wire path — HTTP,
+// policy validation, session lookup, alias draw, JSON response — against
+// an in-process server with a warm shard.
+func BenchmarkReportEndpoint(b *testing.B) {
+	reg, err := registry.New(reportSpecs("bench-report"), registry.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := NewMultiHandler(reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	tree, _, err := c.FetchTree()
+	if err != nil {
+		b.Fatal(err)
+	}
+	leaf := tree.LevelNodes(0)[0]
+	req := ReportRequest{
+		Region: "bench-report",
+		Cell:   [2]int{leaf.Coord.Q, leaf.Coord.R},
+		Policy: policy.Policy{PrivacyLevel: 1},
+		Seed:   1,
+	}
+	if _, err := c.Report(req); err != nil { // absorb bootstrap + first solve
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Report(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPR4Report is the BENCH_pr4.json shape consumed by CI: the report
+// pipeline's value in a handful of numbers — O(1) alias draws vs the old
+// linear scan, and the serving throughput of local (in-process) vs remote
+// (HTTP) report draws over the PR 3 three-region setup.
+type benchPR4Report struct {
+	// AliasNsPerDraw / LinearNsPerDraw time one draw from an n-entry row.
+	N               int     `json:"row_dim"`
+	AliasNsPerDraw  float64 `json:"alias_ns_per_draw"`
+	LinearNsPerDraw float64 `json:"linear_ns_per_draw"`
+	// Speedup = linear / alias; the acceptance bar is >= 10 at n >= 1024.
+	Speedup float64 `json:"alias_speedup"`
+	// LocalReportsPerSec / RemoteReportsPerSec are closed-loop draw rates
+	// through registry.Report and POST /v1/report respectively.
+	LocalReportsPerSec  float64 `json:"local_reports_per_sec"`
+	RemoteReportsPerSec float64 `json:"remote_reports_per_sec"`
+	Regions             int     `json:"regions"`
+}
+
+// timePerDraw measures ns/draw over enough iterations to be stable.
+func timePerDraw(draw func()) float64 {
+	const iters = 200000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		draw()
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters
+}
+
+// TestBenchReportPR4 writes BENCH_pr4.json for the CI benchmark artifact.
+// It is skipped unless BENCH_PR4_OUT names the output path, so regular
+// test runs stay fast.
+func TestBenchReportPR4(t *testing.T) {
+	out := os.Getenv("BENCH_PR4_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PR4_OUT=path to generate the benchmark report")
+	}
+
+	// Alias vs linear scan on a large row (the acceptance floor is n >=
+	// 1024; the paper's height-3 subtrees are 343, so this is the scale
+	// the repo grows toward).
+	const n = 1024
+	rng := rand.New(rand.NewSource(9))
+	row := make([]float64, n)
+	total := 0.0
+	for i := range row {
+		row[i] = rng.Float64()
+		total += row[i]
+	}
+	for i := range row {
+		row[i] /= total
+	}
+	m := obf.NewMatrix(n)
+	for j, v := range row {
+		m.Set(0, j, v)
+	}
+	a, err := sample.New(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drawRng := rand.New(rand.NewSource(1))
+	aliasNs := timePerDraw(func() { a.Draw(drawRng) })
+	linearNs := timePerDraw(func() {
+		if _, err := m.SampleRow(0, drawRng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	speedup := linearNs / aliasNs
+	if speedup < 10 {
+		t.Fatalf("alias draws only %.1fx faster than linear scan at n=%d (acceptance: >= 10x)", speedup, n)
+	}
+
+	// Local vs remote report throughput over the PR 3 three-region setup.
+	specs := reportSpecs("bench-a", "bench-b", "bench-c")
+	reg, err := registry.New(specs, registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := reg.BootstrapAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	type target struct {
+		region string
+		cell   [2]int
+	}
+	var targets []target
+	for _, spec := range specs {
+		sh, err := reg.Shard(ctx, spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, leaf := range sh.Server.Tree().LevelNodes(0)[:8] {
+			targets = append(targets, target{spec.Name, [2]int{leaf.Coord.Q, leaf.Coord.R}})
+		}
+	}
+	mkReq := func(tg target, uid int64) registry.ReportRequest {
+		return registry.ReportRequest{
+			Region: tg.region,
+			Cell:   hexgrid.Coord{Q: tg.cell[0], R: tg.cell[1]},
+			UID:    uid,
+			Policy: policy.Policy{PrivacyLevel: 1},
+			Seed:   uid,
+		}
+	}
+	// Warm every (region, subtree) entry so both loops measure steady
+	// state, not LP solves.
+	for i, tg := range targets {
+		if _, err := reg.Report(ctx, mkReq(tg, int64(i%32))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const window = 2 * time.Second
+	localStart := time.Now()
+	localReqs := 0
+	for time.Since(localStart) < window {
+		tg := targets[localReqs%len(targets)]
+		if _, err := reg.Report(ctx, mkReq(tg, int64(localReqs%32))); err != nil {
+			t.Fatal(err)
+		}
+		localReqs++
+	}
+	localRate := float64(localReqs) / time.Since(localStart).Seconds()
+
+	h, err := NewMultiHandler(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	remoteStart := time.Now()
+	remoteReqs := 0
+	for time.Since(remoteStart) < window {
+		tg := targets[remoteReqs%len(targets)]
+		if _, err := c.Report(ReportRequest{
+			Region: tg.region,
+			Cell:   tg.cell,
+			UID:    int64(remoteReqs % 32),
+			Policy: policy.Policy{PrivacyLevel: 1},
+			Seed:   int64(remoteReqs % 32),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		remoteReqs++
+	}
+	remoteRate := float64(remoteReqs) / time.Since(remoteStart).Seconds()
+
+	rep := benchPR4Report{
+		N:                   n,
+		AliasNsPerDraw:      math.Round(aliasNs*100) / 100,
+		LinearNsPerDraw:     math.Round(linearNs*100) / 100,
+		Speedup:             math.Round(speedup*10) / 10,
+		LocalReportsPerSec:  math.Round(localRate),
+		RemoteReportsPerSec: math.Round(remoteRate),
+		Regions:             len(specs),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("BENCH_pr4: %s\n", data)
+}

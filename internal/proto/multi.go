@@ -13,6 +13,7 @@ import (
 
 	"corgi/internal/core"
 	"corgi/internal/registry"
+	"corgi/internal/session"
 )
 
 // DefaultMaxBatch bounds the item count of one POST /v1/forests request.
@@ -73,11 +74,14 @@ type BatchForestResponse struct {
 }
 
 // MultiStatsResponse reports per-region engine counters plus the
-// fleet-wide aggregate. Only bootstrapped regions appear under Regions.
+// fleet-wide aggregate, and the same split for report-session counters.
+// Only bootstrapped regions appear under the per-region maps.
 type MultiStatsResponse struct {
-	Regions    map[string]StatsResponse `json:"regions"`
-	Total      StatsResponse            `json:"total"`
-	Bootstraps uint64                   `json:"bootstraps"`
+	Regions       map[string]StatsResponse `json:"regions"`
+	Total         StatsResponse            `json:"total"`
+	Bootstraps    uint64                   `json:"bootstraps"`
+	Sessions      map[string]session.Stats `json:"sessions,omitempty"`
+	SessionsTotal session.Stats            `json:"sessions_total"`
 }
 
 // MultiHandler serves the region-addressed CORGI API over a registry of
@@ -91,6 +95,8 @@ type MultiStatsResponse struct {
 //	GET|POST /v1/forest?region=R    -> ForestResponse (v1/v2 negotiated)
 //	POST /v1/matrices?region=R      -> same (v1-era path, kept for old clients)
 //	POST /v1/forests                -> BatchForestResponse
+//	POST /v1/report                 -> ReportResponse (server-side draws)
+//	POST /v1/reports                -> BatchReportResponse
 //
 // Omitting ?region= addresses the registry's default region, so a
 // pre-sharding client keeps working against a multi-region server.
@@ -101,9 +107,12 @@ type MultiHandler struct {
 	// Timeout bounds each request's generation work (the whole batch for
 	// /v1/forests); zero leaves the request context alone in charge.
 	Timeout time.Duration
-	// MaxBatch caps the items of one batch request. <= 0 uses
-	// DefaultMaxBatch.
+	// MaxBatch caps the items of one batch request (/v1/forests and
+	// /v1/reports alike). <= 0 uses DefaultMaxBatch.
 	MaxBatch int
+	// MaxReportCount caps the draws of one report request. <= 0 uses
+	// DefaultMaxReportCount.
+	MaxReportCount int
 }
 
 // NewMultiHandler wires a region registry into an http.Handler.
@@ -133,6 +142,8 @@ func (h *MultiHandler) Mux() *http.ServeMux {
 		h.handleForest(w, r)
 	})
 	mux.HandleFunc("/v1/forests", h.handleBatch)
+	mux.HandleFunc("/v1/report", h.handleReport)
+	mux.HandleFunc("/v1/reports", h.handleReports)
 	return mux
 }
 
@@ -205,12 +216,16 @@ func (h *MultiHandler) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := MultiStatsResponse{
 		Regions:    make(map[string]StatsResponse, len(stats)),
 		Bootstraps: h.reg.Bootstraps(),
+		Sessions:   h.reg.SessionStats(),
 	}
 	for name, s := range stats {
 		resp.Regions[name] = statsResponse(s)
 		total.Merge(s)
 	}
 	resp.Total = statsResponse(total)
+	for _, s := range resp.Sessions {
+		resp.SessionsTotal.Merge(s)
+	}
 	writeJSON(w, resp)
 }
 

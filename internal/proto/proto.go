@@ -19,6 +19,12 @@
 // keep their own on-disk forest caches and revalidate for free. Requests
 // carry the caller's context through the handler into the generation
 // engine, bounded by Handler.Timeout.
+//
+// Multi-region servers additionally expose the report pipeline (POST
+// /v1/report, batch /v1/reports; see report.go): the server evaluates the
+// inline policy, prunes, and draws obfuscated reports from per-user
+// sessions — a trusted-serving mode that trades Sec. 5's trust model for
+// per-report draws instead of matrix shipping.
 package proto
 
 import (
@@ -117,6 +123,9 @@ type StatsResponse struct {
 	StoreMisses        uint64 `json:"store_misses"`
 	StoreWrites        uint64 `json:"store_writes"`
 	StoreHydrated      uint64 `json:"store_hydrated"`
+	AliasBuilds        uint64 `json:"alias_builds"`
+	AliasHits          uint64 `json:"alias_hits"`
+	AliasBytes         int64  `json:"alias_bytes"`
 }
 
 // NewHandler wires a core server into an http.Handler.
@@ -227,6 +236,9 @@ func statsResponse(s core.EngineStats) StatsResponse {
 		StoreMisses:        s.StoreMisses,
 		StoreWrites:        s.StoreWrites,
 		StoreHydrated:      s.StoreHydrated,
+		AliasBuilds:        s.AliasBuilds,
+		AliasHits:          s.AliasHits,
+		AliasBytes:         s.AliasBytes,
 	}
 }
 

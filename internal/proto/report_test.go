@@ -1,0 +1,238 @@
+package proto
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"corgi/internal/policy"
+	"corgi/internal/registry"
+	"corgi/internal/session"
+)
+
+func reportSpecs(names ...string) []registry.Spec {
+	specs := make([]registry.Spec, len(names))
+	for i, name := range names {
+		specs[i] = registry.Spec{
+			Name:      name,
+			CenterLat: 37.765 + float64(i),
+			CenterLng: -122.435,
+			Height:    2, Iterations: 1, Targets: 3,
+			UniformPriors: true,
+		}
+	}
+	return specs
+}
+
+func reportServer(t *testing.T, names ...string) (*httptest.Server, *registry.Registry) {
+	t.Helper()
+	reg, err := registry.New(reportSpecs(names...), registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewMultiHandler(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h.Mux())
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	srv, _ := reportServer(t, "ra", "rb")
+	c := NewClient(srv.URL)
+	tree, _, err := c.FetchTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := tree.LevelNodes(0)[0]
+	resp, err := c.Report(ReportRequest{
+		Region: "ra",
+		Cell:   [2]int{leaf.Coord.Q, leaf.Coord.R},
+		Policy: policy.Policy{PrivacyLevel: 1},
+		Seed:   7,
+		Count:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Region != "ra" || len(resp.Reports) != 5 || resp.PrecisionLevel != 0 {
+		t.Fatalf("response: %+v", resp)
+	}
+	for _, rep := range resp.Reports {
+		if rep.Lat == 0 && rep.Lng == 0 {
+			t.Fatalf("report without a center: %+v", rep)
+		}
+	}
+}
+
+// TestReportRemoteEqualsLocal is the acceptance property: a seeded remote
+// report equals the local-sampling report for the same (region, cell,
+// policy, seed). The local side fetches the same forest over the dense v1
+// encoding (bit-exact float64 round trip) and draws through an
+// internal/session with the same seed.
+func TestReportRemoteEqualsLocal(t *testing.T) {
+	srv, _ := reportServer(t, "ra")
+	const (
+		seed  = int64(424242)
+		count = 16
+	)
+	pol := policy.Policy{PrivacyLevel: 2}
+
+	c := NewRegionClient(srv.URL, "ra")
+	c.ForceV1 = true // quantization-free so both sides see identical rows
+	tree, _, err := c.FetchTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors, err := c.FetchPriors(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := tree.LevelNodes(0)[10]
+
+	// Remote: the server draws from its session.
+	remote, err := c.Report(ReportRequest{
+		Cell:   [2]int{leaf.Coord.Q, leaf.Coord.R},
+		Policy: pol,
+		Seed:   seed,
+		Count:  count,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Local: fetch the forest, bind the same session shape, draw.
+	forest, err := c.FetchForest(tree, pol.PrivacyLevel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := tree.AncestorAt(leaf, pol.PrivacyLevel)
+	sess, err := session.New(session.Config{
+		Tree:   tree,
+		Entry:  forest.Entries[root],
+		Delta:  forest.Delta,
+		Policy: pol,
+		Priors: priors,
+		Seed:   seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sess.DrawCellN(leaf, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(remote.Reports) != len(local) {
+		t.Fatalf("remote drew %d, local %d", len(remote.Reports), len(local))
+	}
+	for i := range local {
+		if remote.Reports[i].Q != local[i].Coord.Q || remote.Reports[i].R != local[i].Coord.R {
+			t.Fatalf("draw %d diverged: remote (%d,%d) vs local %v",
+				i, remote.Reports[i].Q, remote.Reports[i].R, local[i])
+		}
+	}
+}
+
+func TestReportBatchPerItemStatuses(t *testing.T) {
+	srv, _ := reportServer(t, "ra")
+	c := NewClient(srv.URL)
+	tree, _, err := c.FetchTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := tree.LevelNodes(0)[0]
+	good := ReportRequest{
+		Region: "ra",
+		Cell:   [2]int{leaf.Coord.Q, leaf.Coord.R},
+		Policy: policy.Policy{PrivacyLevel: 1},
+	}
+	badRegion := good
+	badRegion.Region = "nope"
+	badPolicy := good
+	badPolicy.Policy = policy.Policy{PrivacyLevel: 99}
+	badCell := good
+	badCell.Cell = [2]int{9999, 9999}
+
+	resp, err := c.ReportBatch([]ReportRequest{good, badRegion, badPolicy, badCell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{http.StatusOK, http.StatusNotFound,
+		http.StatusUnprocessableEntity, http.StatusUnprocessableEntity}
+	for i, item := range resp.Items {
+		if item.Status != want[i] {
+			t.Fatalf("item %d status %d (%s), want %d", i, item.Status, item.Error, want[i])
+		}
+		if (item.Report != nil) != (item.Status == http.StatusOK) {
+			t.Fatalf("item %d payload/status mismatch: %+v", i, item)
+		}
+	}
+}
+
+func TestReportLimitsAndMethods(t *testing.T) {
+	srv, reg := reportServer(t, "ra")
+	c := NewClient(srv.URL)
+	tree, _, err := c.FetchTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := tree.LevelNodes(0)[0]
+
+	// Count beyond the handler cap is a per-request rejection.
+	_, err = c.Report(ReportRequest{
+		Region: "ra",
+		Cell:   [2]int{leaf.Coord.Q, leaf.Coord.R},
+		Policy: policy.Policy{PrivacyLevel: 1},
+		Count:  DefaultMaxReportCount + 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized count: %v", err)
+	}
+
+	// GET is rejected on both routes.
+	for _, path := range []string{"/v1/report", "/v1/reports"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s -> %d", path, resp.StatusCode)
+		}
+	}
+
+	// Oversized batches are rejected whole.
+	items := make([]ReportRequest, DefaultMaxBatch+1)
+	for i := range items {
+		items[i] = ReportRequest{Region: "ra", Cell: [2]int{leaf.Coord.Q, leaf.Coord.R},
+			Policy: policy.Policy{PrivacyLevel: 1}}
+	}
+	if _, err := c.ReportBatch(items); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+
+	// Sessions show up in /v1/stats.
+	if st := reg.AggregateSessionStats(); st.Created != 0 {
+		t.Fatalf("limit probes created sessions: %+v", st)
+	}
+	if _, err := c.Report(ReportRequest{Region: "ra",
+		Cell: [2]int{leaf.Coord.Q, leaf.Coord.R}, Policy: policy.Policy{PrivacyLevel: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	if !strings.Contains(body, "sessions_total") || !strings.Contains(body, "alias_builds") {
+		t.Fatalf("stats missing report-pipeline counters: %s", body)
+	}
+}

@@ -30,6 +30,8 @@ import (
 	"corgi/internal/gowalla"
 	"corgi/internal/hexgrid"
 	"corgi/internal/loctree"
+	"corgi/internal/policy"
+	"corgi/internal/session"
 	"corgi/internal/store"
 )
 
@@ -241,13 +243,61 @@ type Options struct {
 	// solves), and newly solved forests write back asynchronously. A spec
 	// change changes the hash, invalidating that region's old snapshots.
 	Store *store.Store
+	// SessionCap bounds each shard's live report-session LRU. <= 0 uses
+	// session.DefaultCap.
+	SessionCap int
 }
 
-// Shard is one bootstrapped region: its spec and its serving engine. The
-// tree and priors are reachable through Server.Tree and Server.Priors.
+// Shard is one bootstrapped region: its spec, its serving engine, and its
+// report-session cache. The tree and priors are reachable through
+// Server.Tree and Server.Priors.
 type Shard struct {
 	Spec   Spec
 	Server *core.Server
+	// Sessions is the shard's bounded LRU of live report sessions; the
+	// report path reuses a resident session's alias rows and RNG stream
+	// across a user's repeat reports.
+	Sessions *session.Manager
+
+	// meta lazily derives the region's policy-attribute metadata (home /
+	// office / outlier / popular heuristics, Sec. 6.1) from the same
+	// check-in source as the priors. Only the report path needs it, and
+	// only for policies with preferences, so no bootstrap pays for it
+	// up front.
+	metaOnce sync.Once
+	meta     *gowalla.Metadata
+	metaErr  error
+}
+
+// Metadata returns the shard's lazily-built policy metadata. Regions
+// configured with UniformPriors still derive metadata from their seeded
+// synthetic check-in sample, so preference-bearing report requests work
+// against fast-bootstrap regions too.
+func (sh *Shard) Metadata() (*gowalla.Metadata, error) {
+	sh.metaOnce.Do(func() {
+		cs, err := regionCheckIns(sh.Spec, sh.Server.Tree())
+		if err != nil {
+			sh.metaErr = fmt.Errorf("registry: region %q metadata: %w", sh.Spec.Name, err)
+			return
+		}
+		sh.meta, sh.metaErr = gowalla.BuildMetadata(cs, sh.Server.Tree(), 0.2)
+	})
+	return sh.meta, sh.metaErr
+}
+
+// Attrs builds the attribute map one user's preference evaluation sees
+// over the given leaves, anchored at refLoc (the "distance" attribute is
+// relative to it). The report path passes only the privacy subtree's
+// leaves; nil annotates the whole region.
+func (sh *Shard) Attrs(uid int, refLoc geo.LatLng, leaves []loctree.NodeID) (map[loctree.NodeID]policy.Attributes, error) {
+	md, err := sh.Metadata()
+	if err != nil {
+		return nil, err
+	}
+	if leaves == nil {
+		return md.Annotate(uid, refLoc), nil
+	}
+	return md.AnnotateLeaves(uid, refLoc, leaves), nil
 }
 
 // ErrUnknownRegion marks lookups of regions the registry was not
@@ -451,7 +501,31 @@ func (r *Registry) bootstrap(ctx context.Context, spec Spec) (*Shard, error) {
 			return nil, fmt.Errorf("registry: region %q warmup: %w", spec.Name, err)
 		}
 	}
-	return &Shard{Spec: spec, Server: srv}, nil
+	return &Shard{Spec: spec, Server: srv, Sessions: session.NewManager(r.opts.SessionCap)}, nil
+}
+
+// regionCheckIns resolves a region's check-in sample: the configured real
+// Gowalla file clipped to the region's bounding box, or the deterministic
+// synthetic sample seeded by the spec. Priors and policy metadata both
+// derive from it, so the two views of a region always agree.
+func regionCheckIns(spec Spec, tree *loctree.Tree) ([]gowalla.CheckIn, error) {
+	bbox := treeBBox(tree, spec.LeafSpacingKm)
+	if spec.CheckinsPath != "" {
+		all, err := gowalla.LoadFile(spec.CheckinsPath)
+		if err != nil {
+			return nil, err
+		}
+		return gowalla.FilterBBox(all, bbox), nil
+	}
+	ds, err := gowalla.Generate(gowalla.GenConfig{
+		Seed:        spec.Seed,
+		NumCheckIns: spec.SyntheticCheckIns,
+		BBox:        bbox,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ds.CheckIns, nil
 }
 
 // buildPriors derives the region's public leaf priors: uniform, from a
@@ -461,24 +535,9 @@ func buildPriors(spec Spec, tree *loctree.Tree) (*loctree.Priors, error) {
 	if spec.UniformPriors {
 		return loctree.UniformPriors(tree), nil
 	}
-	bbox := treeBBox(tree, spec.LeafSpacingKm)
-	var cs []gowalla.CheckIn
-	if spec.CheckinsPath != "" {
-		all, err := gowalla.LoadFile(spec.CheckinsPath)
-		if err != nil {
-			return nil, err
-		}
-		cs = gowalla.FilterBBox(all, bbox)
-	} else {
-		ds, err := gowalla.Generate(gowalla.GenConfig{
-			Seed:        spec.Seed,
-			NumCheckIns: spec.SyntheticCheckIns,
-			BBox:        bbox,
-		})
-		if err != nil {
-			return nil, err
-		}
-		cs = ds.CheckIns
+	cs, err := regionCheckIns(spec, tree)
+	if err != nil {
+		return nil, err
 	}
 	leaf, err := gowalla.LeafPriors(cs, tree, 1)
 	if err != nil {
@@ -565,6 +624,32 @@ func (r *Registry) Stats() map[string]core.EngineStats {
 func (r *Registry) AggregateStats() core.EngineStats {
 	var total core.EngineStats
 	for _, s := range r.Stats() {
+		total.Merge(s)
+	}
+	return total
+}
+
+// SessionStats snapshots every bootstrapped shard's report-session
+// counters by region.
+func (r *Registry) SessionStats() map[string]session.Stats {
+	r.mu.Lock()
+	shards := make(map[string]*Shard, len(r.shards))
+	for name, sh := range r.shards {
+		shards[name] = sh
+	}
+	r.mu.Unlock()
+	out := make(map[string]session.Stats, len(shards))
+	for name, sh := range shards {
+		out[name] = sh.Sessions.Stats()
+	}
+	return out
+}
+
+// AggregateSessionStats folds all shard session counters into one
+// fleet-wide snapshot.
+func (r *Registry) AggregateSessionStats() session.Stats {
+	var total session.Stats
+	for _, s := range r.SessionStats() {
 		total.Merge(s)
 	}
 	return total

@@ -1,0 +1,168 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"corgi/internal/core"
+	"corgi/internal/geo"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/policy"
+	"corgi/internal/session"
+)
+
+// ErrBadReport marks report requests rejected for caller-side reasons
+// (cell outside the region, invalid policy, over-budget prune set), so the
+// serving layer can answer 4xx instead of 5xx.
+var ErrBadReport = errors.New("bad report request")
+
+// ReportRequest is one user's report ask: which region, which true leaf
+// cell, the inline customization policy, and the draw parameters. Serving
+// this path means the true cell and the policy cross the wire — the
+// trusted-serving trade-off the report pipeline makes against the paper's
+// download-and-customize flow (see ARCHITECTURE.md); deployments that
+// must keep Sec. 5's trust model use the forest routes unchanged.
+type ReportRequest struct {
+	Region string
+	// Cell is the axial coordinate of the user's true leaf cell.
+	Cell hexgrid.Coord
+	// UID selects the per-user view of the region metadata (home/office/
+	// outlier attributes) and partitions session state between users.
+	UID int64
+	// Policy is the customization triple, evaluated server-side against
+	// the shard's metadata.
+	Policy policy.Policy
+	// Seed fixes the session's RNG stream; a (UID, Seed, Policy, subtree)
+	// tuple always replays the same draw sequence from a fresh server.
+	Seed int64
+	// Count is how many reports to draw (min 1).
+	Count int
+}
+
+// ReportResult carries the drawn reports and the customization facts a
+// client may want to display.
+type ReportResult struct {
+	Region         string
+	SubtreeRoot    loctree.NodeID
+	PrecisionLevel int
+	// Pruned is how many locations the policy's preferences removed from
+	// the obfuscation range.
+	Pruned  int
+	Reports []loctree.NodeID
+	// Centers are the reported nodes' centers, index-aligned with
+	// Reports, so the serving layer never needs a second shard lookup.
+	Centers []geo.LatLng
+}
+
+// Report runs the full report pipeline for one request: resolve the
+// shard, validate cell and policy, evaluate preferences against the
+// shard's metadata to size the prune set, generate (or fetch from cache)
+// the δ-prunable forest entry for the user's subtree, bind or reuse the
+// (UID, Seed, Policy, subtree) session, and draw. The registry is the
+// layer that owns all the pieces — engine shards, metadata, session
+// caches — so the serving protocol stays a thin translation.
+func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult, error) {
+	sh, err := r.Shard(ctx, req.Region)
+	if err != nil {
+		return nil, err
+	}
+	tree := sh.Server.Tree()
+	leaf := loctree.NodeID{Level: 0, Coord: req.Cell}
+	if !tree.Contains(leaf) {
+		return nil, fmt.Errorf("%w: cell (%d, %d) outside region %q",
+			ErrBadReport, req.Cell.Q, req.Cell.R, sh.Spec.Name)
+	}
+	if err := req.Policy.Validate(tree.Height()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	root, ok := tree.AncestorAt(leaf, req.Policy.PrivacyLevel)
+	if !ok {
+		return nil, fmt.Errorf("%w: no ancestor of %v at privacy level %d",
+			ErrBadReport, leaf, req.Policy.PrivacyLevel)
+	}
+
+	// The session key is computable from the request alone, so a warm
+	// user short-circuits here: no attribute pass, no preference
+	// evaluation, no entry lookup — just the resident session's O(1)
+	// draws. Preference-bearing policies additionally key on the true
+	// cell: their attributes (distance in particular) anchor at the
+	// user's location, so a moved user gets a freshly pruned session
+	// instead of one anchored where they used to stand.
+	key := session.Key{
+		Region: sh.Spec.Name,
+		UID:    req.UID,
+		Seed:   req.Seed,
+		Policy: session.PolicyFingerprint(req.Policy),
+		Root:   root,
+	}
+	if len(req.Policy.Preferences) > 0 {
+		key.Cell = leaf
+	}
+	sess, ok := sh.Sessions.Get(key)
+	if !ok {
+		// Preferences size the prune budget the entry must absorb
+		// (Sec. 5.3: the request's delta is |S|). The evaluated prune set
+		// rides into the session config so it is computed exactly once.
+		pruned := []loctree.NodeID{}
+		if len(req.Policy.Preferences) > 0 {
+			subtreeLeaves := tree.LeavesUnder(root)
+			attrs, err := sh.Attrs(int(req.UID), tree.Center(leaf), subtreeLeaves)
+			if err != nil {
+				return nil, err
+			}
+			pruned, err = core.EvalPreferences(subtreeLeaves, req.Policy, attrs)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+			}
+			if pruned == nil {
+				pruned = []loctree.NodeID{}
+			}
+		}
+		entry, err := sh.Server.GenerateEntryCtx(ctx, root, len(pruned))
+		if err != nil {
+			return nil, err
+		}
+		sess, err = sh.Sessions.GetOrCreate(key, func() (*session.Session, error) {
+			return session.New(session.Config{
+				Tree:   tree,
+				Entry:  entry,
+				Delta:  len(pruned),
+				Policy: req.Policy,
+				Pruned: pruned,
+				Priors: sh.Server.Priors(),
+				Seed:   req.Seed,
+			})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+		}
+	}
+
+	count := req.Count
+	if count < 1 {
+		count = 1
+	}
+	reports, err := sess.DrawCellN(leaf, count)
+	if err != nil {
+		if errors.Is(err, session.ErrUnsampleable) {
+			// Degenerate matrix data is a server fault (5xx), not a
+			// request problem.
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	centers := make([]geo.LatLng, len(reports))
+	for i, n := range reports {
+		centers[i] = tree.Center(n)
+	}
+	return &ReportResult{
+		Region:         sh.Spec.Name,
+		SubtreeRoot:    root,
+		PrecisionLevel: req.Policy.PrecisionLevel,
+		Pruned:         len(sess.Pruned()),
+		Reports:        reports,
+		Centers:        centers,
+	}, nil
+}

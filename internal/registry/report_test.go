@@ -1,0 +1,263 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/policy"
+)
+
+func reportTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg, err := New(fastSpecs("rep-a", "rep-b"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func centerCell(t *testing.T, reg *Registry, region string) hexgrid.Coord {
+	t.Helper()
+	sh, err := reg.Shard(context.Background(), region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := sh.Server.Tree()
+	leaf, ok := tree.Locate(sh.Spec.Center(), 0)
+	if !ok {
+		t.Fatal("region center not in tree")
+	}
+	return leaf.Coord
+}
+
+func TestReportBasicAndDeterministic(t *testing.T) {
+	reg := reportTestRegistry(t)
+	ctx := context.Background()
+	req := ReportRequest{
+		Region: "rep-a",
+		Cell:   centerCell(t, reg, "rep-a"),
+		UID:    7,
+		Policy: policy.Policy{PrivacyLevel: 1},
+		Seed:   42,
+		Count:  8,
+	}
+	res, err := reg.Report(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 8 {
+		t.Fatalf("drew %d reports, want 8", len(res.Reports))
+	}
+	if res.Region != "rep-a" || res.PrecisionLevel != 0 {
+		t.Fatalf("result metadata wrong: %+v", res)
+	}
+	sh, _ := reg.Shard(ctx, "rep-a")
+	for _, n := range res.Reports {
+		if n.Level != 0 || !sh.Server.Tree().Contains(n) {
+			t.Fatalf("report %v not a tree leaf", n)
+		}
+	}
+
+	// A fresh registry with the same inputs replays the same sequence —
+	// the determinism the remote/local equivalence guarantee needs.
+	reg2 := reportTestRegistry(t)
+	res2, err := reg2.Report(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Reports {
+		if res.Reports[i] != res2.Reports[i] {
+			t.Fatalf("replayed draw %d differs: %v vs %v", i, res.Reports[i], res2.Reports[i])
+		}
+	}
+
+	// Repeat requests reuse the resident session and advance its stream.
+	if _, err := reg.Report(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if st := reg.AggregateSessionStats(); st.Hits == 0 || st.Created != 1 || st.Draws != 16 {
+		t.Fatalf("session stats after reuse: %+v", st)
+	}
+}
+
+func TestReportWithPreferences(t *testing.T) {
+	reg := reportTestRegistry(t)
+	ctx := context.Background()
+	sh, err := reg.Shard(ctx, "rep-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := sh.Metadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a user whose inferred home lies in the level-2 subtree but is
+	// not the cell they are standing in: "home != true" then prunes
+	// exactly one location.
+	tree := sh.Server.Tree()
+	cell := centerCell(t, reg, "rep-a")
+	leaf := loctree.NodeID{Level: 0, Coord: cell}
+	root, _ := tree.AncestorAt(leaf, 2)
+	inRange := map[loctree.NodeID]bool{}
+	for _, l := range tree.LeavesUnder(root) {
+		inRange[l] = true
+	}
+	uid := -1
+	for u := 0; u < 500; u++ {
+		if h, ok := md.HomeLeaf[u]; ok && inRange[h] && h != leaf {
+			uid = u
+			break
+		}
+	}
+	if uid < 0 {
+		t.Fatal("no user with a home in range; synthetic metadata changed?")
+	}
+	pred, err := policy.ParsePredicate("home != true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := ReportRequest{
+		Region: "rep-a",
+		Cell:   cell,
+		UID:    int64(uid),
+		Policy: policy.Policy{PrivacyLevel: 2, PrecisionLevel: 1, Preferences: []policy.Predicate{pred}},
+		Seed:   1,
+		Count:  4,
+	}
+	res, err := reg.Report(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned != 1 {
+		t.Fatalf("pruned %d, want exactly the user's home cell", res.Pruned)
+	}
+	for _, n := range res.Reports {
+		if n.Level != 1 {
+			t.Fatalf("precision-1 policy reported level-%d node %v", n.Level, n)
+		}
+	}
+}
+
+func TestReportBadRequests(t *testing.T) {
+	reg := reportTestRegistry(t)
+	ctx := context.Background()
+	good := centerCell(t, reg, "rep-a")
+
+	cases := []ReportRequest{
+		{Region: "nope", Cell: good, Policy: policy.Policy{PrivacyLevel: 1}},
+		{Region: "rep-a", Cell: hexgrid.Coord{Q: 9999, R: 9999}, Policy: policy.Policy{PrivacyLevel: 1}},
+		{Region: "rep-a", Cell: good, Policy: policy.Policy{PrivacyLevel: 99}},
+		{Region: "rep-a", Cell: good, Policy: policy.Policy{PrivacyLevel: 1, PrecisionLevel: 1}},
+	}
+	for i, req := range cases {
+		_, err := reg.Report(ctx, req)
+		if err == nil {
+			t.Fatalf("case %d accepted: %+v", i, req)
+		}
+		if i == 0 {
+			if !errors.Is(err, ErrUnknownRegion) {
+				t.Fatalf("unknown region not classified: %v", err)
+			}
+		} else if !errors.Is(err, ErrBadReport) {
+			t.Fatalf("case %d not classified as bad request: %v", i, err)
+		}
+	}
+}
+
+// TestReportMovedUserReanchorsPreferences: location-relative preferences
+// (the "distance" attribute) anchor at the true cell, so a user who moved
+// within the same subtree must get a freshly pruned session — not the one
+// keyed to where they used to stand.
+func TestReportMovedUserReanchorsPreferences(t *testing.T) {
+	reg := reportTestRegistry(t)
+	ctx := context.Background()
+	sh, err := reg.Shard(ctx, "rep-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := sh.Server.Tree()
+	root := tree.LevelNodes(1)[0]
+	leaves := tree.LeavesUnder(root)
+
+	// Expected prune counts from geometry: leaves farther than 0.15 km
+	// from where the user stands fail "distance <= 0.15".
+	const cutoff = 0.15
+	prunedFrom := func(at loctree.NodeID) int {
+		n := 0
+		for _, l := range leaves {
+			if tree.Distance(at, l) > cutoff {
+				n++
+			}
+		}
+		return n
+	}
+	// Pick two cells with different prune sets (the subtree's central
+	// leaf sees everything within 0.1 km; a rim leaf does not).
+	var cellA, cellB loctree.NodeID
+	found := false
+	for _, a := range leaves {
+		for _, b := range leaves {
+			if a != b && prunedFrom(a) != prunedFrom(b) {
+				cellA, cellB, found = a, b, true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no leaf pair with distinct distance prune sets; geometry changed?")
+	}
+
+	pred, err := policy.ParsePredicate("distance <= 0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkReq := func(cell loctree.NodeID) ReportRequest {
+		return ReportRequest{
+			Region: "rep-a",
+			Cell:   cell.Coord,
+			UID:    5,
+			Policy: policy.Policy{PrivacyLevel: 1, Preferences: []policy.Predicate{pred}},
+			Seed:   2,
+			Count:  1,
+		}
+	}
+	resA, err := reg.Report(ctx, mkReq(cellA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Pruned != prunedFrom(cellA) {
+		t.Fatalf("cell A pruned %d, geometry says %d", resA.Pruned, prunedFrom(cellA))
+	}
+	resB, err := reg.Report(ctx, mkReq(cellB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Pruned != prunedFrom(cellB) {
+		t.Fatalf("moved user pruned %d, geometry at the new cell says %d (stale session reused?)",
+			resB.Pruned, prunedFrom(cellB))
+	}
+	if st := reg.AggregateSessionStats(); st.Created != 2 {
+		t.Fatalf("moved preference-bearing user must bind a fresh session: %+v", st)
+	}
+}
+
+// TestReportMissingAttribute: a preference over an attribute the region's
+// metadata does not define is the caller's fault.
+func TestReportMissingAttribute(t *testing.T) {
+	reg := reportTestRegistry(t)
+	pred, _ := policy.ParsePredicate("nonexistent = true")
+	_, err := reg.Report(context.Background(), ReportRequest{
+		Region: "rep-a",
+		Cell:   centerCell(t, reg, "rep-a"),
+		Policy: policy.Policy{PrivacyLevel: 1, Preferences: []policy.Predicate{pred}},
+	})
+	if !errors.Is(err, ErrBadReport) {
+		t.Fatalf("missing attribute not a bad request: %v", err)
+	}
+}

@@ -1,0 +1,186 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestNewRejectsBadWeights(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{-1, 2},
+		{math.NaN(), 1},
+		{math.Inf(1), 1},
+	}
+	for _, w := range cases {
+		if _, err := New(w); err == nil {
+			t.Errorf("New(%v) accepted", w)
+		}
+	}
+}
+
+// TestProbMatchesWeights verifies the reconstructed per-outcome probability
+// equals the normalized input weights — the table is an exact
+// representation, not an approximation.
+func TestProbMatchesWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 7, 49, 343} {
+		weights := make([]float64, n)
+		total := 0.0
+		for i := range weights {
+			if i%5 == 3 {
+				continue // leave some zeros
+			}
+			weights[i] = rng.Float64()
+			total += weights[i]
+		}
+		if total == 0 {
+			weights[0], total = 1, 1
+		}
+		a, err := New(weights)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for j := range weights {
+			want := weights[j] / total
+			if got := a.Prob(j); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("n=%d: Prob(%d) = %v, want %v", n, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDrawDistribution(t *testing.T) {
+	weights := []float64{0.7, 0.3, 0}
+	a, err := New(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	const trials = 100000
+	counts := make([]int, 3)
+	for i := 0; i < trials; i++ {
+		counts[a.Draw(rng)]++
+	}
+	if got := float64(counts[0]) / trials; math.Abs(got-0.7) > 0.01 {
+		t.Errorf("P(0) = %v, want 0.7", got)
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight outcome drawn %d times", counts[2])
+	}
+}
+
+// TestDrawUnnormalized: weights that do not sum to 1 (a pruned row before
+// renormalization) draw proportionally.
+func TestDrawUnnormalized(t *testing.T) {
+	a, err := New([]float64{0.2, 0.1, 0.1}) // mass 0.4 -> 1/2, 1/4, 1/4
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const trials = 100000
+	counts := make([]int, 3)
+	for i := 0; i < trials; i++ {
+		counts[a.Draw(rng)]++
+	}
+	if got := float64(counts[0]) / trials; math.Abs(got-0.5) > 0.01 {
+		t.Errorf("P(0) = %v, want 0.5", got)
+	}
+}
+
+func TestNewSubset(t *testing.T) {
+	row := []float64{0.4, 0.3, 0.2, 0.1}
+	a, keep, err := NewSubset(row, []bool{false, true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep) != 2 || keep[0] != 0 || keep[1] != 2 {
+		t.Fatalf("keep = %v, want [0 2]", keep)
+	}
+	// Renormalized: 0.4/0.6, 0.2/0.6.
+	if got := a.Prob(0); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Prob(0) = %v, want 2/3", got)
+	}
+	if got := a.Prob(1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Prob(1) = %v, want 1/3", got)
+	}
+
+	if _, _, err := NewSubset(row, []bool{true, true, true, true}); err == nil {
+		t.Error("dropping every column accepted")
+	}
+	if _, _, err := NewSubset(row, []bool{true}); err == nil {
+		t.Error("mismatched drop length accepted")
+	}
+	// A row whose surviving mass is ~0 must be rejected like obf.Prune.
+	tiny := []float64{1 - 1e-12, 1e-12}
+	if _, _, err := NewSubset(tiny, []bool{true, false}); err == nil {
+		t.Error("near-zero surviving mass accepted")
+	}
+}
+
+// TestConcurrentDraws exercises the immutability claim under the race
+// detector: many goroutines draw from one shared table, each with its own
+// RNG.
+func TestConcurrentDraws(t *testing.T) {
+	weights := make([]float64, 343)
+	for i := range weights {
+		weights[i] = float64(i%7) + 1
+	}
+	a, err := New(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 10000; i++ {
+				if j := a.Draw(rng); j < 0 || j >= a.N() {
+					t.Errorf("draw out of range: %d", j)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// TestDrawDeterministic: the same seed yields the same draw sequence —
+// the property the report pipeline's seeded-equivalence guarantee rests on.
+func TestDrawDeterministic(t *testing.T) {
+	weights := []float64{1, 2, 3, 4, 5}
+	a, err := New(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := func() []int {
+		rng := rand.New(rand.NewSource(42))
+		out := make([]int, 32)
+		for i := range out {
+			out[i] = a.Draw(rng)
+		}
+		return out
+	}
+	x, y := seq(), seq()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, x[i], y[i])
+		}
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	a, err := New([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SizeBytes() < 4*12 {
+		t.Errorf("SizeBytes %d too small", a.SizeBytes())
+	}
+}

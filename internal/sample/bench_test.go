@@ -1,0 +1,106 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// stochasticRow builds a random n-entry probability row.
+func stochasticRow(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	row := make([]float64, n)
+	total := 0.0
+	for i := range row {
+		row[i] = rng.Float64()
+		total += row[i]
+	}
+	for i := range row {
+		row[i] /= total
+	}
+	return row
+}
+
+// linearScan is the inverse-CDF draw obf.Matrix.SampleRow performs,
+// reproduced here so the benchmark comparison lives next to the alias
+// implementation without an import cycle.
+func linearScan(row []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	last := 0
+	for j, v := range row {
+		if v <= 0 {
+			continue
+		}
+		acc += v
+		last = j
+		if u < acc {
+			return j
+		}
+	}
+	return last
+}
+
+// BenchmarkAliasSample measures O(1) alias draws across row sizes; compare
+// against BenchmarkLinearScanSample for the speedup the report path buys.
+func BenchmarkAliasSample(b *testing.B) {
+	for _, n := range []int{49, 343, 1024, 4096} {
+		row := stochasticRow(n, int64(n))
+		a, err := New(row)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(sizeName(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = a.Draw(rng)
+			}
+		})
+	}
+}
+
+// BenchmarkLinearScanSample is the pre-alias O(n) baseline.
+func BenchmarkLinearScanSample(b *testing.B) {
+	for _, n := range []int{49, 343, 1024, 4096} {
+		row := stochasticRow(n, int64(n))
+		b.Run(sizeName(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = linearScan(row, rng)
+			}
+		})
+	}
+}
+
+// BenchmarkAliasBuild measures the one-time table construction cost.
+func BenchmarkAliasBuild(b *testing.B) {
+	for _, n := range []int{343, 4096} {
+		row := stochasticRow(n, int64(n))
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := New(row)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink = a.N()
+			}
+		})
+	}
+}
+
+var sink int
+
+func sizeName(n int) string {
+	switch n {
+	case 49:
+		return "n=49"
+	case 343:
+		return "n=343"
+	case 1024:
+		return "n=1024"
+	case 4096:
+		return "n=4096"
+	}
+	return "n=?"
+}

@@ -1,0 +1,368 @@
+// Package session implements per-user report sessions: the stateful hot
+// path of the report pipeline. A session binds one privacy-forest entry
+// (the subtree covering the user's location), an evaluated customization
+// policy <Privacy_l, Precision_l, User_Preferences> (Sec. 3.2), and a
+// seeded RNG, and then serves obfuscated-location draws in O(1) per report
+// via Walker alias tables (internal/sample).
+//
+// Unlike core.GenerateObfuscatedLocation — which materializes the whole
+// pruned matrix (Sec. 4.3) and precision-reduced matrix (Sec. 4.5) before
+// sampling one row — a session works row-wise: it prunes and renormalizes
+// only the rows the drawn-from distribution actually depends on (one row
+// at leaf precision; one precision group's rows otherwise), builds the
+// alias table for that row once, and caches it for every subsequent draw.
+// The full n x n customized matrix never exists, which is what makes the
+// per-report cost independent of how many distinct users a server is
+// tracking.
+//
+// Sessions are safe for concurrent use: the internal *rand.Rand is
+// serialized under the session mutex. Draw sequences are deterministic
+// per seed, the property the /v1/report equivalence guarantee (a seeded
+// remote report equals the local draw for the same inputs) rests on.
+package session
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"corgi/internal/core"
+	"corgi/internal/geo"
+	"corgi/internal/loctree"
+	"corgi/internal/policy"
+	"corgi/internal/sample"
+)
+
+// minMass mirrors obf.Matrix.Prune: a row retaining less mass than this
+// after pruning makes renormalization numerically unstable.
+const minMass = 1e-9
+
+// ErrUnsampleable marks a draw that failed because the matrix data cannot
+// support it — a row degenerate after pruning, or an alias build over a
+// zero-mass row. These are server-side data conditions, not request
+// faults: the serving layer maps them to 5xx, unlike the ErrBadReport
+// family of caller mistakes.
+var ErrUnsampleable = errors.New("session: row unsampleable")
+
+// Config binds everything one report session needs.
+type Config struct {
+	// Tree is the region's location tree.
+	Tree *loctree.Tree
+	// Entry is the privacy-forest entry for the subtree that covers the
+	// user's true location at Policy.PrivacyLevel.
+	Entry *core.ForestEntry
+	// Delta is the prune budget Entry was generated with (Forest.Delta);
+	// New verifies the policy's prune set fits it.
+	Delta int
+	// Policy is the user's customization triple.
+	Policy policy.Policy
+	// Attrs provides per-leaf attributes for preference evaluation; nil is
+	// fine when the policy has no preferences.
+	Attrs map[loctree.NodeID]policy.Attributes
+	// Pruned, when non-nil, is the precomputed prune set — the Entry
+	// leaves failing Policy.Preferences — and New skips re-evaluating
+	// them (callers like registry.Report already evaluated once to size
+	// delta; an empty-but-non-nil slice means "evaluated, nothing
+	// pruned"). Leave nil to have New evaluate Preferences over Attrs.
+	Pruned []loctree.NodeID
+	// Priors supplies leaf priors for precision reduction (Equ. 17);
+	// required when Policy.PrecisionLevel > 0.
+	Priors *loctree.Priors
+	// Seed initializes the session RNG; equal seeds yield equal draw
+	// sequences.
+	Seed int64
+}
+
+// Session is one user's bound report stream. Create with New.
+type Session struct {
+	tree   *loctree.Tree
+	entry  *core.ForestEntry
+	pol    policy.Policy
+	priors *loctree.Priors
+
+	leafIdx    map[loctree.NodeID]int // entry leaf -> matrix row/col
+	dropIdx    []bool                 // by entry leaf position
+	pruned     []loctree.NodeID
+	prunedSet  map[loctree.NodeID]bool
+	keptLeaves []loctree.NodeID
+	keep       []int // kept entry-leaf positions in order
+
+	// nodes are the report outcomes (kept leaves, or precision-level
+	// groups); rowIndex maps a row node to its index in nodes; groups
+	// holds, per node, the keptLeaves positions it aggregates (precision
+	// mode only).
+	nodes    []loctree.NodeID
+	rowIndex map[loctree.NodeID]int
+	groups   [][]int
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rowAlias map[int]*sample.Alias
+
+	draws atomic.Uint64
+}
+
+// New evaluates the policy against the entry and prepares the session:
+// preferences decide the prune set S over the subtree's leaves (step 2-3
+// of Fig. 8), the δ-prunability of the entry is verified against |S|
+// (Sec. 5.3: the reserved budget must cover the realized prune set), and
+// the report node set is fixed. No alias table is built yet — rows build
+// lazily on first draw.
+func New(cfg Config) (*Session, error) {
+	if cfg.Tree == nil || cfg.Entry == nil || cfg.Entry.Matrix == nil {
+		return nil, fmt.Errorf("session: nil tree or entry")
+	}
+	if err := cfg.Policy.Validate(cfg.Tree.Height()); err != nil {
+		return nil, err
+	}
+	if cfg.Policy.PrecisionLevel > 0 && cfg.Priors == nil {
+		return nil, fmt.Errorf("session: precision level %d needs priors", cfg.Policy.PrecisionLevel)
+	}
+	s := &Session{
+		tree:     cfg.Tree,
+		entry:    cfg.Entry,
+		pol:      cfg.Policy,
+		priors:   cfg.Priors,
+		leafIdx:  make(map[loctree.NodeID]int, len(cfg.Entry.Leaves)),
+		dropIdx:  make([]bool, len(cfg.Entry.Leaves)),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		rowAlias: map[int]*sample.Alias{},
+	}
+	for i, l := range cfg.Entry.Leaves {
+		s.leafIdx[l] = i
+	}
+	switch {
+	case cfg.Pruned != nil:
+		for _, n := range cfg.Pruned {
+			if _, ok := s.leafIdx[n]; !ok {
+				return nil, fmt.Errorf("session: pruned leaf %v not in subtree %v", n, cfg.Entry.Root)
+			}
+		}
+		s.pruned = cfg.Pruned
+	case len(cfg.Policy.Preferences) > 0:
+		pruned, err := core.EvalPreferences(cfg.Entry.Leaves, cfg.Policy, cfg.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		s.pruned = pruned
+	}
+	if len(s.pruned) > cfg.Delta {
+		return nil, fmt.Errorf("session: preferences prune %d locations but the matrix is only %d-prunable (Sec. 5.3 tradeoff)",
+			len(s.pruned), cfg.Delta)
+	}
+	s.prunedSet = make(map[loctree.NodeID]bool, len(s.pruned))
+	for _, n := range s.pruned {
+		s.prunedSet[n] = true
+		s.dropIdx[s.leafIdx[n]] = true
+	}
+	for i, l := range cfg.Entry.Leaves {
+		if !s.dropIdx[i] {
+			s.keep = append(s.keep, i)
+			s.keptLeaves = append(s.keptLeaves, l)
+		}
+	}
+	if len(s.keptLeaves) == 0 {
+		return nil, fmt.Errorf("session: preferences prune every location in the subtree")
+	}
+
+	s.nodes = s.keptLeaves
+	if cfg.Policy.PrecisionLevel > 0 {
+		groups, groupNodes, err := core.GroupByAncestor(cfg.Tree, s.keptLeaves, cfg.Policy.PrecisionLevel)
+		if err != nil {
+			return nil, err
+		}
+		s.groups = groups
+		s.nodes = groupNodes
+	}
+	s.rowIndex = make(map[loctree.NodeID]int, len(s.nodes))
+	for i, n := range s.nodes {
+		s.rowIndex[n] = i
+	}
+	return s, nil
+}
+
+// Nodes returns the report node set (kept leaves, or precision groups).
+func (s *Session) Nodes() []loctree.NodeID { return s.nodes }
+
+// Pruned returns the leaves the policy's preferences removed.
+func (s *Session) Pruned() []loctree.NodeID { return s.pruned }
+
+// Draws reports how many reports the session has served.
+func (s *Session) Draws() uint64 { return s.draws.Load() }
+
+// Draw locates the true position's leaf cell and draws one obfuscated
+// report node.
+func (s *Session) Draw(real geo.LatLng) (loctree.NodeID, error) {
+	leaf, ok := s.tree.Locate(real, 0)
+	if !ok {
+		return loctree.NodeID{}, fmt.Errorf("session: location %v outside the region", real)
+	}
+	return s.DrawCell(leaf)
+}
+
+// DrawCell draws one obfuscated report for a true leaf cell. The cell must
+// belong to the session's subtree; a cell the user's own preferences
+// pruned is an error at leaf precision (there is no row to draw from),
+// matching Algorithm 4.
+func (s *Session) DrawCell(leaf loctree.NodeID) (loctree.NodeID, error) {
+	out, err := s.DrawCellN(leaf, 1)
+	if err != nil {
+		return loctree.NodeID{}, err
+	}
+	return out[0], nil
+}
+
+// DrawCellN draws n reports for one true cell as one atomic sequence: the
+// session mutex is held across all n draws, so concurrent requests
+// sharing a session (batch items with the same uid/seed/policy) cannot
+// interleave inside another request's sequence — each Count-N response is
+// a contiguous slice of the session's deterministic stream.
+func (s *Session) DrawCellN(leaf loctree.NodeID, n int) ([]loctree.NodeID, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("session: draw count %d must be >= 1", n)
+	}
+	if _, ok := s.leafIdx[leaf]; !ok {
+		return nil, fmt.Errorf("session: cell %v outside subtree %v", leaf, s.entry.Root)
+	}
+	rowNode := leaf
+	if s.pol.PrecisionLevel > 0 {
+		anc, ok := s.tree.AncestorAt(leaf, s.pol.PrecisionLevel)
+		if !ok {
+			return nil, fmt.Errorf("session: no ancestor of %v at precision level %d", leaf, s.pol.PrecisionLevel)
+		}
+		rowNode = anc
+	} else if s.prunedSet[leaf] {
+		return nil, fmt.Errorf("session: preferences prune the user's own location %v at precision 0", leaf)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row, ok := s.rowIndex[rowNode]
+	if !ok {
+		return nil, fmt.Errorf("session: node %v missing from the customized report set", rowNode)
+	}
+	a, err := s.aliasForRowLocked(row, leaf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]loctree.NodeID, n)
+	for i := range out {
+		out[i] = s.nodes[a.Draw(s.rng)]
+	}
+	s.draws.Add(uint64(n))
+	return out, nil
+}
+
+// aliasForRowLocked returns the alias table for one report row, building
+// and caching it on first use. Caller holds s.mu.
+func (s *Session) aliasForRowLocked(row int, leaf loctree.NodeID) (*sample.Alias, error) {
+	if a, ok := s.rowAlias[row]; ok {
+		return a, nil
+	}
+	a, err := s.buildRow(row, leaf)
+	if err != nil {
+		return nil, err
+	}
+	s.rowAlias[row] = a
+	return a, nil
+}
+
+// buildRow assembles the report distribution for one row without ever
+// materializing the customized matrix:
+//
+//   - leaf precision, empty prune set: the entry's own shared per-row
+//     alias cache serves directly (byte-accounted in the engine LRU);
+//   - leaf precision, pruned: the matrix row minus the dropped columns,
+//     renormalized (Sec. 4.3) inside the alias build;
+//   - coarser precision: the Equ. 17 aggregation restricted to the rows
+//     of the drawn-from group — weight_j = Σ_{u∈g_row} p_u/mass_u ·
+//     Σ_{v∈g_j} z[u][v], with the constant 1/p_row dropped since the
+//     alias build normalizes.
+func (s *Session) buildRow(row int, leaf loctree.NodeID) (*sample.Alias, error) {
+	m := s.entry.Matrix
+	if s.pol.PrecisionLevel == 0 {
+		orig := s.leafIdx[leaf]
+		if len(s.pruned) == 0 {
+			a, err := s.entry.AliasRow(orig)
+			if err != nil {
+				return nil, fmt.Errorf("%w: row %v: %v", ErrUnsampleable, leaf, err)
+			}
+			return a, nil
+		}
+		a, _, err := sample.NewSubset(m.Row(orig), s.dropIdx)
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %v: %v", ErrUnsampleable, leaf, err)
+		}
+		return a, nil
+	}
+
+	weights := make([]float64, len(s.nodes))
+	for _, u := range s.groups[row] { // u indexes keptLeaves
+		orig := s.keep[u]
+		r := m.Row(orig)
+		removed := 0.0
+		for l, dropped := range s.dropIdx {
+			if dropped {
+				removed += r[l]
+			}
+		}
+		mass := 1 - removed
+		if mass < minMass {
+			return nil, fmt.Errorf("%w: row %v retains %.3g probability mass after pruning",
+				ErrUnsampleable, s.keptLeaves[u], mass)
+		}
+		pu := s.priors.Of(s.tree, s.keptLeaves[u])
+		scale := pu / mass
+		for j, gj := range s.groups {
+			sum := 0.0
+			for _, v := range gj {
+				sum += r[s.keep[v]]
+			}
+			weights[j] += scale * sum
+		}
+	}
+	a, err := sample.New(weights)
+	if err != nil {
+		return nil, fmt.Errorf("%w: precision row %v: %v", ErrUnsampleable, s.nodes[row], err)
+	}
+	return a, nil
+}
+
+// Key addresses one session in a Manager: the region, the caller's user
+// id, the draw seed, the policy fingerprint, the subtree root the session
+// is bound to, and — for preference-bearing policies only — the true cell
+// the attributes were anchored at. Everything that changes the draw
+// distribution or the RNG stream is part of the key, so a stale session
+// can never serve a changed policy; the cell matters exactly when
+// preferences do, because attribute evaluation (the "distance" attribute
+// in particular) is relative to the user's location, so a user who moved
+// needs a freshly pruned session rather than one anchored at their old
+// cell. Preference-free sessions key cell-independently and are shared
+// across every cell of the subtree.
+type Key struct {
+	Region string
+	UID    int64
+	Seed   int64
+	Policy string
+	Root   loctree.NodeID
+	// Cell is the attribute anchor; zero for preference-free policies.
+	Cell loctree.NodeID
+}
+
+// PolicyFingerprint returns a stable digest of a policy for session
+// keying. Two policies with identical levels and identical preference
+// lists (order-sensitive, as the wire carries them) share a fingerprint.
+func PolicyFingerprint(pol policy.Policy) string {
+	canon, err := json.Marshal(pol)
+	if err != nil {
+		// Policy marshals scalars and named types only; Marshal cannot
+		// fail on it.
+		panic(fmt.Sprintf("session: marshaling policy: %v", err))
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:16])
+}

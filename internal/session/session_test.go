@@ -1,0 +1,300 @@
+package session
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"corgi/internal/core"
+	"corgi/internal/geo"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/obf"
+	"corgi/internal/policy"
+)
+
+// testWorld builds a height-2 tree and a synthetic stochastic forest entry
+// over one privacy-level-2 subtree (49 leaves) — no LP involved, so tests
+// stay fast while exercising the real tree geometry.
+func testWorld(t *testing.T, privacyLevel int) (*loctree.Tree, *core.ForestEntry, *loctree.Priors) {
+	t.Helper()
+	sys, err := hexgrid.NewSystem(geo.SanFrancisco.Center(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := loctree.NewAt(sys, geo.SanFrancisco.Center(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.LevelNodes(privacyLevel)[0]
+	leaves := tree.LeavesUnder(root)
+	n := len(leaves)
+	rng := rand.New(rand.NewSource(17))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		total := 0.0
+		for j := range rows[i] {
+			rows[i][j] = 0.01 + rng.Float64()
+			total += rows[i][j]
+		}
+		for j := range rows[i] {
+			rows[i][j] /= total
+		}
+	}
+	m, err := obf.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := &core.ForestEntry{Root: root, Leaves: leaves, Matrix: m}
+	return tree, entry, loctree.UniformPriors(tree)
+}
+
+// blockAttrs marks the given leaves with blocked=true and everything else
+// blocked=false.
+func blockAttrs(tree *loctree.Tree, blocked ...loctree.NodeID) map[loctree.NodeID]policy.Attributes {
+	isBlocked := map[loctree.NodeID]bool{}
+	for _, l := range blocked {
+		isBlocked[l] = true
+	}
+	attrs := map[loctree.NodeID]policy.Attributes{}
+	for _, l := range tree.LevelNodes(0) {
+		attrs[l] = policy.Attributes{"blocked": policy.Bool(isBlocked[l])}
+	}
+	return attrs
+}
+
+func blockPolicy(privacy, precision int) policy.Policy {
+	pred, _ := policy.ParsePredicate("blocked != true")
+	return policy.Policy{
+		PrivacyLevel:   privacy,
+		PrecisionLevel: precision,
+		Preferences:    []policy.Predicate{pred},
+	}
+}
+
+// TestRowWeightsMatchMatrixPath is the core correctness property: the
+// session's row-wise pruned/renormalized/precision-reduced distribution
+// must equal what the full matrix algebra (obf.Prune + obf.PrecisionReduce)
+// produces, for both leaf precision and a coarser level.
+func TestRowWeightsMatchMatrixPath(t *testing.T) {
+	tree, entry, priors := testWorld(t, 2)
+	blocked := []loctree.NodeID{entry.Leaves[3], entry.Leaves[11], entry.Leaves[30]}
+	attrs := blockAttrs(tree, blocked...)
+
+	for _, precision := range []int{0, 1} {
+		pol := blockPolicy(2, precision)
+		s, err := New(Config{
+			Tree: tree, Entry: entry, Delta: len(blocked),
+			Policy: pol, Attrs: attrs, Priors: priors, Seed: 1,
+		})
+		if err != nil {
+			t.Fatalf("precision %d: %v", precision, err)
+		}
+
+		// Matrix-algebra reference: prune + renormalize, then reduce.
+		var dropIdx []int
+		for i, l := range entry.Leaves {
+			for _, b := range blocked {
+				if l == b {
+					dropIdx = append(dropIdx, i)
+				}
+			}
+		}
+		pruned, keep, err := entry.Matrix.Prune(dropIdx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keptLeaves := make([]loctree.NodeID, len(keep))
+		for ni, oi := range keep {
+			keptLeaves[ni] = entry.Leaves[oi]
+		}
+		ref := pruned
+		refNodes := keptLeaves
+		if precision > 0 {
+			groups, groupNodes, err := core.GroupByAncestor(tree, keptLeaves, precision)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leafPriors := make([]float64, len(keptLeaves))
+			for i, l := range keptLeaves {
+				leafPriors[i] = priors.Of(tree, l)
+			}
+			ref, err = obf.PrecisionReduce(pruned, groups, leafPriors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refNodes = groupNodes
+		}
+
+		// Compare every row's alias distribution against the reference.
+		realLeaf := entry.Leaves[0] // unpruned
+		rowNode := realLeaf
+		if precision > 0 {
+			rowNode, _ = tree.AncestorAt(realLeaf, precision)
+		}
+		s.mu.Lock()
+		row := s.rowIndex[rowNode]
+		a, err := s.aliasForRowLocked(row, realLeaf)
+		s.mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.nodes) != len(refNodes) {
+			t.Fatalf("precision %d: %d report nodes, reference has %d", precision, len(s.nodes), len(refNodes))
+		}
+		for j, node := range s.nodes {
+			if node != refNodes[j] {
+				t.Fatalf("precision %d: node order diverges at %d: %v vs %v", precision, j, node, refNodes[j])
+			}
+			want := ref.At(row, j)
+			if got := a.Prob(j); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("precision %d: P(%d) = %v, matrix path says %v", precision, j, got, want)
+			}
+		}
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	tree, entry, priors := testWorld(t, 2)
+	blocked := []loctree.NodeID{entry.Leaves[3], entry.Leaves[11]}
+	attrs := blockAttrs(tree, blocked...)
+	_, err := New(Config{
+		Tree: tree, Entry: entry, Delta: 1, // budget below |S| = 2
+		Policy: blockPolicy(2, 0), Attrs: attrs, Priors: priors,
+	})
+	if err == nil {
+		t.Fatal("prune set beyond the reserved budget accepted")
+	}
+}
+
+func TestOwnLocationPruned(t *testing.T) {
+	tree, entry, priors := testWorld(t, 2)
+	real := entry.Leaves[5]
+	attrs := blockAttrs(tree, real)
+	s, err := New(Config{
+		Tree: tree, Entry: entry, Delta: 1,
+		Policy: blockPolicy(2, 0), Attrs: attrs, Priors: priors,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DrawCell(real); err == nil {
+		t.Fatal("drew a report for a leaf the user's own preferences pruned at precision 0")
+	}
+	// At coarser precision the ancestor row still exists.
+	s2, err := New(Config{
+		Tree: tree, Entry: entry, Delta: 1,
+		Policy: blockPolicy(2, 1), Attrs: attrs, Priors: priors,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.DrawCell(real); err != nil {
+		t.Fatalf("precision-1 draw for a pruned leaf: %v", err)
+	}
+}
+
+func TestDrawOutsideSubtree(t *testing.T) {
+	tree, entry, priors := testWorld(t, 1) // privacy level 1: subtree is 7 leaves
+	s, err := New(Config{
+		Tree: tree, Entry: entry, Delta: 0,
+		Policy: policy.Policy{PrivacyLevel: 1}, Priors: priors,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSubtree := map[loctree.NodeID]bool{}
+	for _, l := range entry.Leaves {
+		inSubtree[l] = true
+	}
+	for _, l := range tree.LevelNodes(0) {
+		if !inSubtree[l] {
+			if _, err := s.DrawCell(l); err == nil {
+				t.Fatal("drew for a cell outside the session subtree")
+			}
+			break
+		}
+	}
+}
+
+// TestDeterministicPerSeed: equal configs draw equal sequences; different
+// seeds diverge.
+func TestDeterministicPerSeed(t *testing.T) {
+	tree, entry, priors := testWorld(t, 2)
+	mk := func(seed int64) []loctree.NodeID {
+		s, err := New(Config{
+			Tree: tree, Entry: entry, Delta: 0,
+			Policy: policy.Policy{PrivacyLevel: 2}, Priors: priors, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.DrawCellN(entry.Leaves[0], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := mk(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-draw sequences")
+	}
+}
+
+// TestConcurrentDraws exercises the mutex-serialized RNG and the lazy row
+// builds under the race detector.
+func TestConcurrentDraws(t *testing.T) {
+	tree, entry, priors := testWorld(t, 2)
+	s, err := New(Config{
+		Tree: tree, Entry: entry, Delta: 0,
+		Policy: policy.Policy{PrivacyLevel: 2}, Priors: priors, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			leaf := entry.Leaves[g%len(entry.Leaves)]
+			for i := 0; i < 500; i++ {
+				if _, err := s.DrawCell(leaf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.Draws(); got != 8*500 {
+		t.Fatalf("draw counter = %d, want %d", got, 8*500)
+	}
+}
+
+func TestPolicyFingerprint(t *testing.T) {
+	a := blockPolicy(2, 0)
+	b := blockPolicy(2, 0)
+	if PolicyFingerprint(a) != PolicyFingerprint(b) {
+		t.Fatal("identical policies fingerprint differently")
+	}
+	c := blockPolicy(2, 1)
+	if PolicyFingerprint(a) == PolicyFingerprint(c) {
+		t.Fatal("different policies share a fingerprint")
+	}
+}
