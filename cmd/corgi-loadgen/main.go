@@ -2,7 +2,7 @@
 // mix and reports latency and throughput, so scale claims about the
 // sharded serving layer are measurable instead of anecdotal.
 //
-// Two workloads exist (-workload):
+// Three workloads exist (-workload):
 //
 //   - forest (default): the matrix-distribution path — POST /v1/forest
 //     (or batched /v1/forests) requests for (region, privacy level,
@@ -10,7 +10,13 @@
 //   - report: the per-report hot path — POST /v1/report (or batched
 //     /v1/reports) requests carrying a true cell, an inline policy, a
 //     user id, and a seed, exercising the server-side session + alias
-//     sampling pipeline end to end.
+//     sampling pipeline end to end;
+//   - mobility: moving-user report streams — per-user trajectories
+//     (Gowalla check-in sequences via -checkins, or synthetic
+//     random-waypoint walks over the leaf lattice, -users x -moves steps)
+//     replayed as /v1/report requests from one session stream per user,
+//     measuring re-anchor rate, budget-rejection rate (429s under
+//     -budget-eps servers), and latency split warm / re-anchor / cold.
 //
 // The request stream is a replayable trace. It comes from one of:
 //
@@ -48,10 +54,10 @@
 // Usage:
 //
 //	corgi-loadgen [-server http://127.0.0.1:8080] [-duration 10s]
-//	              [-workload forest|report] [-concurrency 8] [-rate 0]
+//	              [-workload forest|report|mobility] [-concurrency 8] [-rate 0]
 //	              [-regions sf,nyc,la] [-levels 1,2] [-deltas 0,1,2]
 //	              [-mix uniform|zipf] [-cell-mix uniform|zipf]
-//	              [-users 1000] [-report-count 1] [-precision 0]
+//	              [-users 1000] [-moves 64] [-report-count 1] [-precision 0]
 //	              [-batch 0] [-trace FILE | -checkins FILE]
 //	              [-wire v2|v1] [-seed 1] [-out report.json]
 //
@@ -119,6 +125,14 @@ type sample struct {
 	// bootstrap and the key's LP solves, so its latency is reported in a
 	// separate slice instead of polluting warm p99/max.
 	cold bool
+	// reanchored marks a mobility-workload response whose server-side
+	// session re-anchored onto a new subtree — the middle latency tier
+	// between warm O(1) draws and cold session builds.
+	reanchored bool
+	// budgetRejected marks a 429: the user's sliding-window epsilon budget
+	// was spent. An expected outcome of budget-capped runs, reported as a
+	// rate rather than an error.
+	budgetRejected bool
 }
 
 // coldTracker decides request temperature: the first request per (region,
@@ -153,7 +167,7 @@ type worker struct {
 func main() {
 	server := flag.String("server", "http://127.0.0.1:8080", "corgi-server base URL")
 	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
-	workload := flag.String("workload", "forest", "request type: forest (matrix distribution) or report (server-side draws)")
+	workload := flag.String("workload", "forest", "request type: forest (matrix distribution), report (server-side draws), or mobility (moving-user report streams)")
 	concurrency := flag.Int("concurrency", 8, "worker count (max in-flight requests)")
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s (0: closed loop)")
 	regionsFlag := flag.String("regions", "", "comma-separated regions to hit (empty: ask /v1/regions)")
@@ -161,7 +175,8 @@ func main() {
 	deltasFlag := flag.String("deltas", "0,1", "comma-separated prune allowances to mix (forest workload)")
 	mix := flag.String("mix", "uniform", "region weighting: uniform or zipf")
 	cellMix := flag.String("cell-mix", "uniform", "report workload true-cell weighting: uniform or zipf")
-	users := flag.Int("users", 1000, "report workload distinct user-id pool")
+	users := flag.Int("users", 1000, "report/mobility workload distinct user-id pool")
+	moves := flag.Int("moves", 64, "mobility workload random-waypoint steps per synthetic user")
 	reportCount := flag.Int("report-count", 1, "draws per report request")
 	precisionFlag := flag.Int("precision", 0, "report workload precision level")
 	batch := flag.Int("batch", 0, "pack N trace entries per batched round trip (0: single requests)")
@@ -178,8 +193,14 @@ func main() {
 	if *wire != "v1" && *wire != "v2" {
 		log.Fatalf("-wire must be v1 or v2")
 	}
-	if *workload != "forest" && *workload != "report" {
-		log.Fatalf("-workload must be forest or report")
+	if *workload != "forest" && *workload != "report" && *workload != "mobility" {
+		log.Fatalf("-workload must be forest, report, or mobility")
+	}
+	if *workload == "mobility" && *batch > 0 {
+		log.Fatalf("-batch is not supported by the mobility workload (per-response re-anchor parsing)")
+	}
+	if *workload == "mobility" && *tracePath != "" {
+		log.Fatalf("the mobility workload replays -checkins trajectories or synthesizes random-waypoint walks; -trace is for forest/report")
 	}
 
 	client := &http.Client{Timeout: 10 * time.Minute}
@@ -189,7 +210,12 @@ func main() {
 	}
 	var trace []request
 	var traceSource string
-	if *workload == "report" {
+	if *workload == "mobility" {
+		trace, traceSource, err = buildMobilityTrace(*server, regions, mobilityTraceConfig{
+			CheckinsPath: *checkinsPath, Levels: *levelsFlag,
+			Users: *users, Moves: *moves, Seed: *seed,
+		})
+	} else if *workload == "report" {
 		trace, traceSource, err = buildReportTrace(*server, regions, reportTraceConfig{
 			TracePath: *tracePath, CheckinsPath: *checkinsPath,
 			Levels: *levelsFlag, Mix: *mix, CellMix: *cellMix,
@@ -218,6 +244,9 @@ func main() {
 	issue := func(w *worker) {
 		idx := next.Add(1) - 1
 		switch {
+		case *workload == "mobility":
+			entry := trace[int(idx)%len(trace)]
+			w.record(doMobilityReport(client, *server, entry, *precisionFlag, *reportCount, &cold))
 		case *workload == "report" && *batch > 0:
 			w.record(doReportBatch(client, *server, trace, idx, *batch, *precisionFlag, *reportCount, &cold))
 		case *workload == "report":
@@ -542,6 +571,210 @@ func buildReportTrace(server string, regions []string, cfg reportTraceConfig) ([
 	return trace, source, nil
 }
 
+// mobilityTraceConfig bundles the mobility-workload trace parameters.
+type mobilityTraceConfig struct {
+	CheckinsPath string
+	Levels       string
+	Users        int
+	Moves        int
+	Seed         int64
+}
+
+// buildMobilityTrace materializes a moving-user trace: an interleaved
+// timeline of per-user cell sequences. Each user keeps one privacy level
+// and one session stream (uid-derived seed) for their whole trajectory, so
+// the server re-anchors the resident session whenever the trajectory
+// crosses a subtree boundary — the mobility hot path under test.
+//
+// Sources:
+//
+//   - a Gowalla check-in file (-checkins): each user's check-ins become
+//     their trajectory (time-ordered), mapped to the nearest region and
+//     that region's leaf cells; the global timeline interleaves users in
+//     true timestamp order, the shape of real mobile traffic;
+//   - synthetic (default): a random-waypoint walk per user — pick a
+//     waypoint leaf, step through the leaf lattice toward it, pick the
+//     next — interleaved round-robin.
+func buildMobilityTrace(server string, regions []string, cfg mobilityTraceConfig) ([]request, string, error) {
+	levels, err := parseIntList(cfg.Levels)
+	if err != nil {
+		return nil, "", fmt.Errorf("-levels: %w", err)
+	}
+	worlds := map[string]*regionWorld{}
+	for _, region := range regions {
+		w, err := fetchRegionWorld(server, region)
+		if err != nil {
+			return nil, "", err
+		}
+		worlds[region] = w
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.CheckinsPath != "" {
+		trace, err := gowallaMobilityTrace(cfg.CheckinsPath, regions, worlds, levels, rng)
+		return trace, "gowalla-trajectories:" + cfg.CheckinsPath, err
+	}
+	trace, err := waypointMobilityTrace(regions, worlds, levels, cfg.Users, cfg.Moves, rng)
+	return trace, "synthetic:random-waypoint", err
+}
+
+// mobilityRequest assembles one trace entry for a user standing at leaf.
+func mobilityRequest(w *regionWorld, region string, level int, leaf loctree.NodeID, uid int64) request {
+	return request{
+		Region:  region,
+		Level:   level,
+		Cell:    [2]int{leaf.Coord.Q, leaf.Coord.R},
+		UID:     uid,
+		Seed:    uid*1000003 + 7,
+		ColdKey: reportColdKey(w, region, level, leaf),
+	}
+}
+
+// gowallaMobilityTrace replays real per-user check-in sequences: each
+// check-in maps to the nearest region's tree (points outside every tree
+// are dropped), users become uid streams, and the flat trace preserves the
+// corpus's global time order — so per-user move order survives replay.
+func gowallaMobilityTrace(path string, regions []string, worlds map[string]*regionWorld,
+	levels []int, rng *rand.Rand) ([]request, error) {
+	cs, err := gowalla.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	centers, err := regionCenters(regions)
+	if err != nil {
+		return nil, err
+	}
+	type point struct {
+		ts    time.Time
+		req   request
+		order int
+	}
+	var points []point
+	dropped := 0
+	for _, traj := range gowalla.Trajectories(cs) {
+		// One privacy level per user, fixed for their whole trajectory
+		// (Trajectories yields each user exactly once).
+		lvl := levels[rng.Intn(len(levels))]
+		for _, c := range traj.Points {
+			best, bestDist := -1, math.MaxFloat64
+			for i, center := range centers {
+				if d := geo.Haversine(c.Loc, center); d < bestDist {
+					best, bestDist = i, d
+				}
+			}
+			region := regions[best]
+			w := worlds[region]
+			leaf, ok := w.tree.Locate(c.Loc, 0)
+			if !ok {
+				dropped++
+				continue
+			}
+			points = append(points, point{
+				ts:    c.Time,
+				req:   mobilityRequest(w, region, lvl, leaf, int64(traj.UserID)),
+				order: len(points),
+			})
+		}
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("%s: no check-ins landed inside any serving region", path)
+	}
+	if dropped > 0 {
+		log.Printf("mobility trace: dropped %d of %d check-ins outside every region's tree",
+			dropped, dropped+len(points))
+	}
+	sort.SliceStable(points, func(a, b int) bool {
+		if !points[a].ts.Equal(points[b].ts) {
+			return points[a].ts.Before(points[b].ts)
+		}
+		return points[a].order < points[b].order
+	})
+	trace := make([]request, len(points))
+	for i, p := range points {
+		trace[i] = p.req
+	}
+	return trace, nil
+}
+
+// waypointMobilityTrace synthesizes random-waypoint walks: each user
+// starts at a random leaf of their region, repeatedly picks a waypoint
+// leaf, and steps through the lattice toward it (greedy neighbor descent
+// on hex grid distance), reporting from every cell visited. User timelines
+// interleave round-robin.
+func waypointMobilityTrace(regions []string, worlds map[string]*regionWorld,
+	levels []int, users, moves int, rng *rand.Rand) ([]request, error) {
+	if users < 1 {
+		users = 1
+	}
+	if moves < 1 {
+		moves = 1
+	}
+	// One leaf-coordinate index per region, shared by every walker in it.
+	leafSets := make(map[string]map[hexgrid.Coord]loctree.NodeID, len(regions))
+	for _, region := range regions {
+		w := worlds[region]
+		leafSet := make(map[hexgrid.Coord]loctree.NodeID, len(w.leaves))
+		for _, l := range w.leaves {
+			leafSet[l.Coord] = l
+		}
+		leafSets[region] = leafSet
+	}
+	type walker struct {
+		region   string
+		level    int
+		at       loctree.NodeID
+		waypoint loctree.NodeID
+	}
+	walkers := make([]*walker, users)
+	for u := range walkers {
+		region := regions[u%len(regions)]
+		w := worlds[region]
+		walkers[u] = &walker{
+			region:   region,
+			level:    levels[rng.Intn(len(levels))],
+			at:       w.leaves[rng.Intn(len(w.leaves))],
+			waypoint: w.leaves[rng.Intn(len(w.leaves))],
+		}
+	}
+	trace := make([]request, 0, users*moves)
+	for step := 0; step < moves; step++ {
+		for u, wk := range walkers {
+			w := worlds[wk.region]
+			trace = append(trace, mobilityRequest(w, wk.region, wk.level, wk.at, int64(u)))
+			if wk.at == wk.waypoint {
+				wk.waypoint = w.leaves[rng.Intn(len(w.leaves))]
+			}
+			wk.at = stepToward(wk.at, wk.waypoint, leafSets[wk.region])
+		}
+	}
+	return trace, nil
+}
+
+// stepToward moves one lattice step from at toward waypoint, restricted to
+// leaves that exist in the region (the tree's hull is not convex in axial
+// coordinates, so a neighbor on the straight line may not exist). When no
+// neighboring leaf gets closer, it jumps to the waypoint — trading one
+// teleport for guaranteed progress.
+func stepToward(at, waypoint loctree.NodeID, leafSet map[hexgrid.Coord]loctree.NodeID) loctree.NodeID {
+	if at == waypoint {
+		return at
+	}
+	best := at
+	bestDist := hexgrid.GridDist(at.Coord, waypoint.Coord)
+	for _, nb := range hexgrid.Neighbors(at.Coord) {
+		leaf, ok := leafSet[nb]
+		if !ok {
+			continue
+		}
+		if d := hexgrid.GridDist(nb, waypoint.Coord); d < bestDist {
+			best, bestDist = leaf, d
+		}
+	}
+	if best == at {
+		return waypoint
+	}
+	return best
+}
+
 // loadReportTrace parses "region level q r" lines; '#' starts a comment.
 func loadReportTrace(path string, users int, seed int64, world func(string) (*regionWorld, error)) ([]request, error) {
 	f, err := os.Open(path)
@@ -854,6 +1087,64 @@ func doReport(client *http.Client, server string, entry request, precision, coun
 	return s, 1, 0
 }
 
+// doMobilityReport issues one POST /v1/report draw and, unlike doReport,
+// decodes the response body: the mobility report needs the server's
+// reanchored flag to split latency by temperature, and a 429 marks a
+// budget rejection rather than a generic error.
+func doMobilityReport(client *http.Client, server string, entry request, precision, count int, cold *coldTracker) (sample, int64, int64) {
+	isCold := cold.first(entry)
+	body, _ := json.Marshal(reportWireRequest(entry, precision, count))
+	req, err := http.NewRequest(http.MethodPost, server+"/v1/report", bytes.NewReader(body))
+	if err != nil {
+		if isCold {
+			cold.forget(entry)
+		}
+		return sample{region: entry.Region, err: true, cold: isCold}, 0, 1
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		if isCold {
+			cold.forget(entry)
+		}
+		return sample{latency: time.Since(start), region: entry.Region, err: true, cold: isCold}, 0, 1
+	}
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	s := sample{
+		latency: time.Since(start),
+		status:  resp.StatusCode,
+		bytes:   int64(len(body)),
+		region:  entry.Region,
+		cold:    isCold,
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// An expected outcome of budget-capped runs: the user's epsilon
+		// window is just spent. The server charges before any session or
+		// entry work, so a 429 absorbed no subtree bootstrap — release the
+		// cold claim so the first *granted* request keeps the cold label,
+		// and keep the cheap rejection round trip out of the cold slice.
+		s.budgetRejected = true
+		if isCold {
+			s.cold = false
+			cold.forget(entry)
+		}
+		return s, 0, 1
+	}
+	var rr proto.ReportResponse
+	if resp.StatusCode != http.StatusOK || readErr != nil || json.Unmarshal(body, &rr) != nil {
+		s.err = true
+		if isCold {
+			cold.forget(entry)
+		}
+		return s, 0, 1
+	}
+	s.reanchored = rr.Reanchored
+	return s, 1, 0
+}
+
 // doReportBatch packs n consecutive trace entries into one /v1/reports
 // request and counts per-item outcomes from the envelope.
 func doReportBatch(client *http.Client, server string, trace []request, idx int64, n, precision, count int, cold *coldTracker) (sample, int64, int64) {
@@ -973,21 +1264,33 @@ type regionReport struct {
 // a handful of multi-second bootstraps pollute p99/max of a run whose
 // steady state sits at single-digit milliseconds.
 type report struct {
-	Config          config                  `json:"config"`
-	ElapsedS        float64                 `json:"elapsed_s"`
-	Requests        int64                   `json:"requests"`
-	Errors          int64                   `json:"errors"`
-	DroppedArrivals int64                   `json:"dropped_arrivals"`
-	ItemsOK         int64                   `json:"items_ok"`
-	ItemsErr        int64                   `json:"items_err"`
-	ThroughputRPS   float64                 `json:"throughput_rps"`
-	ItemsPerSec     float64                 `json:"items_per_sec"`
-	ReportsPerSec   float64                 `json:"reports_per_sec,omitempty"`
-	BytesReceived   int64                   `json:"bytes_received"`
-	ColdRequests    int64                   `json:"cold_requests"`
-	Latency         latencySummary          `json:"latency"`
-	LatencyCold     *latencySummary         `json:"latency_cold,omitempty"`
-	LatencyWarm     *latencySummary         `json:"latency_warm,omitempty"`
+	Config          config  `json:"config"`
+	ElapsedS        float64 `json:"elapsed_s"`
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	DroppedArrivals int64   `json:"dropped_arrivals"`
+	ItemsOK         int64   `json:"items_ok"`
+	ItemsErr        int64   `json:"items_err"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	ItemsPerSec     float64 `json:"items_per_sec"`
+	ReportsPerSec   float64 `json:"reports_per_sec,omitempty"`
+	BytesReceived   int64   `json:"bytes_received"`
+	ColdRequests    int64   `json:"cold_requests"`
+	// Reanchors counts mobility responses whose server-side session moved
+	// onto a new subtree; ReanchorRate is Reanchors over successful
+	// requests. BudgetRejections counts 429s (the user's sliding-window
+	// epsilon budget was spent); BudgetRejectionRate is over all requests.
+	Reanchors           int64           `json:"reanchors,omitempty"`
+	ReanchorRate        float64         `json:"reanchor_rate,omitempty"`
+	BudgetRejections    int64           `json:"budget_rejections,omitempty"`
+	BudgetRejectionRate float64         `json:"budget_rejection_rate,omitempty"`
+	Latency             latencySummary  `json:"latency"`
+	LatencyCold         *latencySummary `json:"latency_cold,omitempty"`
+	LatencyWarm         *latencySummary `json:"latency_warm,omitempty"`
+	// LatencyReanchor slices out the mobility middle tier: requests that
+	// re-anchored a session (preference re-evaluation + entry lookup, but
+	// no cold session build). Warm then means steady-state O(1) draws.
+	LatencyReanchor *latencySummary         `json:"latency_reanchor,omitempty"`
 	Histogram       []histBucket            `json:"latency_histogram"`
 	StatusCounts    map[string]int64        `json:"status_counts"`
 	PerRegion       map[string]regionReport `json:"per_region"`
@@ -1000,8 +1303,9 @@ func summarize(workers []*worker, elapsed time.Duration, cfg config) *report {
 		StatusCounts: map[string]int64{},
 		PerRegion:    map[string]regionReport{},
 	}
-	var all, coldMs, warmMs []float64
+	var all, coldMs, warmMs, reanchorMs []float64
 	perRegion := map[string][]float64{}
+	var okRequests int64
 	for _, w := range workers {
 		rep.ItemsOK += w.itemsOK
 		rep.ItemsErr += w.itemsErr
@@ -1010,11 +1314,26 @@ func summarize(workers []*worker, elapsed time.Duration, cfg config) *report {
 			rep.BytesReceived += s.bytes
 			ms := float64(s.latency) / float64(time.Millisecond)
 			all = append(all, ms)
-			if s.cold {
+			switch {
+			case s.budgetRejected:
+				// 429s draw nothing: their near-instant round trips belong
+				// in the rejection rate, not in any latency temperature.
+			case s.cold:
 				rep.ColdRequests++
 				coldMs = append(coldMs, ms)
-			} else {
+			case s.reanchored:
+				reanchorMs = append(reanchorMs, ms)
+			default:
 				warmMs = append(warmMs, ms)
+			}
+			if s.reanchored {
+				rep.Reanchors++
+			}
+			if s.budgetRejected {
+				rep.BudgetRejections++
+			}
+			if !s.err && !s.budgetRejected {
+				okRequests++
 			}
 			key := "transport_error"
 			if s.status != 0 {
@@ -1042,7 +1361,7 @@ func summarize(workers []*worker, elapsed time.Duration, cfg config) *report {
 	if elapsed > 0 {
 		rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
 		rep.ItemsPerSec = float64(rep.ItemsOK+rep.ItemsErr) / elapsed.Seconds()
-		if cfg.Workload == "report" {
+		if cfg.Workload == "report" || cfg.Workload == "mobility" {
 			count := cfg.ReportCount
 			if count < 1 {
 				count = 1
@@ -1060,6 +1379,16 @@ func summarize(workers []*worker, elapsed time.Duration, cfg config) *report {
 		q := quantiles(warmMs)
 		rep.LatencyWarm = &q
 	}
+	if len(reanchorMs) > 0 {
+		q := quantiles(reanchorMs)
+		rep.LatencyReanchor = &q
+	}
+	if okRequests > 0 {
+		rep.ReanchorRate = round4(float64(rep.Reanchors) / float64(okRequests))
+	}
+	if rep.Requests > 0 {
+		rep.BudgetRejectionRate = round4(float64(rep.BudgetRejections) / float64(rep.Requests))
+	}
 	for name, ms := range perRegion {
 		rr := rep.PerRegion[name]
 		q := quantiles(ms)
@@ -1075,8 +1404,19 @@ func quantiles(ms []float64) latencySummary {
 	}
 	sorted := append([]float64(nil), ms...)
 	sort.Float64s(sorted)
+	// Nearest-rank (ceil) quantiles: P(q) is the smallest sample with at
+	// least a q fraction of the distribution at or below it. The previous
+	// int(q*(n-1)) truncation rounded the rank down, biasing p90/p95/p99
+	// low on small samples (with 10 samples it reported p99 as the 9th
+	// largest instead of the maximum).
 	at := func(q float64) float64 {
-		idx := int(q * float64(len(sorted)-1))
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
 		return round2(sorted[idx])
 	}
 	mean := 0.0
@@ -1123,3 +1463,5 @@ func histogram(ms []float64) []histBucket {
 }
 
 func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+func round4(v float64) float64 { return math.Round(v*10000) / 10000 }

@@ -1,15 +1,18 @@
 package main
 
 import (
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
+	"corgi/internal/loctree"
 	"corgi/internal/proto"
 	"corgi/internal/registry"
 )
@@ -327,5 +330,224 @@ func TestSummarize(t *testing.T) {
 	}
 	if rep.Latency.P50 == 0 || rep.Latency.Max != 30 {
 		t.Errorf("latency %+v", rep.Latency)
+	}
+}
+
+// TestQuantilesNearestRank pins the percentile bugfix: nearest-rank (ceil)
+// quantiles against known values. The old int(q*(n-1)) truncation biased
+// high quantiles low on small samples — with 10 samples it reported p99 as
+// 9 instead of 10, and p90 as 9 instead of... it happened to agree there,
+// but p95 came out 9 instead of 10.
+func TestQuantilesNearestRank(t *testing.T) {
+	seq := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i + 1)
+		}
+		return out
+	}
+	cases := []struct {
+		name               string
+		ms                 []float64
+		p50, p90, p95, p99 float64
+		max                float64
+	}{
+		// Nearest rank over 1..10: P(q) = value at index ceil(q*10).
+		{"ten", seq(10), 5, 9, 10, 10, 10},
+		// A single sample is every quantile.
+		{"one", []float64{7}, 7, 7, 7, 7, 7},
+		// Two samples: p50 is the lower, everything above the upper.
+		{"two", []float64{1, 9}, 1, 9, 9, 9, 9},
+		// 1..100: quantiles land exactly on their rank.
+		{"hundred", seq(100), 50, 90, 95, 99, 100},
+		// 1..20: p95 = ceil(19)th = 19, p99 = ceil(19.8)th = 20.
+		{"twenty", seq(20), 10, 18, 19, 20, 20},
+		// Unsorted input must not matter.
+		{"unsorted", []float64{30, 10, 20}, 20, 30, 30, 30, 30},
+	}
+	for _, tc := range cases {
+		q := quantiles(tc.ms)
+		if q.P50 != tc.p50 || q.P90 != tc.p90 || q.P95 != tc.p95 || q.P99 != tc.p99 || q.Max != tc.max {
+			t.Errorf("%s: got p50=%v p90=%v p95=%v p99=%v max=%v, want p50=%v p90=%v p95=%v p99=%v max=%v",
+				tc.name, q.P50, q.P90, q.P95, q.P99, q.Max, tc.p50, tc.p90, tc.p95, tc.p99, tc.max)
+		}
+	}
+}
+
+// TestWaypointMobilityTrace checks the synthetic random-waypoint source:
+// per-user order, lattice adjacency (steps move at most one cell except
+// documented waypoint teleports), and actual movement.
+func TestWaypointMobilityTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a real region")
+	}
+	srv := reportTestServer(t, "lg-a")
+	w, err := fetchRegionWorld(srv.URL, "lg-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	worlds := map[string]*regionWorld{"lg-a": w}
+	rng := rand.New(rand.NewSource(2))
+	trace, err := waypointMobilityTrace([]string{"lg-a"}, worlds, []int{1}, 3, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 3*40 {
+		t.Fatalf("trace has %d entries, want %d", len(trace), 3*40)
+	}
+	perUser := map[int64][]request{}
+	for _, r := range trace {
+		if r.Region != "lg-a" || r.Level != 1 || r.ColdKey == "" {
+			t.Fatalf("bad entry %+v", r)
+		}
+		perUser[r.UID] = append(perUser[r.UID], r)
+	}
+	if len(perUser) != 3 {
+		t.Fatalf("trace spans %d users, want 3", len(perUser))
+	}
+	moved := false
+	for uid, reqs := range perUser {
+		if len(reqs) != 40 {
+			t.Fatalf("user %d has %d steps, want 40", uid, len(reqs))
+		}
+		for i := 1; i < len(reqs); i++ {
+			if reqs[i].Cell != reqs[i-1].Cell {
+				moved = true
+			}
+			if reqs[i].Seed != reqs[0].Seed {
+				t.Fatalf("user %d changed seed mid-trajectory", uid)
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("no user ever moved")
+	}
+}
+
+// TestGowallaMobilityTrace feeds a tiny synthetic check-in corpus through
+// the trajectory source: global time order, per-user order preserved.
+func TestGowallaMobilityTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a real region")
+	}
+	// The builtin "sf" metro is required for -checkins region assignment.
+	srv := reportTestServer(t, "sf")
+	w, err := fetchRegionWorld(srv.URL, "sf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthesize check-ins across the region's own leaves so every point
+	// lands in the tree.
+	leaves := w.leaves
+	var lines []string
+	ts := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 30; i++ {
+		leaf := leaves[(i*7)%len(leaves)]
+		c := w.tree.Center(leaf)
+		lines = append(lines, fmt.Sprintf("%d\t%s\t%.6f\t%.6f\t%d",
+			i%3, ts.Add(time.Duration(i)*time.Minute).Format(time.RFC3339), c.Lat, c.Lng, i))
+	}
+	path := filepath.Join(t.TempDir(), "checkins.txt")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	worlds := map[string]*regionWorld{"sf": w}
+	rng := rand.New(rand.NewSource(1))
+	trace, err := gowallaMobilityTrace(path, []string{"sf"}, worlds, []int{1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 30 {
+		t.Fatalf("trace has %d entries, want 30", len(trace))
+	}
+	// The corpus timestamps are strictly increasing, so the trace must
+	// replay the corpus order exactly (round-robin over users 0,1,2).
+	for i, r := range trace {
+		if r.UID != int64(i%3) {
+			t.Fatalf("entry %d is user %d, want %d (global time order broken)", i, r.UID, i%3)
+		}
+	}
+}
+
+// TestMobilityEndToEnd drives doMobilityReport against a live in-process
+// server: the subtree crossing must come back with the reanchored flag and
+// land in the re-anchor latency slice, and a budget-capped server must
+// produce 429s that count as rejections, not errors.
+func TestMobilityEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a real region")
+	}
+	srv := reportTestServer(t, "lg-a")
+	w, err := fetchRegionWorld(srv.URL, "lg-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := w.tree.LevelNodes(1)
+	leafA := w.tree.LeavesUnder(roots[0])[0]
+	leafB := w.tree.LeavesUnder(roots[1])[0]
+	mk := func(leaf loctree.NodeID) request {
+		return mobilityRequest(w, "lg-a", 1, leaf, 4)
+	}
+	client := &http.Client{Timeout: time.Minute}
+	var cold coldTracker
+	wk := &worker{}
+	wk.record(doMobilityReport(client, srv.URL, mk(leafA), 0, 1, &cold))
+	wk.record(doMobilityReport(client, srv.URL, mk(leafA), 0, 1, &cold))
+	wk.record(doMobilityReport(client, srv.URL, mk(leafB), 0, 1, &cold))
+	// Crossing back: subtree A's forest is already warm, so this sample is
+	// a pure re-anchor — the middle latency tier.
+	wk.record(doMobilityReport(client, srv.URL, mk(leafA), 0, 1, &cold))
+	if wk.itemsOK != 4 || wk.itemsErr != 0 {
+		t.Fatalf("items ok=%d err=%d", wk.itemsOK, wk.itemsErr)
+	}
+	if !wk.samples[0].cold || wk.samples[1].cold {
+		t.Fatalf("cold split wrong: %+v", wk.samples[:2])
+	}
+	if wk.samples[1].reanchored {
+		t.Fatal("warm same-subtree repeat flagged as re-anchor")
+	}
+	if !wk.samples[2].reanchored || !wk.samples[2].cold {
+		t.Fatalf("first subtree crossing must be a cold re-anchor: %+v", wk.samples[2])
+	}
+	if !wk.samples[3].reanchored || wk.samples[3].cold {
+		t.Fatalf("return crossing must be a warm-forest re-anchor: %+v", wk.samples[3])
+	}
+	rep := summarize([]*worker{wk}, time.Second, config{Workload: "mobility", ReportCount: 1})
+	if rep.Reanchors != 2 {
+		t.Fatalf("reanchors = %d, want 2", rep.Reanchors)
+	}
+	if rep.ReanchorRate == 0 {
+		t.Fatal("reanchor rate missing")
+	}
+	if rep.LatencyReanchor == nil {
+		t.Fatal("re-anchor latency slice missing")
+	}
+}
+
+// TestSummarizeBudgetRejections checks 429 accounting: rejections are
+// counted and rated, and budget-rejected samples are not "ok" for the
+// re-anchor rate denominator.
+func TestSummarizeBudgetRejections(t *testing.T) {
+	w := &worker{itemsOK: 2, itemsErr: 2}
+	w.samples = []sample{
+		{latency: time.Millisecond, status: 200},
+		{latency: time.Millisecond, status: 200, reanchored: true},
+		{latency: time.Millisecond, status: 429, budgetRejected: true},
+		{latency: time.Millisecond, status: 429, budgetRejected: true},
+	}
+	rep := summarize([]*worker{w}, time.Second, config{Workload: "mobility"})
+	if rep.BudgetRejections != 2 {
+		t.Fatalf("budget rejections = %d, want 2", rep.BudgetRejections)
+	}
+	if rep.BudgetRejectionRate != 0.5 {
+		t.Fatalf("budget rejection rate = %v, want 0.5", rep.BudgetRejectionRate)
+	}
+	if rep.Reanchors != 1 || rep.ReanchorRate != 0.5 {
+		t.Fatalf("reanchor accounting: %d at rate %v, want 1 at 0.5", rep.Reanchors, rep.ReanchorRate)
+	}
+	// 429s draw nothing: their near-instant round trips must not dilute
+	// the warm (or any other) latency temperature.
+	if rep.LatencyWarm == nil || rep.LatencyWarm.Max != 1 {
+		t.Fatalf("warm slice polluted by rejections: %+v", rep.LatencyWarm)
 	}
 }

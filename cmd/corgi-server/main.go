@@ -25,8 +25,18 @@
 // Beyond forest distribution, the server runs the report pipeline: POST
 // /v1/report (and batch /v1/reports) evaluates an inline policy, prunes,
 // and draws obfuscated reports server-side from per-user sessions with
-// O(1) alias-table sampling. -max-sessions bounds each region's live
-// session LRU; -max-report-count caps draws per request.
+// O(1) alias-table sampling. Sessions are mobility-aware: a user whose
+// reports leave their bound subtree re-anchor the resident session (same
+// RNG stream, fresh subtree binding) instead of fragmenting into one
+// session per subtree. -max-sessions bounds each region's live session
+// LRU; -max-report-count caps draws per request.
+//
+// -budget-eps EPS enables per-user epsilon-budget accounting: each report
+// draw charges the region's epsilon against the user's sliding -budget-
+// window cap (linear composition, the sequential-composition leakage of
+// repeated location reports), and a user over cap gets 429 Too Many
+// Requests until spend slides out of the window. budget_* counters appear
+// in /v1/stats.
 //
 // Usage:
 //
@@ -35,8 +45,9 @@
 //	             [-checkins gowalla.txt] [-seed 0] [-uniform-priors]
 //	             [-workers 0] [-cache-mb 256] [-warmup -1] [-eager]
 //	             [-store ./forests] [-max-batch 64] [-max-sessions 4096]
-//	             [-max-report-count 1000] [-read-timeout 30s]
-//	             [-write-timeout 10m] [-idle-timeout 2m] [-request-timeout 5m]
+//	             [-max-report-count 1000] [-budget-eps 0] [-budget-window 1h]
+//	             [-read-timeout 30s] [-write-timeout 10m] [-idle-timeout 2m]
+//	             [-request-timeout 5m]
 package main
 
 import (
@@ -52,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"corgi/internal/budget"
 	"corgi/internal/core"
 	"corgi/internal/proto"
 	"corgi/internal/registry"
@@ -79,6 +91,9 @@ func main() {
 	maxBatch := flag.Int("max-batch", proto.DefaultMaxBatch, "max items per POST /v1/forests or /v1/reports request")
 	maxSessions := flag.Int("max-sessions", 0, "live report sessions per region shard (0: default 4096)")
 	maxReportCount := flag.Int("max-report-count", proto.DefaultMaxReportCount, "max draws per POST /v1/report request")
+	budgetEps := flag.Float64("budget-eps", 0, "per-user epsilon budget per sliding window (0: accounting off)")
+	budgetWindow := flag.Duration("budget-window", time.Hour, "sliding epsilon-budget window")
+	budgetUsers := flag.Int("budget-users", 0, "tracked users per region budget accountant (0: default 65536)")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 10*time.Minute, "HTTP server write timeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
@@ -117,6 +132,11 @@ func main() {
 		WarmupDelta: *warmup,
 		Store:       st,
 		SessionCap:  *maxSessions,
+		Budget: budget.Config{
+			LimitEps: *budgetEps,
+			Window:   *budgetWindow,
+			MaxUsers: *budgetUsers,
+		},
 	})
 	if err != nil {
 		log.Fatalf("registry: %v", err)
@@ -156,8 +176,12 @@ func main() {
 	if st != nil {
 		storeDesc = "store " + st.Dir()
 	}
-	log.Printf("CORGI server on %s: regions [%s] (default %s), %d MiB cache per shard, warmup %d, %s, %s bootstrap",
-		*addr, strings.Join(reg.Names(), ", "), reg.DefaultRegion(), *cacheMB, *warmup, storeDesc,
+	budgetDesc := "no budget accounting"
+	if *budgetEps > 0 {
+		budgetDesc = fmt.Sprintf("budget %.4g eps per %v", *budgetEps, *budgetWindow)
+	}
+	log.Printf("CORGI server on %s: regions [%s] (default %s), %d MiB cache per shard, warmup %d, %s, %s, %s bootstrap",
+		*addr, strings.Join(reg.Names(), ", "), reg.DefaultRegion(), *cacheMB, *warmup, storeDesc, budgetDesc,
 		map[bool]string{true: "eager", false: "lazy"}[*eager])
 
 	select {

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"corgi/internal/budget"
 	"corgi/internal/core"
 	"corgi/internal/geo"
 	"corgi/internal/gowalla"
@@ -103,11 +104,34 @@ type (
 	// engine shard each, bootstrapped lazily on first use.
 	MultiServer = registry.Registry
 	// ReportSession is a bound per-user report stream: one forest entry,
-	// one evaluated policy, one seeded RNG, O(1) alias-table draws.
+	// one evaluated policy, one seeded RNG, O(1) alias-table draws. It is
+	// mobility-aware: ReportSession.Rebind re-anchors it onto the forest
+	// entry covering a moved user's new location without resetting the RNG
+	// stream.
 	ReportSession = session.Session
 	// ReportSessionConfig configures NewReportSession.
 	ReportSessionConfig = session.Config
+	// ReportSessionRebind carries the new subtree binding for
+	// ReportSession.Rebind (the mobility move).
+	ReportSessionRebind = session.Rebind
+	// BudgetConfig tunes per-user epsilon-budget accounting (sliding
+	// window, per-window cap, tracked-user bound).
+	BudgetConfig = budget.Config
+	// BudgetAccountant tracks per-user epsilon spend under linear
+	// composition over a sliding window.
+	BudgetAccountant = budget.Accountant
 )
+
+// ErrBudgetExhausted marks a report rejected because drawing it would push
+// the user's epsilon spend over their sliding-window cap (the serving
+// stack answers 429 Too Many Requests).
+var ErrBudgetExhausted = budget.ErrBudgetExhausted
+
+// NewBudgetAccountant builds a sliding-window per-user epsilon accountant;
+// cfg.LimitEps must be positive.
+func NewBudgetAccountant(cfg BudgetConfig) (*BudgetAccountant, error) {
+	return budget.NewAccountant(cfg)
+}
 
 // SanFrancisco is the paper's evaluation region.
 var SanFrancisco = geo.SanFrancisco
@@ -221,6 +245,11 @@ type MultiServerConfig struct {
 	// keyed by each region's spec hash so spec changes invalidate stale
 	// snapshots. Populate a store offline with cmd/corgi-gen.
 	StoreDir string
+	// Budget, when Budget.LimitEps > 0, enables per-user epsilon-budget
+	// accounting on the report pipeline: each draw charges the region's
+	// epsilon against the user's sliding-window cap, and over-cap users
+	// are rejected with ErrBudgetExhausted (429 on the wire).
+	Budget BudgetConfig
 }
 
 // NewMultiServer builds the multi-region sharding layer over a set of
@@ -241,7 +270,9 @@ func NewMultiServer(specs []RegionSpec, cfg MultiServerConfig) (*MultiServer, er
 			return nil, err
 		}
 	}
-	return registry.New(specs, registry.Options{Engine: cfg.Engine, WarmupDelta: warmup, Store: st})
+	return registry.New(specs, registry.Options{
+		Engine: cfg.Engine, WarmupDelta: warmup, Store: st, Budget: cfg.Budget,
+	})
 }
 
 // BuiltinRegion returns the builtin spec for a metro name ("sf", "nyc",

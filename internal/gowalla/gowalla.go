@@ -271,8 +271,21 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 			case r < 0.60: // office: weekday working hours
 				place = users[u].office
 				hour = 9 + rng.Intn(9)
-				for day.Weekday() == time.Saturday || day.Weekday() == time.Sunday {
-					day = day.Add(24 * time.Hour)
+				// Skipping a weekend forward can overrun cfg.End (a Saturday
+				// draw on the range's last weekend lands 2 days past it);
+				// re-draw the day until a weekday's working hours fit, giving
+				// up after a bounded number of tries (degenerate weekend-only
+				// ranges), where the final range clamp below still holds the
+				// in-range invariant.
+				for tries := 0; ; tries++ {
+					for day.Weekday() == time.Saturday || day.Weekday() == time.Sunday {
+						day = day.Add(24 * time.Hour)
+					}
+					slotEnd := day.Add(time.Duration(hour)*time.Hour + time.Hour)
+					if !slotEnd.After(cfg.End) || tries >= 64 {
+						break
+					}
+					day = cfg.Start.Add(time.Duration(rng.Int63n(int64(span)))).Truncate(24 * time.Hour)
 				}
 			case r < 0.85: // favorites: daytime/evening
 				place = users[u].favorites[rng.Intn(len(users[u].favorites))]
@@ -286,6 +299,7 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 			}
 			ts := day.Add(time.Duration(hour)*time.Hour +
 				time.Duration(rng.Intn(3600))*time.Second)
+			ts = clampTime(ts, cfg.Start, cfg.End)
 			ds.CheckIns = append(ds.CheckIns, CheckIn{
 				UserID:  u,
 				Time:    ts,
@@ -304,6 +318,50 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 		})
 	}
 	return ds, nil
+}
+
+// clampTime forces ts into [start, end): every generated check-in must lie
+// inside the configured range, whatever day arithmetic (truncation against
+// a non-midnight start, weekend skips near the range edge) produced it.
+func clampTime(ts, start, end time.Time) time.Time {
+	if ts.Before(start) {
+		return start
+	}
+	if !ts.Before(end) {
+		return end.Add(-time.Second)
+	}
+	return ts
+}
+
+// Trajectory is one user's time-ordered check-in sequence — the replay
+// substrate of mobility workloads: each point is a (time, location) the
+// user actually reported from, so replaying Points in order reproduces the
+// subtree crossings and session re-anchors a real moving user causes.
+type Trajectory struct {
+	UserID int
+	Points []CheckIn // ascending by time (stable on ties)
+}
+
+// Trajectories groups check-ins by user and time-orders each user's
+// sequence, returning users in ascending UserID order. Input order breaks
+// timestamp ties, so the result is deterministic for a fixed corpus.
+func Trajectories(cs []CheckIn) []Trajectory {
+	byUser := map[int][]CheckIn{}
+	for _, c := range cs {
+		byUser[c.UserID] = append(byUser[c.UserID], c)
+	}
+	users := make([]int, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Ints(users)
+	out := make([]Trajectory, 0, len(users))
+	for _, u := range users {
+		pts := byUser[u]
+		sort.SliceStable(pts, func(a, b int) bool { return pts[a].Time.Before(pts[b].Time) })
+		out = append(out, Trajectory{UserID: u, Points: pts})
+	}
+	return out
 }
 
 // LeafPriors counts check-ins per leaf cell of the tree and returns the

@@ -342,3 +342,82 @@ func TestAnnotate(t *testing.T) {
 		t.Errorf("home-exclusion policy pruned %d leaves, want 1", pruned)
 	}
 }
+
+// TestGenerateTimestampsWithinRange pins the weekend-skip bugfix: a range
+// whose last days are a weekend used to let office check-ins skip past
+// cfg.End. Every generated timestamp must lie in [Start, End).
+func TestGenerateTimestampsWithinRange(t *testing.T) {
+	// Friday through Sunday noon: any office draw landing on the weekend
+	// would previously skip forward to Monday, outside the range.
+	start := time.Date(2009, 2, 6, 0, 0, 0, 0, time.UTC) // Friday
+	end := time.Date(2009, 2, 8, 12, 0, 0, 0, time.UTC)  // Sunday noon
+	for seed := int64(1); seed <= 5; seed++ {
+		ds, err := Generate(GenConfig{
+			Seed: seed, NumUsers: 20, NumPlaces: 40, NumCheckIns: 500,
+			Start: start, End: end,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range ds.CheckIns {
+			if c.Time.Before(start) || !c.Time.Before(end) {
+				t.Fatalf("seed %d: check-in %d at %v outside [%v, %v)", seed, i, c.Time, start, end)
+			}
+		}
+	}
+	// The default paper-scale range must hold the invariant too.
+	cfg := GenConfig{Seed: 3}.withDefaults()
+	ds, err := Generate(GenConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ds.CheckIns {
+		if c.Time.Before(cfg.Start) || !c.Time.Before(cfg.End) {
+			t.Fatalf("default range: check-in %d at %v outside [%v, %v)", i, c.Time, cfg.Start, cfg.End)
+		}
+	}
+}
+
+func TestTrajectories(t *testing.T) {
+	ds, err := Generate(GenConfig{Seed: 11, NumUsers: 25, NumPlaces: 50, NumCheckIns: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajs := Trajectories(ds.CheckIns)
+	if len(trajs) == 0 {
+		t.Fatal("no trajectories")
+	}
+	total := 0
+	for i, tr := range trajs {
+		if i > 0 && trajs[i-1].UserID >= tr.UserID {
+			t.Fatalf("users out of order: %d then %d", trajs[i-1].UserID, tr.UserID)
+		}
+		if len(tr.Points) == 0 {
+			t.Fatalf("user %d has an empty trajectory", tr.UserID)
+		}
+		for j, p := range tr.Points {
+			if p.UserID != tr.UserID {
+				t.Fatalf("user %d trajectory holds user %d's point", tr.UserID, p.UserID)
+			}
+			if j > 0 && tr.Points[j-1].Time.After(p.Time) {
+				t.Fatalf("user %d points out of time order at %d", tr.UserID, j)
+			}
+		}
+		total += len(tr.Points)
+	}
+	if total != len(ds.CheckIns) {
+		t.Fatalf("trajectories hold %d points, corpus has %d", total, len(ds.CheckIns))
+	}
+	// Deterministic for a fixed corpus.
+	again := Trajectories(ds.CheckIns)
+	for i := range trajs {
+		if trajs[i].UserID != again[i].UserID || len(trajs[i].Points) != len(again[i].Points) {
+			t.Fatal("trajectory extraction not deterministic")
+		}
+		for j := range trajs[i].Points {
+			if trajs[i].Points[j] != again[i].Points[j] {
+				t.Fatal("trajectory extraction not deterministic")
+			}
+		}
+	}
+}

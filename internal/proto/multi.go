@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"corgi/internal/budget"
 	"corgi/internal/core"
 	"corgi/internal/registry"
 	"corgi/internal/session"
@@ -74,14 +75,17 @@ type BatchForestResponse struct {
 }
 
 // MultiStatsResponse reports per-region engine counters plus the
-// fleet-wide aggregate, and the same split for report-session counters.
-// Only bootstrapped regions appear under the per-region maps.
+// fleet-wide aggregate, and the same split for report-session and
+// epsilon-budget counters. Only bootstrapped regions appear under the
+// per-region maps; the budget maps are empty when accounting is disabled.
 type MultiStatsResponse struct {
 	Regions       map[string]StatsResponse `json:"regions"`
 	Total         StatsResponse            `json:"total"`
 	Bootstraps    uint64                   `json:"bootstraps"`
 	Sessions      map[string]session.Stats `json:"sessions,omitempty"`
 	SessionsTotal session.Stats            `json:"sessions_total"`
+	Budget        map[string]budget.Stats  `json:"budget,omitempty"`
+	BudgetTotal   *budget.Stats            `json:"budget_total,omitempty"`
 }
 
 // MultiHandler serves the region-addressed CORGI API over a registry of
@@ -225,6 +229,14 @@ func (h *MultiHandler) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Total = statsResponse(total)
 	for _, s := range resp.Sessions {
 		resp.SessionsTotal.Merge(s)
+	}
+	if bs := h.reg.BudgetStats(); len(bs) > 0 {
+		resp.Budget = bs
+		var total budget.Stats
+		for _, s := range bs {
+			total.Merge(s)
+		}
+		resp.BudgetTotal = &total
 	}
 	writeJSON(w, resp)
 }

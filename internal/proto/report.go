@@ -63,6 +63,16 @@ type ReportResponse struct {
 	// Pruned is how many locations the policy's preferences removed.
 	Pruned  int                `json:"pruned"`
 	Reports []ReportedLocation `json:"reports"`
+	// Reanchored is true when this request moved the user's session onto a
+	// different subtree (or preference anchor) — mobility clients and the
+	// loadgen use it to measure re-anchor rates.
+	Reanchored bool `json:"reanchored,omitempty"`
+	// Budgeted is true when the server runs epsilon-budget accounting;
+	// EpsSpent is what this request charged and EpsRemaining the user's
+	// window headroom after it.
+	Budgeted     bool    `json:"budgeted,omitempty"`
+	EpsSpent     float64 `json:"eps_spent,omitempty"`
+	EpsRemaining float64 `json:"eps_remaining,omitempty"`
 }
 
 // BatchReportRequest draws for many users/cells in one round trip.
@@ -86,12 +96,16 @@ type BatchReportResponse struct {
 
 // reportErrStatus maps a report-pipeline error to an HTTP status, shared
 // by the single and batch paths: unknown regions are 404, caller-side
-// rejections (bad cell, invalid policy, over-budget prune set) 422,
+// rejections (bad cell, invalid policy, over-budget prune set) 422, an
+// exhausted per-user epsilon budget 429 (the budget regenerates as the
+// accounting window slides, so Too Many Requests is the honest class),
 // interrupted work 5xx, and anything else a server fault.
 func reportErrStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, registry.ErrUnknownRegion):
 		return http.StatusNotFound, err.Error()
+	case errors.Is(err, registry.ErrBudgetExhausted):
+		return http.StatusTooManyRequests, err.Error()
 	case errors.Is(err, registry.ErrBadReport):
 		return http.StatusUnprocessableEntity, err.Error()
 	case errors.Is(err, context.DeadlineExceeded):
@@ -131,6 +145,10 @@ func (h *MultiHandler) resolveReport(ctx context.Context, req ReportRequest) (*R
 		SubtreeRoot:    [2]int{res.SubtreeRoot.Coord.Q, res.SubtreeRoot.Coord.R},
 		Pruned:         res.Pruned,
 		Reports:        make([]ReportedLocation, len(res.Reports)),
+		Reanchored:     res.Reanchored,
+		Budgeted:       res.Budgeted,
+		EpsSpent:       res.EpsSpent,
+		EpsRemaining:   res.EpsRemaining,
 	}
 	for i, n := range res.Reports {
 		c := res.Centers[i]

@@ -2,11 +2,15 @@ package proto
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"corgi/internal/budget"
+	"corgi/internal/loctree"
 	"corgi/internal/policy"
 	"corgi/internal/registry"
 	"corgi/internal/session"
@@ -234,5 +238,184 @@ func TestReportLimitsAndMethods(t *testing.T) {
 	body := buf.String()
 	if !strings.Contains(body, "sessions_total") || !strings.Contains(body, "alias_builds") {
 		t.Fatalf("stats missing report-pipeline counters: %s", body)
+	}
+}
+
+// TestReportTrajectoryRemoteEqualsLocalAcrossReanchor extends the
+// remote/local equivalence guarantee to moving users: a seeded session
+// replaying the same move sequence — including a subtree crossing that
+// re-anchors the server-side session — yields identical draws locally
+// (session.New + Rebind) and via /v1/report.
+func TestReportTrajectoryRemoteEqualsLocalAcrossReanchor(t *testing.T) {
+	srv, _ := reportServer(t, "ra")
+	const (
+		seed  = int64(1337)
+		count = 4
+	)
+	pol := policy.Policy{PrivacyLevel: 1}
+
+	c := NewRegionClient(srv.URL, "ra")
+	c.ForceV1 = true // quantization-free so both sides see identical rows
+	tree, _, err := c.FetchTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors, err := c.FetchPriors(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootA, rootB := tree.LevelNodes(1)[0], tree.LevelNodes(1)[1]
+	leafA := tree.LeavesUnder(rootA)[0]
+	leafB := tree.LeavesUnder(rootB)[0]
+	moves := []struct {
+		leaf      loctree.NodeID
+		reanchors bool
+	}{
+		{leafA, false}, {leafA, false}, {leafB, true}, {leafA, true},
+	}
+
+	// Remote: one (uid, seed, policy) stream across the whole trajectory.
+	var remote []ReportedLocation
+	for i, mv := range moves {
+		resp, err := c.Report(ReportRequest{
+			Cell:   [2]int{mv.leaf.Coord.Q, mv.leaf.Coord.R},
+			UID:    3,
+			Policy: pol,
+			Seed:   seed,
+			Count:  count,
+		})
+		if err != nil {
+			t.Fatalf("move %d: %v", i, err)
+		}
+		if resp.Reanchored != mv.reanchors {
+			t.Fatalf("move %d: reanchored = %v, want %v", i, resp.Reanchored, mv.reanchors)
+		}
+		remote = append(remote, resp.Reports...)
+	}
+
+	// Local: the same forest (delta 0 covers every level-1 subtree), one
+	// session re-anchored along the same moves.
+	forest, err := c.FetchForest(tree, pol.PrivacyLevel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := session.New(session.Config{
+		Tree: tree, Entry: forest.Entries[rootA], Delta: forest.Delta,
+		Policy: pol, Priors: priors, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var local []loctree.NodeID
+	current := rootA
+	for i, mv := range moves {
+		root, _ := tree.AncestorAt(mv.leaf, pol.PrivacyLevel)
+		if root != current {
+			if err := sess.Rebind(session.Rebind{Entry: forest.Entries[root], Delta: forest.Delta}); err != nil {
+				t.Fatalf("move %d rebind: %v", i, err)
+			}
+			current = root
+		}
+		draws, err := sess.DrawCellN(mv.leaf, count)
+		if err != nil {
+			t.Fatalf("move %d: %v", i, err)
+		}
+		local = append(local, draws...)
+	}
+
+	if len(remote) != len(local) {
+		t.Fatalf("remote drew %d, local %d", len(remote), len(local))
+	}
+	for i := range local {
+		if remote[i].Q != local[i].Coord.Q || remote[i].R != local[i].Coord.R {
+			t.Fatalf("draw %d diverged across re-anchor: remote (%d,%d) vs local %v",
+				i, remote[i].Q, remote[i].R, local[i])
+		}
+	}
+}
+
+// TestReportBudget429 drives a budget-capped server over the wire: the
+// documented 429 must appear exactly when the sliding-window accountant
+// says the user's epsilon window is spent, and the stats route must expose
+// the budget counters.
+func TestReportBudget429(t *testing.T) {
+	specs := reportSpecs("ra")
+	eps := 15.0 // registry default epsilon for specs that leave it zero
+	reg, err := registry.New(specs, registry.Options{
+		Budget: budget.Config{LimitEps: 2 * eps, Window: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewMultiHandler(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h.Mux())
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	tree, _, err := c.FetchTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := tree.LevelNodes(0)[0]
+	req := ReportRequest{
+		Region: "ra",
+		Cell:   [2]int{leaf.Coord.Q, leaf.Coord.R},
+		UID:    21,
+		Policy: policy.Policy{PrivacyLevel: 1},
+		Seed:   9,
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := c.Report(req)
+		if err != nil {
+			t.Fatalf("in-budget report %d: %v", i+1, err)
+		}
+		if !resp.Budgeted || resp.EpsSpent != eps {
+			t.Fatalf("budget echo: %+v", resp)
+		}
+	}
+	// Third draw exceeds 2*eps: raw request to pin the exact status code.
+	body, _ := json.Marshal(req)
+	httpResp, err := http.Post(srv.URL+"/v1/report", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget report -> %d, want 429", httpResp.StatusCode)
+	}
+
+	// The batch path classifies per item.
+	batch, err := c.ReportBatch([]ReportRequest{req, {Region: "ra",
+		Cell: req.Cell, UID: 22, Policy: policy.Policy{PrivacyLevel: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Items[0].Status != http.StatusTooManyRequests {
+		t.Fatalf("batch item 0 status %d, want 429", batch.Items[0].Status)
+	}
+	if batch.Items[1].Status != http.StatusOK {
+		t.Fatalf("batch item 1 (different user) status %d, want 200", batch.Items[1].Status)
+	}
+
+	// budget_* counters surface in /v1/stats.
+	statsResp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats MultiStatsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.BudgetTotal == nil {
+		t.Fatal("budget_total missing from /v1/stats")
+	}
+	if stats.BudgetTotal.Rejections != 2 || stats.BudgetTotal.Charges != 3 {
+		t.Fatalf("budget totals: %+v", *stats.BudgetTotal)
+	}
+	if _, ok := stats.Budget["ra"]; !ok {
+		t.Fatal("per-region budget stats missing")
 	}
 }

@@ -1,0 +1,213 @@
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"corgi/internal/budget"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/policy"
+)
+
+// mobilityBenchWorld bootstraps one region and returns a leaf from each of
+// two level-1 subtrees, warming both forest entries so the measured loops
+// see no LP solves.
+func mobilityBenchWorld(tb testing.TB, opts Options) (*Registry, loctree.NodeID, loctree.NodeID) {
+	tb.Helper()
+	reg, err := New(fastSpecs("bench-mob"), opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctx := context.Background()
+	sh, err := reg.Shard(ctx, "bench-mob")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tree := sh.Server.Tree()
+	roots := tree.LevelNodes(1)
+	leafA := tree.LeavesUnder(roots[0])[0]
+	leafB := tree.LeavesUnder(roots[1])[0]
+	for _, leaf := range []loctree.NodeID{leafA, leafB} {
+		if _, err := reg.Report(ctx, ReportRequest{
+			Region: "bench-mob", Cell: leaf.Coord, UID: 999,
+			Policy: policy.Policy{PrivacyLevel: 1}, Seed: 999,
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return reg, leafA, leafB
+}
+
+// BenchmarkReportWarm is the stationary baseline: one user reporting from
+// one cell, every request a warm session hit.
+func BenchmarkReportWarm(b *testing.B) {
+	reg, leafA, _ := mobilityBenchWorld(b, Options{})
+	ctx := context.Background()
+	req := ReportRequest{
+		Region: "bench-mob", Cell: leafA.Coord, UID: 1,
+		Policy: policy.Policy{PrivacyLevel: 1}, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Report(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReportMobility is the moving-user worst case: every request
+// crosses a subtree boundary, so every request re-anchors the session
+// (preference-free: no attribute pass, but a fresh binding build per move).
+func BenchmarkReportMobility(b *testing.B) {
+	reg, leafA, leafB := mobilityBenchWorld(b, Options{})
+	ctx := context.Background()
+	cells := [2]hexgrid.Coord{leafA.Coord, leafB.Coord}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Report(ctx, ReportRequest{
+			Region: "bench-mob", Cell: cells[i%2], UID: 1,
+			Policy: policy.Policy{PrivacyLevel: 1}, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReportBudgeted is the warm path with epsilon accounting on —
+// the per-report cost of the sliding-window accountant in situ.
+func BenchmarkReportBudgeted(b *testing.B) {
+	reg, leafA, _ := mobilityBenchWorld(b, Options{
+		Budget: budget.Config{LimitEps: 1e18, Window: time.Hour},
+	})
+	ctx := context.Background()
+	req := ReportRequest{
+		Region: "bench-mob", Cell: leafA.Coord, UID: 1,
+		Policy: policy.Policy{PrivacyLevel: 1}, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Report(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPR5Report is the BENCH_pr5.json shape consumed by CI: the mobility
+// layer's cost profile — warm vs re-anchor vs budgeted throughput through
+// registry.Report, and the raw accountant charge cost.
+type benchPR5Report struct {
+	// WarmReportsPerSec / MobilityReportsPerSec / BudgetedReportsPerSec
+	// are closed-loop rates: stationary user, user re-anchoring on every
+	// request (subtree ping-pong), and stationary user with epsilon
+	// accounting enabled.
+	WarmReportsPerSec     float64 `json:"warm_reports_per_sec"`
+	MobilityReportsPerSec float64 `json:"mobility_reports_per_sec"`
+	BudgetedReportsPerSec float64 `json:"budgeted_reports_per_sec"`
+	// ReanchorCostX = warm / mobility rate: how much a per-request
+	// re-anchor costs relative to a warm hit.
+	ReanchorCostX float64 `json:"reanchor_cost_x"`
+	// BudgetOverheadPct = (warm - budgeted) / warm * 100: the accountant's
+	// toll on the hot path (acceptance: < 25% at peak-slice rates).
+	BudgetOverheadPct float64 `json:"budget_overhead_pct"`
+	// AccountantNsPerCharge times budget.Accountant.Charge alone.
+	AccountantNsPerCharge float64 `json:"accountant_ns_per_charge"`
+}
+
+// TestBenchReportPR5 writes BENCH_pr5.json for the CI benchmark artifact.
+// It is skipped unless BENCH_PR5_OUT names the output path, so regular
+// test runs stay fast.
+func TestBenchReportPR5(t *testing.T) {
+	out := os.Getenv("BENCH_PR5_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PR5_OUT=path to generate the benchmark report")
+	}
+	ctx := context.Background()
+
+	// Each configuration gets its own warmed registry; measurement then
+	// interleaves short slices across configurations and keeps each one's
+	// peak slice rate. Peak-of-interleaved-slices is robust against the
+	// frequency scaling and background noise that back-to-back multi-
+	// second windows pick up (and that made a naive A-then-B comparison
+	// swing by 2x between runs).
+	type probe struct {
+		reg   *Registry
+		cells [2]hexgrid.Coord
+		best  float64
+	}
+	mkProbe := func(opts Options, move bool) *probe {
+		reg, leafA, leafB := mobilityBenchWorld(t, opts)
+		cells := [2]hexgrid.Coord{leafA.Coord, leafA.Coord}
+		if move {
+			cells[1] = leafB.Coord
+		}
+		return &probe{reg: reg, cells: cells}
+	}
+	probes := []*probe{
+		mkProbe(Options{}, false), // warm
+		mkProbe(Options{}, true),  // mobility
+		mkProbe(Options{Budget: budget.Config{LimitEps: 1e18, Window: time.Hour}}, false), // budgeted
+	}
+	const (
+		slices   = 6
+		sliceLen = 300 * time.Millisecond
+	)
+	for s := 0; s < slices; s++ {
+		for _, p := range probes {
+			start := time.Now()
+			n := 0
+			for time.Since(start) < sliceLen {
+				if _, err := p.reg.Report(ctx, ReportRequest{
+					Region: "bench-mob", Cell: p.cells[n%2], UID: 1,
+					Policy: policy.Policy{PrivacyLevel: 1}, Seed: 1,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				n++
+			}
+			if r := float64(n) / time.Since(start).Seconds(); r > p.best {
+				p.best = r
+			}
+		}
+	}
+	warm, mobility, budgeted := probes[0].best, probes[1].best, probes[2].best
+
+	acct, err := budget.NewAccountant(budget.Config{LimitEps: 1e18, Window: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chargeIters = 500000
+	start := time.Now()
+	for i := 0; i < chargeIters; i++ {
+		if _, err := acct.Charge(1, 1e-9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chargeNs := float64(time.Since(start).Nanoseconds()) / chargeIters
+
+	overhead := (warm - budgeted) / warm * 100
+	if overhead > 25 {
+		t.Fatalf("budget accounting costs %.1f%% of warm throughput (acceptance: < 25%%)", overhead)
+	}
+	rep := benchPR5Report{
+		WarmReportsPerSec:     math.Round(warm),
+		MobilityReportsPerSec: math.Round(mobility),
+		BudgetedReportsPerSec: math.Round(budgeted),
+		ReanchorCostX:         math.Round(warm/mobility*10) / 10,
+		BudgetOverheadPct:     math.Round(overhead*10) / 10,
+		AccountantNsPerCharge: math.Round(chargeNs*10) / 10,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("BENCH_pr5: %s\n", data)
+}

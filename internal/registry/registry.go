@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"corgi/internal/budget"
 	"corgi/internal/core"
 	"corgi/internal/geo"
 	"corgi/internal/gowalla"
@@ -246,6 +247,12 @@ type Options struct {
 	// SessionCap bounds each shard's live report-session LRU. <= 0 uses
 	// session.DefaultCap.
 	SessionCap int
+	// Budget, when Budget.LimitEps > 0, attaches a per-shard sliding-window
+	// epsilon accountant: every report draw charges the region's epsilon
+	// against the requesting user's window cap (linear composition), and a
+	// user over cap is rejected with budget.ErrBudgetExhausted until spend
+	// slides out of the window. The zero value disables accounting.
+	Budget budget.Config
 }
 
 // Shard is one bootstrapped region: its spec, its serving engine, and its
@@ -256,8 +263,11 @@ type Shard struct {
 	Server *core.Server
 	// Sessions is the shard's bounded LRU of live report sessions; the
 	// report path reuses a resident session's alias rows and RNG stream
-	// across a user's repeat reports.
+	// across a user's repeat reports, re-anchoring it when the user moves.
 	Sessions *session.Manager
+	// Budget is the shard's per-user epsilon accountant; nil when
+	// Options.Budget left accounting disabled.
+	Budget *budget.Accountant
 
 	// meta lazily derives the region's policy-attribute metadata (home /
 	// office / outlier / popular heuristics, Sec. 6.1) from the same
@@ -340,6 +350,15 @@ func New(specs []Spec, opts Options) (*Registry, error) {
 	}
 	if opts.WarmupDelta < 0 {
 		opts.WarmupDelta = -1
+	}
+	if opts.Budget.LimitEps > 0 {
+		// Construct-and-discard validates the config once at registration
+		// instead of failing every lazy bootstrap.
+		if _, err := budget.NewAccountant(opts.Budget); err != nil {
+			return nil, fmt.Errorf("registry: budget config: %w", err)
+		}
+	} else if opts.Budget.LimitEps < 0 {
+		return nil, fmt.Errorf("registry: budget limit %v is negative (0 disables accounting)", opts.Budget.LimitEps)
 	}
 	r := &Registry{
 		opts:   opts,
@@ -501,7 +520,15 @@ func (r *Registry) bootstrap(ctx context.Context, spec Spec) (*Shard, error) {
 			return nil, fmt.Errorf("registry: region %q warmup: %w", spec.Name, err)
 		}
 	}
-	return &Shard{Spec: spec, Server: srv, Sessions: session.NewManager(r.opts.SessionCap)}, nil
+	sh := &Shard{Spec: spec, Server: srv, Sessions: session.NewManager(r.opts.SessionCap)}
+	if r.opts.Budget.LimitEps > 0 {
+		acct, err := budget.NewAccountant(r.opts.Budget)
+		if err != nil {
+			return nil, fmt.Errorf("registry: region %q budget: %w", spec.Name, err)
+		}
+		sh.Budget = acct
+	}
+	return sh, nil
 }
 
 // regionCheckIns resolves a region's check-in sample: the configured real
@@ -650,6 +677,35 @@ func (r *Registry) SessionStats() map[string]session.Stats {
 func (r *Registry) AggregateSessionStats() session.Stats {
 	var total session.Stats
 	for _, s := range r.SessionStats() {
+		total.Merge(s)
+	}
+	return total
+}
+
+// BudgetStats snapshots every bootstrapped shard's epsilon-budget counters
+// by region. Regions without accounting (or not yet bootstrapped) are
+// absent.
+func (r *Registry) BudgetStats() map[string]budget.Stats {
+	r.mu.Lock()
+	shards := make(map[string]*Shard, len(r.shards))
+	for name, sh := range r.shards {
+		shards[name] = sh
+	}
+	r.mu.Unlock()
+	out := make(map[string]budget.Stats, len(shards))
+	for name, sh := range shards {
+		if sh.Budget != nil {
+			out[name] = sh.Budget.Stats()
+		}
+	}
+	return out
+}
+
+// AggregateBudgetStats folds all shard budget counters into one fleet-wide
+// snapshot.
+func (r *Registry) AggregateBudgetStats() budget.Stats {
+	var total budget.Stats
+	for _, s := range r.BudgetStats() {
 		total.Merge(s)
 	}
 	return total

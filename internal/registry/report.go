@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"corgi/internal/budget"
 	"corgi/internal/core"
 	"corgi/internal/geo"
 	"corgi/internal/hexgrid"
@@ -18,6 +19,11 @@ import (
 // serving layer can answer 4xx instead of 5xx.
 var ErrBadReport = errors.New("bad report request")
 
+// ErrBudgetExhausted re-exports the accountant's rejection sentinel so
+// serving layers can classify it (429 Too Many Requests) without importing
+// internal/budget directly.
+var ErrBudgetExhausted = budget.ErrBudgetExhausted
+
 // ReportRequest is one user's report ask: which region, which true leaf
 // cell, the inline customization policy, and the draw parameters. Serving
 // this path means the true cell and the policy cross the wire — the
@@ -29,13 +35,15 @@ type ReportRequest struct {
 	// Cell is the axial coordinate of the user's true leaf cell.
 	Cell hexgrid.Coord
 	// UID selects the per-user view of the region metadata (home/office/
-	// outlier attributes) and partitions session state between users.
+	// outlier attributes), partitions session state between users, and is
+	// the unit of epsilon-budget accounting.
 	UID int64
 	// Policy is the customization triple, evaluated server-side against
 	// the shard's metadata.
 	Policy policy.Policy
-	// Seed fixes the session's RNG stream; a (UID, Seed, Policy, subtree)
-	// tuple always replays the same draw sequence from a fresh server.
+	// Seed fixes the session's RNG stream; a (UID, Seed, Policy) tuple
+	// always replays the same draw sequence from a fresh server — even
+	// across re-anchors, because the session's RNG survives moves.
 	Seed int64
 	// Count is how many reports to draw (min 1).
 	Count int
@@ -54,15 +62,67 @@ type ReportResult struct {
 	// Centers are the reported nodes' centers, index-aligned with
 	// Reports, so the serving layer never needs a second shard lookup.
 	Centers []geo.LatLng
+	// Reanchored is true when this request moved the user's resident
+	// session onto a different subtree (or preference anchor) — the
+	// mobility slow path between a warm hit and a cold session build.
+	Reanchored bool
+	// Budgeted is true when the shard runs an epsilon accountant; then
+	// EpsSpent is what this request charged (epsilon x draws, linear
+	// composition) and EpsRemaining the user's window headroom after it.
+	Budgeted     bool
+	EpsSpent     float64
+	EpsRemaining float64
+}
+
+// prunePlan is the preference evaluation for one (user, subtree): the
+// prune set S whose size is the delta the forest entry must absorb.
+type prunePlan struct {
+	pruned []loctree.NodeID
+	anchor loctree.NodeID
+}
+
+// evalPrune evaluates the request policy's preferences over the subtree's
+// leaves, anchored at the user's true cell. Preference-free policies prune
+// nothing and anchor nowhere (their sessions are cell-independent).
+func evalPrune(sh *Shard, tree *loctree.Tree, req ReportRequest, root, leaf loctree.NodeID) (prunePlan, error) {
+	plan := prunePlan{pruned: []loctree.NodeID{}}
+	if len(req.Policy.Preferences) == 0 {
+		return plan, nil
+	}
+	subtreeLeaves := tree.LeavesUnder(root)
+	attrs, err := sh.Attrs(int(req.UID), tree.Center(leaf), subtreeLeaves)
+	if err != nil {
+		return plan, err
+	}
+	pruned, err := core.EvalPreferences(subtreeLeaves, req.Policy, attrs)
+	if err != nil {
+		return plan, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	if pruned == nil {
+		pruned = []loctree.NodeID{}
+	}
+	return prunePlan{pruned: pruned, anchor: leaf}, nil
 }
 
 // Report runs the full report pipeline for one request: resolve the
-// shard, validate cell and policy, evaluate preferences against the
-// shard's metadata to size the prune set, generate (or fetch from cache)
-// the δ-prunable forest entry for the user's subtree, bind or reuse the
-// (UID, Seed, Policy, subtree) session, and draw. The registry is the
-// layer that owns all the pieces — engine shards, metadata, session
-// caches — so the serving protocol stays a thin translation.
+// shard, validate cell and policy, bind (or re-anchor, or reuse) the
+// user's session, charge the user's epsilon budget, and draw.
+//
+// Mobility makes this a three-temperature path:
+//
+//   - warm: the resident (UID, Seed, Policy) session already covers the
+//     reported cell — O(1) draws, no attribute pass, no entry lookup;
+//   - re-anchor: the user moved outside the bound subtree (or, for
+//     preference-bearing policies, away from their attribute anchor):
+//     preferences re-evaluate at the new location, the covering forest
+//     entry is fetched (cache or solve), and the session rebinds onto it
+//     without resetting its RNG stream;
+//   - cold: no resident session — build one.
+//
+// Budget accounting happens up front, after request validation but before
+// any session work: a rejected request consumes nothing from the RNG
+// stream (a budget-capped user's replay stays aligned with an uncapped
+// one) and pays for no entry generation or re-anchoring.
 func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult, error) {
 	sh, err := r.Shard(ctx, req.Region)
 	if err != nil {
@@ -83,44 +143,56 @@ func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult
 			ErrBadReport, leaf, req.Policy.PrivacyLevel)
 	}
 
-	// The session key is computable from the request alone, so a warm
-	// user short-circuits here: no attribute pass, no preference
-	// evaluation, no entry lookup — just the resident session's O(1)
-	// draws. Preference-bearing policies additionally key on the true
-	// cell: their attributes (distance in particular) anchor at the
-	// user's location, so a moved user gets a freshly pruned session
-	// instead of one anchored where they used to stand.
+	count := req.Count
+	if count < 1 {
+		count = 1
+	}
+	res := &ReportResult{
+		Region:         sh.Spec.Name,
+		SubtreeRoot:    root,
+		PrecisionLevel: req.Policy.PrecisionLevel,
+	}
+	// Charge epsilon under linear composition — each of the count draws
+	// leaks the subtree matrix's epsilon — before any session work: a
+	// rejected report never touches the RNG (so a budget-capped user's
+	// replay stays aligned with an uncapped one), and an over-budget user
+	// hammering moves cannot make the shard pay for entry generation and
+	// re-anchoring it will never serve. The flip side: a request that
+	// fails after admission (over-budget prune set, degenerate row) has
+	// still consumed budget — over-charging is the privacy-conservative
+	// direction.
+	if sh.Budget != nil {
+		cost := sh.Spec.Epsilon * float64(count)
+		remaining, err := sh.Budget.Charge(req.UID, cost)
+		if err != nil {
+			return nil, err
+		}
+		res.Budgeted = true
+		res.EpsSpent = cost
+		res.EpsRemaining = remaining
+	}
+
+	// The session key is the user's stream identity — region, uid, seed,
+	// policy — with no subtree in it: trajectories re-anchor the resident
+	// session instead of fragmenting into per-subtree streams.
 	key := session.Key{
 		Region: sh.Spec.Name,
 		UID:    req.UID,
 		Seed:   req.Seed,
 		Policy: session.PolicyFingerprint(req.Policy),
-		Root:   root,
 	}
-	if len(req.Policy.Preferences) > 0 {
-		key.Cell = leaf
-	}
+	hasPrefs := len(req.Policy.Preferences) > 0
+	reanchored := false
 	sess, ok := sh.Sessions.Get(key)
 	if !ok {
-		// Preferences size the prune budget the entry must absorb
-		// (Sec. 5.3: the request's delta is |S|). The evaluated prune set
-		// rides into the session config so it is computed exactly once.
-		pruned := []loctree.NodeID{}
-		if len(req.Policy.Preferences) > 0 {
-			subtreeLeaves := tree.LeavesUnder(root)
-			attrs, err := sh.Attrs(int(req.UID), tree.Center(leaf), subtreeLeaves)
-			if err != nil {
-				return nil, err
-			}
-			pruned, err = core.EvalPreferences(subtreeLeaves, req.Policy, attrs)
-			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
-			}
-			if pruned == nil {
-				pruned = []loctree.NodeID{}
-			}
+		// Cold: evaluate preferences once to size the prune budget the
+		// entry must absorb (Sec. 5.3: the request's delta is |S|), then
+		// bind a fresh session.
+		plan, err := evalPrune(sh, tree, req, root, leaf)
+		if err != nil {
+			return nil, err
 		}
-		entry, err := sh.Server.GenerateEntryCtx(ctx, root, len(pruned))
+		entry, err := sh.Server.GenerateEntryCtx(ctx, root, len(plan.pruned))
 		if err != nil {
 			return nil, err
 		}
@@ -128,9 +200,10 @@ func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult
 			return session.New(session.Config{
 				Tree:   tree,
 				Entry:  entry,
-				Delta:  len(pruned),
+				Delta:  len(plan.pruned),
 				Policy: req.Policy,
-				Pruned: pruned,
+				Pruned: plan.pruned,
+				Anchor: plan.anchor,
 				Priors: sh.Server.Priors(),
 				Seed:   req.Seed,
 			})
@@ -139,13 +212,51 @@ func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult
 			return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
 		}
 	}
-
-	count := req.Count
-	if count < 1 {
-		count = 1
-	}
-	reports, err := sess.DrawCellN(leaf, count)
-	if err != nil {
+	// Re-anchor when the trajectory left the bound subtree, or — for
+	// preference-bearing policies — moved off the attribute anchor (the
+	// "distance" attribute is relative to the user's location, so the
+	// prune set must re-evaluate even inside one subtree). This check also
+	// covers the GetOrCreate admission race: a race-losing request whose
+	// winner is anchored elsewhere re-anchors the shared session instead
+	// of failing, which is the right semantics for one moving (uid, seed)
+	// stream.
+	//
+	// The check-then-draw pair loops on ErrOutsideSubtree: a concurrent
+	// request on the same stream can re-anchor the shared session between
+	// this request's check and its draw, and each request must still be
+	// served from its own cell — so retry the re-anchor rather than
+	// surface a spurious rejection (whose budget was already charged). The
+	// attempt bound only guards against a pathological livelock of
+	// perfectly interleaved movers.
+	var reports []loctree.NodeID
+	for attempt := 0; ; attempt++ {
+		if sess.Root() != root || (hasPrefs && sess.Anchor() != leaf) {
+			plan, err := evalPrune(sh, tree, req, root, leaf)
+			if err != nil {
+				return nil, err
+			}
+			entry, err := sh.Server.GenerateEntryCtx(ctx, root, len(plan.pruned))
+			if err != nil {
+				return nil, err
+			}
+			if err := sess.Rebind(session.Rebind{
+				Entry:  entry,
+				Delta:  len(plan.pruned),
+				Pruned: plan.pruned,
+				Anchor: plan.anchor,
+			}); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+			}
+			reanchored = true
+		}
+		var err error
+		reports, err = sess.DrawCellN(leaf, count)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, session.ErrOutsideSubtree) && attempt < 4 {
+			continue
+		}
 		if errors.Is(err, session.ErrUnsampleable) {
 			// Degenerate matrix data is a server fault (5xx), not a
 			// request problem.
@@ -153,16 +264,13 @@ func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult
 		}
 		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
 	}
+	res.Reanchored = reanchored
 	centers := make([]geo.LatLng, len(reports))
 	for i, n := range reports {
 		centers[i] = tree.Center(n)
 	}
-	return &ReportResult{
-		Region:         sh.Spec.Name,
-		SubtreeRoot:    root,
-		PrecisionLevel: req.Policy.PrecisionLevel,
-		Pruned:         len(sess.Pruned()),
-		Reports:        reports,
-		Centers:        centers,
-	}, nil
+	res.Pruned = len(sess.Pruned())
+	res.Reports = reports
+	res.Centers = centers
+	return res, nil
 }

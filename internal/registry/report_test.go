@@ -3,8 +3,11 @@ package registry
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
+	"time"
 
+	"corgi/internal/budget"
 	"corgi/internal/hexgrid"
 	"corgi/internal/loctree"
 	"corgi/internal/policy"
@@ -169,8 +172,8 @@ func TestReportBadRequests(t *testing.T) {
 
 // TestReportMovedUserReanchorsPreferences: location-relative preferences
 // (the "distance" attribute) anchor at the true cell, so a user who moved
-// within the same subtree must get a freshly pruned session — not the one
-// keyed to where they used to stand.
+// within the same subtree must get a freshly pruned binding — the session
+// re-anchors in place rather than being keyed to where they used to stand.
 func TestReportMovedUserReanchorsPreferences(t *testing.T) {
 	reg := reportTestRegistry(t)
 	ctx := context.Background()
@@ -239,11 +242,17 @@ func TestReportMovedUserReanchorsPreferences(t *testing.T) {
 		t.Fatal(err)
 	}
 	if resB.Pruned != prunedFrom(cellB) {
-		t.Fatalf("moved user pruned %d, geometry at the new cell says %d (stale session reused?)",
+		t.Fatalf("moved user pruned %d, geometry at the new cell says %d (stale binding reused?)",
 			resB.Pruned, prunedFrom(cellB))
 	}
-	if st := reg.AggregateSessionStats(); st.Created != 2 {
-		t.Fatalf("moved preference-bearing user must bind a fresh session: %+v", st)
+	if resA.Reanchored || !resB.Reanchored {
+		t.Fatalf("re-anchor flags wrong: first %v (want false), moved %v (want true)",
+			resA.Reanchored, resB.Reanchored)
+	}
+	// One session, re-anchored in place: the user's RNG stream survives the
+	// move instead of fragmenting into per-anchor sessions.
+	if st := reg.AggregateSessionStats(); st.Created != 1 || st.Reanchors != 1 {
+		t.Fatalf("moved preference-bearing user must re-anchor its one session: %+v", st)
 	}
 }
 
@@ -259,5 +268,188 @@ func TestReportMissingAttribute(t *testing.T) {
 	})
 	if !errors.Is(err, ErrBadReport) {
 		t.Fatalf("missing attribute not a bad request: %v", err)
+	}
+}
+
+// twoSubtreeCells picks one leaf from each of two distinct privacy-level-1
+// subtrees of a region — a minimal "trajectory" that forces a re-anchor.
+func twoSubtreeCells(t *testing.T, reg *Registry, region string) (hexgrid.Coord, hexgrid.Coord) {
+	t.Helper()
+	sh, err := reg.Shard(context.Background(), region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := sh.Server.Tree()
+	roots := tree.LevelNodes(1)
+	if len(roots) < 2 {
+		t.Fatal("region has fewer than two level-1 subtrees")
+	}
+	a := tree.LeavesUnder(roots[0])[0]
+	b := tree.LeavesUnder(roots[1])[0]
+	return a.Coord, b.Coord
+}
+
+// TestReportTrajectoryDeterministicAcrossReanchor is the mobility
+// tentpole's contract: one user's move sequence across subtrees re-anchors
+// their single session (no stream reset), and a fresh registry replaying
+// the same moves reproduces the identical draw sequence.
+func TestReportTrajectoryDeterministicAcrossReanchor(t *testing.T) {
+	ctx := context.Background()
+	mkReq := func(cell hexgrid.Coord) ReportRequest {
+		return ReportRequest{
+			Region: "rep-a", Cell: cell, UID: 11,
+			Policy: policy.Policy{PrivacyLevel: 1}, Seed: 5, Count: 2,
+		}
+	}
+	run := func(reg *Registry) ([]loctree.NodeID, []bool) {
+		cellA, cellB := twoSubtreeCells(t, reg, "rep-a")
+		var draws []loctree.NodeID
+		var moved []bool
+		for _, cell := range []hexgrid.Coord{cellA, cellA, cellB, cellA} {
+			res, err := reg.Report(ctx, mkReq(cell))
+			if err != nil {
+				t.Fatal(err)
+			}
+			draws = append(draws, res.Reports...)
+			moved = append(moved, res.Reanchored)
+		}
+		return draws, moved
+	}
+
+	reg1 := reportTestRegistry(t)
+	seq1, moved1 := run(reg1)
+	wantMoved := []bool{false, false, true, true} // A->A warm, A->B and B->A re-anchor
+	for i, m := range moved1 {
+		if m != wantMoved[i] {
+			t.Fatalf("re-anchor flags %v, want %v", moved1, wantMoved)
+		}
+	}
+	st := reg1.AggregateSessionStats()
+	if st.Created != 1 || st.Reanchors != 2 {
+		t.Fatalf("trajectory must ride one session with two re-anchors: %+v", st)
+	}
+
+	seq2, _ := run(reportTestRegistry(t))
+	if len(seq1) != len(seq2) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(seq1), len(seq2))
+	}
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("trajectory replay diverged at draw %d: %v vs %v", i, seq1[i], seq2[i])
+		}
+	}
+}
+
+// TestReportBudgetEnforced pins the acceptance boundary: with a window cap
+// of exactly n draws' epsilon, draw n succeeds, draw n+1 is rejected with
+// ErrBudgetExhausted, and the rejection does not perturb the user's
+// deterministic stream.
+func TestReportBudgetEnforced(t *testing.T) {
+	specs := fastSpecs("rep-a")
+	eps := specs[0].withDefaults().Epsilon
+	mk := func(opts Options) *Registry {
+		reg, err := New(fastSpecs("rep-a"), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg
+	}
+	reg := mk(Options{Budget: budget.Config{LimitEps: 3 * eps, Window: time.Hour}})
+	ctx := context.Background()
+	req := ReportRequest{
+		Region: "rep-a", Cell: centerCell(t, reg, "rep-a"), UID: 9,
+		Policy: policy.Policy{PrivacyLevel: 1}, Seed: 4, Count: 1,
+	}
+	var capped []loctree.NodeID
+	for i := 0; i < 3; i++ {
+		res, err := reg.Report(ctx, req)
+		if err != nil {
+			t.Fatalf("draw %d within budget rejected: %v", i+1, err)
+		}
+		if !res.Budgeted || res.EpsSpent != eps {
+			t.Fatalf("budget echo wrong: %+v", res)
+		}
+		if want := eps * float64(2-i); res.EpsRemaining != want {
+			t.Fatalf("draw %d remaining %v, want %v", i+1, res.EpsRemaining, want)
+		}
+		capped = append(capped, res.Reports...)
+	}
+	if _, err := reg.Report(ctx, req); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("over-budget draw: want ErrBudgetExhausted, got %v", err)
+	}
+	// A different user is unaffected.
+	other := req
+	other.UID = 10
+	if _, err := reg.Report(ctx, other); err != nil {
+		t.Fatalf("other user capped by someone else's spend: %v", err)
+	}
+	st := reg.AggregateBudgetStats()
+	if st.Rejections != 1 || st.Charges != 4 { // 3 for uid 9 + 1 for uid 10
+		t.Fatalf("budget stats: %+v", st)
+	}
+
+	// Budget rejections must not consume from the RNG stream: an uncapped
+	// registry replaying the same requests (including the one that was
+	// rejected above) yields the same first three draws.
+	free := mk(Options{})
+	var uncapped []loctree.NodeID
+	for i := 0; i < 3; i++ {
+		res, err := free.Report(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Budgeted {
+			t.Fatal("accounting disabled but result claims budgeted")
+		}
+		uncapped = append(uncapped, res.Reports...)
+	}
+	for i := range capped {
+		if capped[i] != uncapped[i] {
+			t.Fatalf("budget accounting perturbed the stream at draw %d", i)
+		}
+	}
+}
+
+// TestReportConcurrentMovers races two requests on ONE (uid, seed, policy)
+// stream from different subtrees: the shared session re-anchors back and
+// forth, and every request must still be served (the check-then-draw pair
+// retries on the concurrent-rebind race instead of surfacing a spurious
+// rejection).
+func TestReportConcurrentMovers(t *testing.T) {
+	reg := reportTestRegistry(t)
+	ctx := context.Background()
+	cellA, cellB := twoSubtreeCells(t, reg, "rep-a")
+	mkReq := func(cell hexgrid.Coord) ReportRequest {
+		return ReportRequest{
+			Region: "rep-a", Cell: cell, UID: 77,
+			Policy: policy.Policy{PrivacyLevel: 1}, Seed: 8,
+		}
+	}
+	// Warm both subtree entries so the race is over session state only.
+	for _, c := range []hexgrid.Coord{cellA, cellB} {
+		if _, err := reg.Report(ctx, mkReq(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		cell := cellA
+		if g == 1 {
+			cell = cellB
+		}
+		wg.Add(1)
+		go func(cell hexgrid.Coord) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := reg.Report(ctx, mkReq(cell)); err != nil {
+					t.Errorf("racing mover rejected: %v", err)
+					return
+				}
+			}
+		}(cell)
+	}
+	wg.Wait()
+	if st := reg.AggregateSessionStats(); st.Created != 1 || st.Draws != 402 {
+		t.Fatalf("racing movers must share one fully-served stream: %+v", st)
 	}
 }

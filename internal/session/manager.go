@@ -21,9 +21,15 @@ type Stats struct {
 	Created uint64 `json:"created"`
 	Hits    uint64 `json:"hits"`
 	Evicted uint64 `json:"evicted"`
-	// Draws totals the reports drawn through sessions that are still
-	// resident (evicted sessions take their counts with them).
+	// Draws totals the reports drawn through every session the manager has
+	// admitted: resident sessions' live counters plus the counts drained
+	// from sessions at eviction (and from discarded admission-race
+	// losers). The total is monotone — an LRU eviction can never make the
+	// fleet-wide draw counter go backwards.
 	Draws uint64 `json:"draws"`
+	// Reanchors totals mobility re-anchors the same way (resident live
+	// counters plus drained).
+	Reanchors uint64 `json:"reanchors"`
 }
 
 // Merge accumulates o into s, for fleet-wide aggregation across shards.
@@ -34,6 +40,7 @@ func (s *Stats) Merge(o Stats) {
 	s.Hits += o.Hits
 	s.Evicted += o.Evicted
 	s.Draws += o.Draws
+	s.Reanchors += o.Reanchors
 }
 
 // Manager is a bounded LRU of live report sessions keyed by Key. A user's
@@ -48,6 +55,12 @@ type Manager struct {
 	created uint64
 	hits    uint64
 	evicted uint64
+	// drainedDraws / drainedReanchors accumulate the counters of sessions
+	// that left the manager (evicted, or discarded after losing the
+	// admission race), so Stats.Draws/Reanchors stay monotone instead of
+	// dropping whenever the LRU sheds a busy session.
+	drainedDraws     uint64
+	drainedReanchors uint64
 }
 
 type managerItem struct {
@@ -107,7 +120,12 @@ func (m *Manager) GetOrCreate(key Key, mk func() (*Session, error)) (*Session, e
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if el, ok := m.items[key]; ok {
-		// Lost the admission race; the winner's stream is canonical.
+		// Lost the admission race; the winner's stream is canonical. The
+		// discarded loser has served nothing under the current contract
+		// (mk just built it), so the drain is defensive — it keeps the
+		// counter invariant ("every admitted-or-discarded session's counts
+		// are reachable") true even if a future mk draws before admission.
+		m.drainLocked(sess)
 		m.ll.MoveToFront(el)
 		m.hits++
 		return el.Value.(*managerItem).sess, nil
@@ -121,8 +139,18 @@ func (m *Manager) GetOrCreate(key Key, mk func() (*Session, error)) (*Session, e
 		m.ll.Remove(back)
 		delete(m.items, it.key)
 		m.evicted++
+		// Evicted sessions take their live counters with them; fold them
+		// into the manager so /v1/stats draw totals never go backwards.
+		m.drainLocked(it.sess)
 	}
 	return sess, nil
+}
+
+// drainLocked folds a departing session's counters into the manager.
+// Caller holds m.mu.
+func (m *Manager) drainLocked(s *Session) {
+	m.drainedDraws += s.Draws()
+	m.drainedReanchors += s.Reanchors()
 }
 
 // Len reports the resident session count.
@@ -132,20 +160,25 @@ func (m *Manager) Len() int {
 	return m.ll.Len()
 }
 
-// Stats snapshots the manager's counters, including the total draws of
-// resident sessions.
+// Stats snapshots the manager's counters. Draws and Reanchors cover every
+// admitted session: resident sessions are summed live, departed sessions
+// were drained into manager counters when they left.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := Stats{
-		Active:  m.ll.Len(),
-		Cap:     m.cap,
-		Created: m.created,
-		Hits:    m.hits,
-		Evicted: m.evicted,
+		Active:    m.ll.Len(),
+		Cap:       m.cap,
+		Created:   m.created,
+		Hits:      m.hits,
+		Evicted:   m.evicted,
+		Draws:     m.drainedDraws,
+		Reanchors: m.drainedReanchors,
 	}
 	for el := m.ll.Front(); el != nil; el = el.Next() {
-		st.Draws += el.Value.(*managerItem).sess.Draws()
+		it := el.Value.(*managerItem)
+		st.Draws += it.sess.Draws()
+		st.Reanchors += it.sess.Reanchors()
 	}
 	return st
 }

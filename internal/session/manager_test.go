@@ -114,7 +114,7 @@ func TestManagerConcurrent(t *testing.T) {
 				}
 				got[uid] = s
 				mu.Unlock()
-				if _, err := s.DrawCell(s.entry.Leaves[0]); err != nil {
+				if _, err := s.DrawCell(s.b.entry.Leaves[0]); err != nil {
 					t.Error(err)
 					return
 				}
@@ -127,5 +127,42 @@ func TestManagerConcurrent(t *testing.T) {
 	}
 	if st := m.Stats(); st.Draws == 0 {
 		t.Fatal("draw totals not aggregated")
+	}
+}
+
+// TestManagerDrawsSurviveEviction pins the stats bugfix: fleet-wide draw
+// and re-anchor totals must be monotone — an LRU eviction folds the
+// departing session's counters into the manager instead of dropping them.
+func TestManagerDrawsSurviveEviction(t *testing.T) {
+	mk := managerWorld(t)
+	m := NewManager(2)
+	key := func(uid int64) Key { return Key{UID: uid} }
+
+	for uid := int64(0); uid < 2; uid++ {
+		s, err := m.GetOrCreate(key(uid), func() (*Session, error) { return mk(uid), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.DrawCellN(s.b.entry.Leaves[0], 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := m.Stats()
+	if before.Draws != 10 {
+		t.Fatalf("draws before eviction = %d, want 10", before.Draws)
+	}
+	// Overflow the LRU: uid 0's session (5 draws) is evicted.
+	if _, err := m.GetOrCreate(key(2), func() (*Session, error) { return mk(2), nil }); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Stats()
+	if after.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", after.Evicted)
+	}
+	if after.Draws < before.Draws {
+		t.Fatalf("draw total went backwards across eviction: %d -> %d", before.Draws, after.Draws)
+	}
+	if after.Draws != 10 {
+		t.Fatalf("draws after eviction = %d, want 10 (evicted session's count retained)", after.Draws)
 	}
 }

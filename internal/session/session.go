@@ -15,10 +15,18 @@
 // per-report cost independent of how many distinct users a server is
 // tracking.
 //
-// Sessions are safe for concurrent use: the internal *rand.Rand is
-// serialized under the session mutex. Draw sequences are deterministic
-// per seed, the property the /v1/report equivalence guarantee (a seeded
-// remote report equals the local draw for the same inputs) rests on.
+// Sessions are mobility-aware: a session is the user's stream, not the
+// subtree's. When a moving user's reported cell leaves the bound subtree,
+// Rebind swaps in the forest entry covering the new location — re-pruning
+// under the carried-forward policy — while the RNG stream keeps advancing
+// uninterrupted. A seeded session replaying the same move sequence
+// therefore yields the same draw sequence regardless of how many subtree
+// boundaries the trajectory crosses, which is what keeps the /v1/report
+// equivalence guarantee alive for trajectories, not just fixed cells.
+//
+// Sessions are safe for concurrent use: the internal *rand.Rand and the
+// live binding are serialized under the session mutex. Draw sequences are
+// deterministic per seed.
 package session
 
 import (
@@ -49,6 +57,14 @@ const minMass = 1e-9
 // family of caller mistakes.
 var ErrUnsampleable = errors.New("session: row unsampleable")
 
+// ErrOutsideSubtree marks a draw for a cell the session's current binding
+// does not cover. Under mobility this is retryable: a concurrent request
+// on the same (uid, seed, policy) stream may have re-anchored the shared
+// session between the caller's binding check and its draw, and
+// registry.Report re-anchors and retries on it instead of failing the
+// request.
+var ErrOutsideSubtree = errors.New("session: cell outside the bound subtree")
+
 // Config binds everything one report session needs.
 type Config struct {
 	// Tree is the region's location tree.
@@ -70,6 +86,12 @@ type Config struct {
 	// delta; an empty-but-non-nil slice means "evaluated, nothing
 	// pruned"). Leave nil to have New evaluate Preferences over Attrs.
 	Pruned []loctree.NodeID
+	// Anchor records the true cell the preference attributes were
+	// evaluated at (the "distance" attribute is relative to the user's
+	// location). The mobility layer compares it against the current report
+	// cell to decide when a preference-bearing session must re-anchor even
+	// inside one subtree. Zero for preference-free policies.
+	Anchor loctree.NodeID
 	// Priors supplies leaf priors for precision reduction (Equ. 17);
 	// required when Policy.PrecisionLevel > 0.
 	Priors *loctree.Priors
@@ -78,12 +100,28 @@ type Config struct {
 	Seed int64
 }
 
-// Session is one user's bound report stream. Create with New.
-type Session struct {
-	tree   *loctree.Tree
+// Rebind re-anchors a live session onto a new forest entry (see
+// Session.Rebind); it is Config minus the per-session immutables.
+type Rebind struct {
+	// Entry is the forest entry covering the user's new location at the
+	// session policy's privacy level.
+	Entry *core.ForestEntry
+	// Delta is the prune budget Entry was generated with.
+	Delta int
+	// Attrs / Pruned mirror Config: the prune set over Entry's leaves,
+	// precomputed or evaluated here from Attrs.
+	Attrs  map[loctree.NodeID]policy.Attributes
+	Pruned []loctree.NodeID
+	// Anchor is the new attribute anchor cell (zero when preference-free).
+	Anchor loctree.NodeID
+}
+
+// binding is the entry-derived half of a session: everything that changes
+// when the user's trajectory crosses into a different subtree, swapped
+// atomically by Rebind while the RNG stream and draw counters live on.
+type binding struct {
 	entry  *core.ForestEntry
-	pol    policy.Policy
-	priors *loctree.Priors
+	anchor loctree.NodeID
 
 	leafIdx    map[loctree.NodeID]int // entry leaf -> matrix row/col
 	dropIdx    []bool                 // by entry leaf position
@@ -100,22 +138,101 @@ type Session struct {
 	rowIndex map[loctree.NodeID]int
 	groups   [][]int
 
-	mu       sync.Mutex
-	rng      *rand.Rand
 	rowAlias map[int]*sample.Alias
-
-	draws atomic.Uint64
 }
 
-// New evaluates the policy against the entry and prepares the session:
-// preferences decide the prune set S over the subtree's leaves (step 2-3
-// of Fig. 8), the δ-prunability of the entry is verified against |S|
-// (Sec. 5.3: the reserved budget must cover the realized prune set), and
-// the report node set is fixed. No alias table is built yet — rows build
-// lazily on first draw.
+// Session is one user's bound report stream. Create with New.
+type Session struct {
+	tree   *loctree.Tree
+	pol    policy.Policy
+	priors *loctree.Priors
+
+	mu  sync.Mutex
+	b   *binding
+	rng *rand.Rand
+
+	draws     atomic.Uint64
+	reanchors atomic.Uint64
+}
+
+// newBinding evaluates the policy against one forest entry: preferences
+// decide the prune set S over the subtree's leaves (step 2-3 of Fig. 8),
+// the δ-prunability of the entry is verified against |S| (Sec. 5.3: the
+// reserved budget must cover the realized prune set), and the report node
+// set is fixed. No alias table is built yet — rows build lazily on first
+// draw.
+func newBinding(tree *loctree.Tree, pol policy.Policy, entry *core.ForestEntry,
+	delta int, pruned []loctree.NodeID, attrs map[loctree.NodeID]policy.Attributes,
+	anchor loctree.NodeID) (*binding, error) {
+	if entry == nil || entry.Matrix == nil {
+		return nil, fmt.Errorf("session: nil entry")
+	}
+	b := &binding{
+		entry:    entry,
+		anchor:   anchor,
+		leafIdx:  make(map[loctree.NodeID]int, len(entry.Leaves)),
+		dropIdx:  make([]bool, len(entry.Leaves)),
+		rowAlias: map[int]*sample.Alias{},
+	}
+	for i, l := range entry.Leaves {
+		b.leafIdx[l] = i
+	}
+	switch {
+	case pruned != nil:
+		for _, n := range pruned {
+			if _, ok := b.leafIdx[n]; !ok {
+				return nil, fmt.Errorf("session: pruned leaf %v not in subtree %v", n, entry.Root)
+			}
+		}
+		b.pruned = pruned
+	case len(pol.Preferences) > 0:
+		evaluated, err := core.EvalPreferences(entry.Leaves, pol, attrs)
+		if err != nil {
+			return nil, err
+		}
+		b.pruned = evaluated
+	}
+	if len(b.pruned) > delta {
+		return nil, fmt.Errorf("session: preferences prune %d locations but the matrix is only %d-prunable (Sec. 5.3 tradeoff)",
+			len(b.pruned), delta)
+	}
+	b.prunedSet = make(map[loctree.NodeID]bool, len(b.pruned))
+	for _, n := range b.pruned {
+		b.prunedSet[n] = true
+		b.dropIdx[b.leafIdx[n]] = true
+	}
+	for i, l := range entry.Leaves {
+		if !b.dropIdx[i] {
+			b.keep = append(b.keep, i)
+			b.keptLeaves = append(b.keptLeaves, l)
+		}
+	}
+	if len(b.keptLeaves) == 0 {
+		return nil, fmt.Errorf("session: preferences prune every location in the subtree")
+	}
+
+	b.nodes = b.keptLeaves
+	if pol.PrecisionLevel > 0 {
+		groups, groupNodes, err := core.GroupByAncestor(tree, b.keptLeaves, pol.PrecisionLevel)
+		if err != nil {
+			return nil, err
+		}
+		b.groups = groups
+		b.nodes = groupNodes
+	}
+	b.rowIndex = make(map[loctree.NodeID]int, len(b.nodes))
+	for i, n := range b.nodes {
+		b.rowIndex[n] = i
+	}
+	return b, nil
+}
+
+// New validates the policy, prepares the initial binding, and seeds the
+// RNG stream the session keeps for its whole life — including across
+// Rebind re-anchors.
 func New(cfg Config) (*Session, error) {
-	if cfg.Tree == nil || cfg.Entry == nil || cfg.Entry.Matrix == nil {
-		return nil, fmt.Errorf("session: nil tree or entry")
+	if cfg.Tree == nil {
+		return nil, fmt.Errorf("session: nil tree")
 	}
 	if err := cfg.Policy.Validate(cfg.Tree.Height()); err != nil {
 		return nil, err
@@ -123,77 +240,85 @@ func New(cfg Config) (*Session, error) {
 	if cfg.Policy.PrecisionLevel > 0 && cfg.Priors == nil {
 		return nil, fmt.Errorf("session: precision level %d needs priors", cfg.Policy.PrecisionLevel)
 	}
-	s := &Session{
-		tree:     cfg.Tree,
-		entry:    cfg.Entry,
-		pol:      cfg.Policy,
-		priors:   cfg.Priors,
-		leafIdx:  make(map[loctree.NodeID]int, len(cfg.Entry.Leaves)),
-		dropIdx:  make([]bool, len(cfg.Entry.Leaves)),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		rowAlias: map[int]*sample.Alias{},
+	b, err := newBinding(cfg.Tree, cfg.Policy, cfg.Entry, cfg.Delta, cfg.Pruned, cfg.Attrs, cfg.Anchor)
+	if err != nil {
+		return nil, err
 	}
-	for i, l := range cfg.Entry.Leaves {
-		s.leafIdx[l] = i
-	}
-	switch {
-	case cfg.Pruned != nil:
-		for _, n := range cfg.Pruned {
-			if _, ok := s.leafIdx[n]; !ok {
-				return nil, fmt.Errorf("session: pruned leaf %v not in subtree %v", n, cfg.Entry.Root)
-			}
-		}
-		s.pruned = cfg.Pruned
-	case len(cfg.Policy.Preferences) > 0:
-		pruned, err := core.EvalPreferences(cfg.Entry.Leaves, cfg.Policy, cfg.Attrs)
-		if err != nil {
-			return nil, err
-		}
-		s.pruned = pruned
-	}
-	if len(s.pruned) > cfg.Delta {
-		return nil, fmt.Errorf("session: preferences prune %d locations but the matrix is only %d-prunable (Sec. 5.3 tradeoff)",
-			len(s.pruned), cfg.Delta)
-	}
-	s.prunedSet = make(map[loctree.NodeID]bool, len(s.pruned))
-	for _, n := range s.pruned {
-		s.prunedSet[n] = true
-		s.dropIdx[s.leafIdx[n]] = true
-	}
-	for i, l := range cfg.Entry.Leaves {
-		if !s.dropIdx[i] {
-			s.keep = append(s.keep, i)
-			s.keptLeaves = append(s.keptLeaves, l)
-		}
-	}
-	if len(s.keptLeaves) == 0 {
-		return nil, fmt.Errorf("session: preferences prune every location in the subtree")
-	}
-
-	s.nodes = s.keptLeaves
-	if cfg.Policy.PrecisionLevel > 0 {
-		groups, groupNodes, err := core.GroupByAncestor(cfg.Tree, s.keptLeaves, cfg.Policy.PrecisionLevel)
-		if err != nil {
-			return nil, err
-		}
-		s.groups = groups
-		s.nodes = groupNodes
-	}
-	s.rowIndex = make(map[loctree.NodeID]int, len(s.nodes))
-	for i, n := range s.nodes {
-		s.rowIndex[n] = i
-	}
-	return s, nil
+	return &Session{
+		tree:   cfg.Tree,
+		pol:    cfg.Policy,
+		priors: cfg.Priors,
+		b:      b,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
 }
 
-// Nodes returns the report node set (kept leaves, or precision groups).
-func (s *Session) Nodes() []loctree.NodeID { return s.nodes }
+// Rebind re-anchors the session onto a new forest entry — the mobility
+// move: the policy, seed, and RNG position carry forward untouched, only
+// the subtree binding (prune set, report node set, alias cache) is
+// rebuilt. The binding is assembled outside the session lock, so in-flight
+// draws against the old subtree finish on the old binding; a failed rebind
+// leaves the session exactly as it was.
+func (s *Session) Rebind(r Rebind) error {
+	b, err := newBinding(s.tree, s.pol, r.Entry, r.Delta, r.Pruned, r.Attrs, r.Anchor)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.b = b
+	s.mu.Unlock()
+	s.reanchors.Add(1)
+	return nil
+}
 
-// Pruned returns the leaves the policy's preferences removed.
-func (s *Session) Pruned() []loctree.NodeID { return s.pruned }
+// Root returns the subtree root of the current binding.
+func (s *Session) Root() loctree.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.entry.Root
+}
+
+// Anchor returns the attribute anchor cell of the current binding (zero
+// for preference-free policies).
+func (s *Session) Anchor() loctree.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.anchor
+}
+
+// Covers reports whether the current binding's subtree contains leaf.
+func (s *Session) Covers(leaf loctree.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.b.leafIdx[leaf]
+	return ok
+}
+
+// Policy returns the customization triple the session carries across
+// re-anchors.
+func (s *Session) Policy() policy.Policy { return s.pol }
+
+// Nodes returns the report node set (kept leaves, or precision groups).
+func (s *Session) Nodes() []loctree.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.nodes
+}
+
+// Pruned returns the leaves the policy's preferences removed under the
+// current binding.
+func (s *Session) Pruned() []loctree.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.pruned
+}
 
 // Draws reports how many reports the session has served.
 func (s *Session) Draws() uint64 { return s.draws.Load() }
+
+// Reanchors reports how many times the session re-anchored onto a new
+// subtree.
+func (s *Session) Reanchors() uint64 { return s.reanchors.Load() }
 
 // Draw locates the true position's leaf cell and draws one obfuscated
 // report node.
@@ -206,9 +331,9 @@ func (s *Session) Draw(real geo.LatLng) (loctree.NodeID, error) {
 }
 
 // DrawCell draws one obfuscated report for a true leaf cell. The cell must
-// belong to the session's subtree; a cell the user's own preferences
-// pruned is an error at leaf precision (there is no row to draw from),
-// matching Algorithm 4.
+// belong to the session's current subtree; a cell the user's own
+// preferences pruned is an error at leaf precision (there is no row to
+// draw from), matching Algorithm 4.
 func (s *Session) DrawCell(leaf loctree.NodeID) (loctree.NodeID, error) {
 	out, err := s.DrawCellN(leaf, 1)
 	if err != nil {
@@ -226,8 +351,11 @@ func (s *Session) DrawCellN(leaf loctree.NodeID, n int) ([]loctree.NodeID, error
 	if n < 1 {
 		return nil, fmt.Errorf("session: draw count %d must be >= 1", n)
 	}
-	if _, ok := s.leafIdx[leaf]; !ok {
-		return nil, fmt.Errorf("session: cell %v outside subtree %v", leaf, s.entry.Root)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.b
+	if _, ok := b.leafIdx[leaf]; !ok {
+		return nil, fmt.Errorf("%w: cell %v, subtree %v", ErrOutsideSubtree, leaf, b.entry.Root)
 	}
 	rowNode := leaf
 	if s.pol.PrecisionLevel > 0 {
@@ -236,22 +364,20 @@ func (s *Session) DrawCellN(leaf loctree.NodeID, n int) ([]loctree.NodeID, error
 			return nil, fmt.Errorf("session: no ancestor of %v at precision level %d", leaf, s.pol.PrecisionLevel)
 		}
 		rowNode = anc
-	} else if s.prunedSet[leaf] {
+	} else if b.prunedSet[leaf] {
 		return nil, fmt.Errorf("session: preferences prune the user's own location %v at precision 0", leaf)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	row, ok := s.rowIndex[rowNode]
+	row, ok := b.rowIndex[rowNode]
 	if !ok {
 		return nil, fmt.Errorf("session: node %v missing from the customized report set", rowNode)
 	}
-	a, err := s.aliasForRowLocked(row, leaf)
+	a, err := s.aliasForRowLocked(b, row, leaf)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]loctree.NodeID, n)
 	for i := range out {
-		out[i] = s.nodes[a.Draw(s.rng)]
+		out[i] = b.nodes[a.Draw(s.rng)]
 	}
 	s.draws.Add(uint64(n))
 	return out, nil
@@ -259,15 +385,15 @@ func (s *Session) DrawCellN(leaf loctree.NodeID, n int) ([]loctree.NodeID, error
 
 // aliasForRowLocked returns the alias table for one report row, building
 // and caching it on first use. Caller holds s.mu.
-func (s *Session) aliasForRowLocked(row int, leaf loctree.NodeID) (*sample.Alias, error) {
-	if a, ok := s.rowAlias[row]; ok {
+func (s *Session) aliasForRowLocked(b *binding, row int, leaf loctree.NodeID) (*sample.Alias, error) {
+	if a, ok := b.rowAlias[row]; ok {
 		return a, nil
 	}
-	a, err := s.buildRow(row, leaf)
+	a, err := s.buildRow(b, row, leaf)
 	if err != nil {
 		return nil, err
 	}
-	s.rowAlias[row] = a
+	b.rowAlias[row] = a
 	return a, nil
 }
 
@@ -282,30 +408,30 @@ func (s *Session) aliasForRowLocked(row int, leaf loctree.NodeID) (*sample.Alias
 //     of the drawn-from group — weight_j = Σ_{u∈g_row} p_u/mass_u ·
 //     Σ_{v∈g_j} z[u][v], with the constant 1/p_row dropped since the
 //     alias build normalizes.
-func (s *Session) buildRow(row int, leaf loctree.NodeID) (*sample.Alias, error) {
-	m := s.entry.Matrix
+func (s *Session) buildRow(b *binding, row int, leaf loctree.NodeID) (*sample.Alias, error) {
+	m := b.entry.Matrix
 	if s.pol.PrecisionLevel == 0 {
-		orig := s.leafIdx[leaf]
-		if len(s.pruned) == 0 {
-			a, err := s.entry.AliasRow(orig)
+		orig := b.leafIdx[leaf]
+		if len(b.pruned) == 0 {
+			a, err := b.entry.AliasRow(orig)
 			if err != nil {
 				return nil, fmt.Errorf("%w: row %v: %v", ErrUnsampleable, leaf, err)
 			}
 			return a, nil
 		}
-		a, _, err := sample.NewSubset(m.Row(orig), s.dropIdx)
+		a, _, err := sample.NewSubset(m.Row(orig), b.dropIdx)
 		if err != nil {
 			return nil, fmt.Errorf("%w: row %v: %v", ErrUnsampleable, leaf, err)
 		}
 		return a, nil
 	}
 
-	weights := make([]float64, len(s.nodes))
-	for _, u := range s.groups[row] { // u indexes keptLeaves
-		orig := s.keep[u]
+	weights := make([]float64, len(b.nodes))
+	for _, u := range b.groups[row] { // u indexes keptLeaves
+		orig := b.keep[u]
 		r := m.Row(orig)
 		removed := 0.0
-		for l, dropped := range s.dropIdx {
+		for l, dropped := range b.dropIdx {
 			if dropped {
 				removed += r[l]
 			}
@@ -313,44 +439,39 @@ func (s *Session) buildRow(row int, leaf loctree.NodeID) (*sample.Alias, error) 
 		mass := 1 - removed
 		if mass < minMass {
 			return nil, fmt.Errorf("%w: row %v retains %.3g probability mass after pruning",
-				ErrUnsampleable, s.keptLeaves[u], mass)
+				ErrUnsampleable, b.keptLeaves[u], mass)
 		}
-		pu := s.priors.Of(s.tree, s.keptLeaves[u])
+		pu := s.priors.Of(s.tree, b.keptLeaves[u])
 		scale := pu / mass
-		for j, gj := range s.groups {
+		for j, gj := range b.groups {
 			sum := 0.0
 			for _, v := range gj {
-				sum += r[s.keep[v]]
+				sum += r[b.keep[v]]
 			}
 			weights[j] += scale * sum
 		}
 	}
 	a, err := sample.New(weights)
 	if err != nil {
-		return nil, fmt.Errorf("%w: precision row %v: %v", ErrUnsampleable, s.nodes[row], err)
+		return nil, fmt.Errorf("%w: precision row %v: %v", ErrUnsampleable, b.nodes[row], err)
 	}
 	return a, nil
 }
 
 // Key addresses one session in a Manager: the region, the caller's user
-// id, the draw seed, the policy fingerprint, the subtree root the session
-// is bound to, and — for preference-bearing policies only — the true cell
-// the attributes were anchored at. Everything that changes the draw
-// distribution or the RNG stream is part of the key, so a stale session
-// can never serve a changed policy; the cell matters exactly when
-// preferences do, because attribute evaluation (the "distance" attribute
-// in particular) is relative to the user's location, so a user who moved
-// needs a freshly pruned session rather than one anchored at their old
-// cell. Preference-free sessions key cell-independently and are shared
-// across every cell of the subtree.
+// id, the draw seed, and the policy fingerprint. The key deliberately
+// excludes the subtree and the true cell — a session is the user's
+// continuous stream, and mobility (changing subtree, changing attribute
+// anchor) is handled by re-anchoring the resident session rather than
+// keying a new one, which is what keeps one seeded RNG stream running
+// across a whole trajectory. Anything that changes the draw distribution
+// irreconcilably (the policy, the seed) remains part of the key, so a
+// stale session can never serve a changed policy.
 type Key struct {
 	Region string
 	UID    int64
 	Seed   int64
 	Policy string
-	Root   loctree.NodeID
-	// Cell is the attribute anchor; zero for preference-free policies.
-	Cell loctree.NodeID
 }
 
 // PolicyFingerprint returns a stable digest of a policy for session

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"corgi/internal/core"
@@ -135,16 +136,17 @@ func TestRowWeightsMatchMatrixPath(t *testing.T) {
 			rowNode, _ = tree.AncestorAt(realLeaf, precision)
 		}
 		s.mu.Lock()
-		row := s.rowIndex[rowNode]
-		a, err := s.aliasForRowLocked(row, realLeaf)
+		row := s.b.rowIndex[rowNode]
+		a, err := s.aliasForRowLocked(s.b, row, realLeaf)
 		s.mu.Unlock()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(s.nodes) != len(refNodes) {
-			t.Fatalf("precision %d: %d report nodes, reference has %d", precision, len(s.nodes), len(refNodes))
+		nodes := s.Nodes()
+		if len(nodes) != len(refNodes) {
+			t.Fatalf("precision %d: %d report nodes, reference has %d", precision, len(nodes), len(refNodes))
 		}
-		for j, node := range s.nodes {
+		for j, node := range nodes {
 			if node != refNodes[j] {
 				t.Fatalf("precision %d: node order diverges at %d: %v vs %v", precision, j, node, refNodes[j])
 			}
@@ -296,5 +298,192 @@ func TestPolicyFingerprint(t *testing.T) {
 	c := blockPolicy(2, 1)
 	if PolicyFingerprint(a) == PolicyFingerprint(c) {
 		t.Fatal("different policies share a fingerprint")
+	}
+}
+
+// synthEntryAt builds a synthetic row-stochastic forest entry over an
+// arbitrary subtree root, mirroring testWorld's construction.
+func synthEntryAt(t *testing.T, tree *loctree.Tree, root loctree.NodeID, seed int64) *core.ForestEntry {
+	t.Helper()
+	leaves := tree.LeavesUnder(root)
+	n := len(leaves)
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		total := 0.0
+		for j := range rows[i] {
+			rows[i][j] = 0.01 + rng.Float64()
+			total += rows[i][j]
+		}
+		for j := range rows[i] {
+			rows[i][j] /= total
+		}
+	}
+	m, err := obf.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.ForestEntry{Root: root, Leaves: leaves, Matrix: m}
+}
+
+// TestRebindContinuesRNGStream is the mobility core: re-anchoring onto a
+// new subtree swaps the binding but never resets the RNG, so a replayed
+// move sequence is deterministic and the post-move draws continue the
+// stream instead of restarting it from the seed.
+func TestRebindContinuesRNGStream(t *testing.T) {
+	tree, entryA, priors := testWorld(t, 1)
+	rootB := tree.LevelNodes(1)[1]
+	entryB := synthEntryAt(t, tree, rootB, 23)
+	leafA, leafB := entryA.Leaves[0], entryB.Leaves[0]
+	pol := policy.Policy{PrivacyLevel: 1}
+
+	run := func() ([]loctree.NodeID, *Session) {
+		s, err := New(Config{Tree: tree, Entry: entryA, Delta: 0, Policy: pol, Priors: priors, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre, err := s.DrawCellN(leafA, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Rebind(Rebind{Entry: entryB, Delta: 0}); err != nil {
+			t.Fatal(err)
+		}
+		post, err := s.DrawCellN(leafB, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(pre, post...), s
+	}
+	seq1, s1 := run()
+	seq2, _ := run()
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("replayed move sequence diverged at draw %d: %v vs %v", i, seq1[i], seq2[i])
+		}
+	}
+	if got := s1.Reanchors(); got != 1 {
+		t.Fatalf("reanchor counter = %d, want 1", got)
+	}
+	if s1.Root() != rootB || !s1.Covers(leafB) || s1.Covers(leafA) {
+		t.Fatalf("binding not swapped: root %v", s1.Root())
+	}
+
+	// A fresh session started directly on entry B restarts the stream from
+	// the seed; the rebound session must NOT match it — that would mean the
+	// move reset the RNG.
+	fresh, err := New(Config{Tree: tree, Entry: entryB, Delta: 0, Policy: pol, Priors: priors, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshDraws, err := fresh.DrawCellN(leafB, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 8; i++ {
+		if seq1[8+i] != freshDraws[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("post-rebind draws match a seed-fresh session: the move reset the RNG stream")
+	}
+}
+
+// TestRebindFailureKeepsOldBinding: a rebind whose prune set exceeds the
+// new entry's budget must leave the session serving its old subtree.
+func TestRebindFailureKeepsOldBinding(t *testing.T) {
+	tree, entryA, priors := testWorld(t, 1)
+	rootB := tree.LevelNodes(1)[1]
+	entryB := synthEntryAt(t, tree, rootB, 23)
+	s, err := New(Config{
+		Tree: tree, Entry: entryA, Delta: 0,
+		Policy: policy.Policy{PrivacyLevel: 1}, Priors: priors, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Rebind(Rebind{Entry: entryB, Delta: 0, Pruned: entryB.Leaves[:1]})
+	if err == nil {
+		t.Fatal("over-budget rebind accepted")
+	}
+	if s.Root() != entryA.Root || s.Reanchors() != 0 {
+		t.Fatalf("failed rebind mutated the session: root %v, reanchors %d", s.Root(), s.Reanchors())
+	}
+	if _, err := s.DrawCell(entryA.Leaves[0]); err != nil {
+		t.Fatalf("old binding unusable after failed rebind: %v", err)
+	}
+}
+
+// TestConcurrentReanchorDraws races draws against rebinds: the race job's
+// stress for the mobility path. Draws must always land on a consistent
+// binding (old or new, never torn), and counters must add up.
+func TestConcurrentReanchorDraws(t *testing.T) {
+	tree, entryA, priors := testWorld(t, 1)
+	entryB := synthEntryAt(t, tree, tree.LevelNodes(1)[1], 31)
+	s, err := New(Config{
+		Tree: tree, Entry: entryA, Delta: 0,
+		Policy: policy.Policy{PrivacyLevel: 1}, Priors: priors, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		drawers = 6
+		perG    = 300
+		rebinds = 100
+	)
+	var wg sync.WaitGroup
+	var drawn atomic.Uint64
+	for g := 0; g < drawers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Try a cell of each subtree; exactly one belongs to the
+				// live binding (the other returns the outside-subtree
+				// error, which is the expected miss under racing rebinds).
+				la := entryA.Leaves[(g+i)%len(entryA.Leaves)]
+				lb := entryB.Leaves[(g+i)%len(entryB.Leaves)]
+				okA, errA := s.DrawCell(la)
+				okB, errB := s.DrawCell(lb)
+				if errA == nil {
+					drawn.Add(1)
+					_ = okA
+				}
+				if errB == nil {
+					drawn.Add(1)
+					_ = okB
+				}
+				if errA != nil && errB != nil {
+					t.Errorf("both subtrees rejected: %v / %v", errA, errB)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rebinds; i++ {
+			entry := entryA
+			if i%2 == 0 {
+				entry = entryB
+			}
+			if err := s.Rebind(Rebind{Entry: entry, Delta: 0}); err != nil {
+				t.Errorf("rebind %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if s.Reanchors() != rebinds {
+		t.Fatalf("reanchors = %d, want %d", s.Reanchors(), rebinds)
+	}
+	if s.Draws() != drawn.Load() {
+		t.Fatalf("draw counter %d, successful draws %d", s.Draws(), drawn.Load())
 	}
 }
