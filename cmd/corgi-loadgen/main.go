@@ -59,7 +59,16 @@
 //	              [-mix uniform|zipf] [-cell-mix uniform|zipf]
 //	              [-users 1000] [-moves 64] [-report-count 1] [-precision 0]
 //	              [-batch 0] [-trace FILE | -checkins FILE]
+//	              [-transport http|stream] [-stream-addr host:port]
 //	              [-wire v2|v1] [-seed 1] [-out report.json]
+//
+// -transport stream sends report and mobility requests over the
+// corgi-stream binary transport (persistent TCP, length-prefixed frames)
+// instead of HTTP+JSON, against a server started with -stream-addr. Trace
+// construction (region listing, tree metadata) still uses the HTTP
+// -server. Running the same workload under both transports on the same
+// server measures the wire-protocol cost directly — same sessions, same
+// draws, different encoding and connection model.
 //
 // To measure the persistent forest store's effect on cold starts, drive a
 // store-backed server and compare latency_cold against a storeless run —
@@ -75,6 +84,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -98,6 +108,7 @@ import (
 	"corgi/internal/policy"
 	"corgi/internal/proto"
 	"corgi/internal/registry"
+	"corgi/internal/stream"
 )
 
 // request is one trace entry. Forest entries use (Region, Level, Delta);
@@ -182,6 +193,8 @@ func main() {
 	batch := flag.Int("batch", 0, "pack N trace entries per batched round trip (0: single requests)")
 	tracePath := flag.String("trace", "", "trace file: 'region level delta' (forest) or 'region level q r' (report) lines")
 	checkinsPath := flag.String("checkins", "", "Gowalla check-in file; per-region weights follow its geography")
+	transport := flag.String("transport", "http", "report/mobility transport: http (JSON round trips) or stream (corgi-stream binary frames)")
+	streamAddr := flag.String("stream-addr", "", "corgi-stream address, host:port (required with -transport stream)")
 	wire := flag.String("wire", "v2", "forest encoding to request: v1 or v2")
 	seed := flag.Int64("seed", 1, "mix/shuffle seed")
 	out := flag.String("out", "", "write the JSON report here (empty: stdout)")
@@ -202,8 +215,29 @@ func main() {
 	if *workload == "mobility" && *tracePath != "" {
 		log.Fatalf("the mobility workload replays -checkins trajectories or synthesizes random-waypoint walks; -trace is for forest/report")
 	}
+	if *transport != "http" && *transport != "stream" {
+		log.Fatalf("-transport must be http or stream")
+	}
+	if *transport == "stream" {
+		if *workload == "forest" {
+			log.Fatalf("-transport stream serves the report pipeline; use -workload report or mobility")
+		}
+		if *streamAddr == "" {
+			log.Fatalf("-transport stream needs -stream-addr (the server's corgi-stream listener; trace building still uses the HTTP -server)")
+		}
+	}
 
-	client := &http.Client{Timeout: 10 * time.Minute}
+	// The idle pool must cover every worker or keep-alive connections are
+	// torn down and re-dialed constantly (DefaultTransport keeps only 2
+	// idle conns per host).
+	client := &http.Client{
+		Timeout: 10 * time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        *concurrency + 8,
+			MaxIdleConnsPerHost: *concurrency + 8,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
 	regions, err := resolveRegions(client, *server, *regionsFlag)
 	if err != nil {
 		log.Fatalf("regions: %v", err)
@@ -229,6 +263,17 @@ func main() {
 	}
 	log.Printf("trace: %d %s entries (%s) over regions [%s]", len(trace), *workload, traceSource, strings.Join(regions, ", "))
 
+	// The stream client pools persistent connections; every worker shares
+	// it, and each in-flight exchange checks out its own connection.
+	var streamClient *stream.Client
+	if *transport == "stream" {
+		streamClient = stream.NewClient(*streamAddr, stream.ClientConfig{
+			Timeout:      10 * time.Minute,
+			MaxIdleConns: *concurrency,
+		})
+		defer streamClient.Close()
+	}
+
 	workers := make([]*worker, *concurrency)
 	for i := range workers {
 		workers[i] = &worker{}
@@ -244,6 +289,13 @@ func main() {
 	issue := func(w *worker) {
 		idx := next.Add(1) - 1
 		switch {
+		case streamClient != nil && *batch > 0:
+			w.record(doReportBatchStream(streamClient, trace, idx, *batch, *precisionFlag, *reportCount, &cold))
+		case streamClient != nil:
+			// The stream response always carries the reanchored flag, so one
+			// path serves both the report and mobility workloads.
+			entry := trace[int(idx)%len(trace)]
+			w.record(doReportStream(streamClient, entry, *precisionFlag, *reportCount, &cold))
 		case *workload == "mobility":
 			entry := trace[int(idx)%len(trace)]
 			w.record(doMobilityReport(client, *server, entry, *precisionFlag, *reportCount, &cold))
@@ -315,12 +367,21 @@ func main() {
 	elapsed := time.Since(start)
 
 	report := summarize(workers, elapsed, config{
-		Server: *server, Workload: *workload, Regions: regions, DurationS: duration.Seconds(),
+		Server: *server, Workload: *workload, Transport: *transport, Regions: regions,
+		DurationS:   duration.Seconds(),
 		Concurrency: *concurrency, RateRPS: *rate, Batch: *batch,
 		Wire: *wire, Mix: *mix, CellMix: *cellMix, ReportCount: *reportCount,
 		TraceSource: traceSource,
 	})
 	report.DroppedArrivals = dropped.Load()
+	if streamClient != nil {
+		// Per-sample byte counts are an HTTP-body concept; the stream
+		// client accounts transfer at the connection, so report its totals.
+		cs := streamClient.Stats()
+		report.BytesReceived = int64(cs.BytesIn)
+		report.StreamDials = int64(cs.Dials)
+		report.StreamRetries = int64(cs.Retries)
+	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -1204,6 +1265,100 @@ func doReportBatch(client *http.Client, server string, trace []request, idx int6
 	return s, ok, bad
 }
 
+// streamWireRequest is reportWireRequest for the binary transport.
+func streamWireRequest(entry request, precision, count int) stream.Request {
+	return stream.Request{
+		Region: entry.Region,
+		Cell:   entry.Cell,
+		UID:    entry.UID,
+		Policy: policy.Policy{PrivacyLevel: entry.Level, PrecisionLevel: precision},
+		Seed:   entry.Seed,
+		Count:  count,
+	}
+}
+
+// doReportStream issues one REPORT frame over corgi-stream. The decoded
+// response always carries the reanchored flag, so this one function
+// serves both the report and mobility workloads; a 429 StatusError marks
+// a budget rejection exactly like doMobilityReport's HTTP path.
+func doReportStream(sc *stream.Client, entry request, precision, count int, cold *coldTracker) (sample, int64, int64) {
+	isCold := cold.first(entry)
+	start := time.Now()
+	resp, err := sc.Report(streamWireRequest(entry, precision, count))
+	s := sample{latency: time.Since(start), region: entry.Region, cold: isCold}
+	if err != nil {
+		var se *stream.StatusError
+		if errors.As(err, &se) {
+			s.status = se.Status
+			if se.Status == http.StatusTooManyRequests {
+				// Same accounting as the HTTP path: the rejection absorbed
+				// no session work, so release the cold claim for the first
+				// granted request.
+				s.budgetRejected = true
+				if isCold {
+					s.cold = false
+					cold.forget(entry)
+				}
+				return s, 0, 1
+			}
+		}
+		s.err = true
+		if isCold {
+			cold.forget(entry)
+		}
+		return s, 0, 1
+	}
+	s.status = http.StatusOK
+	s.reanchored = resp.Reanchored
+	return s, 1, 0
+}
+
+// doReportBatchStream packs n consecutive trace entries into one REPORTS
+// frame and counts per-item outcomes, mirroring doReportBatch.
+func doReportBatchStream(sc *stream.Client, trace []request, idx int64, n, precision, count int, cold *coldTracker) (sample, int64, int64) {
+	items := make([]stream.Request, n)
+	entries := make([]request, n)
+	claimed := make([]bool, n)
+	isCold := false
+	for i := 0; i < n; i++ {
+		entries[i] = trace[int(idx*int64(n)+int64(i))%len(trace)]
+		items[i] = streamWireRequest(entries[i], precision, count)
+		if cold.first(entries[i]) {
+			claimed[i] = true
+			isCold = true
+		}
+	}
+	start := time.Now()
+	results, err := sc.ReportBatch(items)
+	s := sample{latency: time.Since(start), cold: isCold}
+	if err != nil {
+		for i, c := range claimed {
+			if c {
+				cold.forget(entries[i])
+			}
+		}
+		var se *stream.StatusError
+		if errors.As(err, &se) {
+			s.status = se.Status
+		}
+		s.err = true
+		return s, 0, int64(n)
+	}
+	s.status = http.StatusOK
+	var ok, bad int64
+	for i, item := range results {
+		if item.Status == http.StatusOK {
+			ok++
+		} else {
+			bad++
+			if i < len(claimed) && claimed[i] {
+				cold.forget(entries[i])
+			}
+		}
+	}
+	return s, ok, bad
+}
+
 // roundTrip measures one request to full-body completion.
 func roundTrip(client *http.Client, req *http.Request) sample {
 	start := time.Now()
@@ -1222,6 +1377,7 @@ func roundTrip(client *http.Client, req *http.Request) sample {
 type config struct {
 	Server      string   `json:"server"`
 	Workload    string   `json:"workload"`
+	Transport   string   `json:"transport,omitempty"`
 	Regions     []string `json:"regions"`
 	DurationS   float64  `json:"duration_s"`
 	Concurrency int      `json:"concurrency"`
@@ -1275,7 +1431,12 @@ type report struct {
 	ItemsPerSec     float64 `json:"items_per_sec"`
 	ReportsPerSec   float64 `json:"reports_per_sec,omitempty"`
 	BytesReceived   int64   `json:"bytes_received"`
-	ColdRequests    int64   `json:"cold_requests"`
+	// StreamDials/StreamRetries appear on -transport stream runs: how many
+	// TCP connections the pooled client opened and how many exchanges it
+	// replayed on a fresh connection after a pooled one failed.
+	StreamDials   int64 `json:"stream_dials,omitempty"`
+	StreamRetries int64 `json:"stream_retries,omitempty"`
+	ColdRequests  int64 `json:"cold_requests"`
 	// Reanchors counts mobility responses whose server-side session moved
 	// onto a new subtree; ReanchorRate is Reanchors over successful
 	// requests. BudgetRejections counts 429s (the user's sliding-window

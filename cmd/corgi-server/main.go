@@ -38,9 +38,17 @@
 // Requests until spend slides out of the window. budget_* counters appear
 // in /v1/stats.
 //
+// -stream-addr ADDR additionally serves the report pipeline over the
+// corgi-stream binary transport (internal/stream): length-prefixed frames
+// on persistent TCP connections, answering from the same registry —
+// sessions, budgets, and error classes identical to HTTP — at a fraction
+// of the per-report cost. Stream counters merge into /v1/stats, and
+// shutdown drains stream connections (GOODBYE frames) alongside HTTP.
+//
 // Usage:
 //
-//	corgi-server [-addr :8080] [-regions sf,nyc,la | -region-config regions.json]
+//	corgi-server [-addr :8080] [-stream-addr :8081]
+//	             [-regions sf,nyc,la | -region-config regions.json]
 //	             [-eps 15] [-height 2] [-spacing 0.1] [-iters 5] [-targets 20]
 //	             [-checkins gowalla.txt] [-seed 0] [-uniform-priors]
 //	             [-workers 0] [-cache-mb 256] [-warmup -1] [-eager]
@@ -56,6 +64,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -68,10 +77,12 @@ import (
 	"corgi/internal/proto"
 	"corgi/internal/registry"
 	"corgi/internal/store"
+	"corgi/internal/stream"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	streamAddr := flag.String("stream-addr", "", "corgi-stream binary transport listen address (empty: disabled)")
 	regions := flag.String("regions", "", "comma-separated builtin region names (default: sf)")
 	regionConfig := flag.String("region-config", "", "JSON region-spec file (overrides -regions)")
 	listRegions := flag.Bool("list-regions", false, "print builtin region names and exit")
@@ -163,6 +174,26 @@ func main() {
 			time.Since(start).Round(time.Millisecond))
 	}
 
+	// The stream listener shares the registry (and so the report pipeline,
+	// sessions, and budget accounting) with the HTTP routes; its counters
+	// surface through GET /v1/stats.
+	var streamSrv *stream.Server
+	var streamLis net.Listener
+	if *streamAddr != "" {
+		streamSrv, err = stream.NewServer(reg, stream.Config{
+			MaxBatch:       *maxBatch,
+			MaxReportCount: *maxReportCount,
+			Timeout:        *requestTimeout,
+		})
+		if err != nil {
+			log.Fatalf("stream: %v", err)
+		}
+		if streamLis, err = net.Listen("tcp", *streamAddr); err != nil {
+			log.Fatalf("stream listen: %v", err)
+		}
+		h.Stream = streamSrv
+	}
+
 	httpSrv := &http.Server{
 		Addr:         *addr,
 		Handler:      h.Mux(),
@@ -170,8 +201,12 @@ func main() {
 		WriteTimeout: *writeTimeout,
 		IdleTimeout:  *idleTimeout,
 	}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+	if streamSrv != nil {
+		go func() { errc <- streamSrv.Serve(streamLis) }()
+		log.Printf("corgi-stream transport on %s", streamLis.Addr())
+	}
 	storeDesc := "no store"
 	if st != nil {
 		storeDesc = "store " + st.Dir()
@@ -193,6 +228,13 @@ func main() {
 	log.Printf("shutting down (draining in-flight requests)")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
+	if streamSrv != nil {
+		// Drain the stream first: clients get GOODBYE frames, in-flight
+		// report frames finish writing, then connections close.
+		if err := streamSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("stream shutdown: %v", err)
+		}
+	}
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
@@ -201,8 +243,14 @@ func main() {
 		// before exit so the next start hydrates them.
 		reg.FlushStores()
 	}
-	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("serve: %v", err)
+	drained := 1
+	if streamSrv != nil {
+		drained = 2
+	}
+	for i := 0; i < drained; i++ {
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, stream.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
 	}
 	log.Printf("bye")
 }

@@ -47,6 +47,7 @@ import (
 	"corgi/internal/registry"
 	"corgi/internal/session"
 	"corgi/internal/store"
+	"corgi/internal/stream"
 )
 
 // Re-exported fundamental types. Aliases keep the public API a strict view
@@ -120,6 +121,25 @@ type (
 	// BudgetAccountant tracks per-user epsilon spend under linear
 	// composition over a sliding window.
 	BudgetAccountant = budget.Accountant
+	// StreamServer serves the report pipeline over the corgi-stream binary
+	// transport (length-prefixed frames on persistent TCP), answering from
+	// the same MultiServer as the HTTP routes.
+	StreamServer = stream.Server
+	// StreamServerConfig tunes a StreamServer (batch/count limits,
+	// per-request timeout, frame-size cap).
+	StreamServerConfig = stream.Config
+	// StreamClient is the pooling, auto-reconnecting corgi-stream client.
+	StreamClient = stream.Client
+	// StreamClientConfig tunes a StreamClient.
+	StreamClientConfig = stream.ClientConfig
+	// StreamRequest is one report request on the stream wire; it mirrors
+	// the HTTP ReportRequest field for field.
+	StreamRequest = stream.Request
+	// StreamResponse is one report response on the stream wire.
+	StreamResponse = stream.Response
+	// StreamStatusError is an application-level stream failure carrying the
+	// same HTTP-equivalent status the JSON routes would have answered.
+	StreamStatusError = stream.StatusError
 )
 
 // ErrBudgetExhausted marks a report rejected because drawing it would push
@@ -273,6 +293,20 @@ func NewMultiServer(specs []RegionSpec, cfg MultiServerConfig) (*MultiServer, er
 	return registry.New(specs, registry.Options{
 		Engine: cfg.Engine, WarmupDelta: warmup, Store: st, Budget: cfg.Budget,
 	})
+}
+
+// NewStreamServer builds a corgi-stream transport server over a
+// MultiServer; serve it on a net.Listener with StreamServer.Serve and
+// drain it with StreamServer.Shutdown.
+func NewStreamServer(ms *MultiServer, cfg StreamServerConfig) (*StreamServer, error) {
+	return stream.NewServer(ms, cfg)
+}
+
+// NewStreamClient builds a corgi-stream client for addr ("host:port").
+// Connections dial lazily, pool after use, and failed pooled exchanges
+// retry once on a fresh connection.
+func NewStreamClient(addr string, cfg StreamClientConfig) *StreamClient {
+	return stream.NewClient(addr, cfg)
 }
 
 // BuiltinRegion returns the builtin spec for a metro name ("sf", "nyc",

@@ -27,6 +27,28 @@ import (
 // the serving layer answers 429 Too Many Requests, not 4xx-invalid.
 var ErrBudgetExhausted = errors.New("budget: per-user epsilon budget exhausted")
 
+// ExhaustedError is the concrete rejection Charge returns: it matches
+// ErrBudgetExhausted under errors.Is, and carries the accounting facts so
+// serving layers can answer with the user's live headroom (the stream
+// transport's 429-class ERROR frame includes eps_remaining) instead of
+// re-querying the accountant.
+type ExhaustedError struct {
+	UID int64
+	// Spent is the user's live window total at rejection time; Limit the
+	// per-window cap and Window the sliding horizon. Remaining is the
+	// headroom left (positive when the cap has room, just not enough for
+	// the rejected request's full cost).
+	Spent, Limit, Remaining float64
+	Window                  time.Duration
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("%v: user %d spent %.4g of %.4g eps in the last %v",
+		ErrBudgetExhausted, e.UID, e.Spent, e.Limit, e.Window)
+}
+
+func (e *ExhaustedError) Unwrap() error { return ErrBudgetExhausted }
+
 // DefaultWindow is the sliding accounting window when Config.Window is not
 // positive.
 const DefaultWindow = time.Hour
@@ -198,8 +220,14 @@ func (a *Accountant) Charge(uid int64, eps float64) (remaining float64, err erro
 	// equal charges accumulates, without admitting a meaningful overdraw.
 	if live+eps > a.cfg.LimitEps*(1+1e-9) {
 		a.rejections++
-		return 0, fmt.Errorf("%w: user %d spent %.4g of %.4g eps in the last %v",
-			ErrBudgetExhausted, uid, live, a.cfg.LimitEps, a.cfg.Window)
+		rem := a.cfg.LimitEps - live
+		if rem < 0 {
+			rem = 0
+		}
+		return 0, &ExhaustedError{
+			UID: uid, Spent: live, Limit: a.cfg.LimitEps, Remaining: rem,
+			Window: a.cfg.Window,
+		}
 	}
 	// Bucket the charge: everything inside one Resolution interval merges
 	// into one event stamped at the interval's end. The fixed stamp is

@@ -41,7 +41,12 @@ const denseRowMark = 0xFFFF
 // MaxDim is the largest matrix dimension the encoding supports.
 const MaxDim = denseRowMark - 1
 
-func quantize(v float64) uint32 {
+// Quantize maps a value in [0, 1] onto the codec's 32-bit fixed point
+// (clamping outside the interval). It is the same per-entry representation
+// the row blobs use, exported so other binary formats — the stream
+// transport encodes report coordinates with it — share one quantization
+// with one documented error bound (0.5/(2^32-1) per entry).
+func Quantize(v float64) uint32 {
 	if v <= 0 {
 		return 0
 	}
@@ -51,7 +56,9 @@ func quantize(v float64) uint32 {
 	return uint32(math.Round(v * quantScale))
 }
 
-func dequantize(q uint32) float64 { return float64(q) / quantScale }
+// Dequantize inverts Quantize. Quantize(Dequantize(q)) == q for every q,
+// the idempotence the store and ETag machinery rely on.
+func Dequantize(q uint32) float64 { return float64(q) / quantScale }
 
 // EncodeMatrix packs a matrix into the quantized row-sparse binary blob.
 func EncodeMatrix(m *obf.Matrix) ([]byte, error) {
@@ -65,7 +72,7 @@ func EncodeMatrix(m *obf.Matrix) ([]byte, error) {
 		row := m.Row(i)
 		nnz := 0
 		for j, v := range row {
-			qrow[j] = quantize(v)
+			qrow[j] = Quantize(v)
 			if qrow[j] != 0 {
 				nnz++
 			}
@@ -116,7 +123,7 @@ func DecodeMatrix(data []byte, dim int) (*obf.Matrix, error) {
 				return nil, err
 			}
 			for j := 0; j < dim; j++ {
-				row[j] = dequantize(binary.LittleEndian.Uint32(data[off:]))
+				row[j] = Dequantize(binary.LittleEndian.Uint32(data[off:]))
 				off += 4
 			}
 			continue
@@ -133,7 +140,7 @@ func DecodeMatrix(data []byte, dim int) (*obf.Matrix, error) {
 			if int(col) >= dim {
 				return nil, fmt.Errorf("codec: row %d column %d out of range", i, col)
 			}
-			row[col] = dequantize(binary.LittleEndian.Uint32(data[off:]))
+			row[col] = Dequantize(binary.LittleEndian.Uint32(data[off:]))
 			off += 4
 		}
 	}

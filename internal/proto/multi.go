@@ -15,6 +15,7 @@ import (
 	"corgi/internal/core"
 	"corgi/internal/registry"
 	"corgi/internal/session"
+	"corgi/internal/stream"
 )
 
 // DefaultMaxBatch bounds the item count of one POST /v1/forests request.
@@ -77,7 +78,8 @@ type BatchForestResponse struct {
 // MultiStatsResponse reports per-region engine counters plus the
 // fleet-wide aggregate, and the same split for report-session and
 // epsilon-budget counters. Only bootstrapped regions appear under the
-// per-region maps; the budget maps are empty when accounting is disabled.
+// per-region maps; the budget maps are empty when accounting is disabled,
+// and Stream only appears when a corgi-stream listener is attached.
 type MultiStatsResponse struct {
 	Regions       map[string]StatsResponse `json:"regions"`
 	Total         StatsResponse            `json:"total"`
@@ -86,6 +88,7 @@ type MultiStatsResponse struct {
 	SessionsTotal session.Stats            `json:"sessions_total"`
 	Budget        map[string]budget.Stats  `json:"budget,omitempty"`
 	BudgetTotal   *budget.Stats            `json:"budget_total,omitempty"`
+	Stream        *stream.Stats            `json:"stream,omitempty"`
 }
 
 // MultiHandler serves the region-addressed CORGI API over a registry of
@@ -117,6 +120,9 @@ type MultiHandler struct {
 	// MaxReportCount caps the draws of one report request. <= 0 uses
 	// DefaultMaxReportCount.
 	MaxReportCount int
+	// Stream, when set, merges the binary stream transport's counters
+	// into GET /v1/stats so both transports report through one endpoint.
+	Stream *stream.Server
 }
 
 // NewMultiHandler wires a region registry into an http.Handler.
@@ -237,6 +243,10 @@ func (h *MultiHandler) handleStats(w http.ResponseWriter, r *http.Request) {
 			total.Merge(s)
 		}
 		resp.BudgetTotal = &total
+	}
+	if h.Stream != nil {
+		ss := h.Stream.Stats()
+		resp.Stream = &ss
 	}
 	writeJSON(w, resp)
 }

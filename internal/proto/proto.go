@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"corgi/internal/core"
@@ -209,6 +210,40 @@ func etagMatches(header, etag string) bool {
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	writeJSONAs(w, nil, "application/json", v)
+}
+
+// jsonBufPool recycles encode buffers for the report hot paths: at a few
+// kilobytes per response, per-request buffers are the dominant handler
+// allocation once the pipeline itself stops allocating.
+var jsonBufPool = sync.Pool{
+	New: func() interface{} { return new(bytes.Buffer) },
+}
+
+// writeJSONPooled is writeJSONAs with a pooled encode buffer, for hot
+// JSON routes (the report paths). Marshal failures still become a clean
+// 500 before any body byte is written.
+func writeJSONPooled(w http.ResponseWriter, r *http.Request, v interface{}) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufPool.Put(buf)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeRaw(w, r, "application/json", buf.Bytes())
+	// A rare huge batch response should not pin its buffer in the pool.
+	if buf.Cap() <= 1<<20 {
+		jsonBufPool.Put(buf)
+	}
+}
+
+// drainBody consumes what remains of a response body (bounded, so a
+// misbehaving server cannot hold the client) before the caller closes it.
+// An HTTP/1.1 connection only returns to the keep-alive pool when its
+// body has been read to EOF; closing early tears the connection down and
+// the next request pays a fresh TCP (and possibly TLS) setup.
+func drainBody(body io.Reader) {
+	io.Copy(io.Discard, io.LimitReader(body, 64<<10))
 }
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -419,9 +454,19 @@ type Client struct {
 	ForceV1 bool
 }
 
-// NewClient targets a server base URL (e.g. "http://127.0.0.1:8080").
+// NewClient targets a server base URL (e.g. "http://127.0.0.1:8080"). The
+// client gets its own transport with an idle-connection pool sized for
+// concurrent callers: the shared DefaultTransport keeps only 2 idle
+// connections per host, which under a concurrent workload (the loadgen,
+// batch fan-outs) tears down and re-dials keep-alive connections
+// constantly.
 func NewClient(base string) *Client {
-	return &Client{base: base, http: &http.Client{Timeout: 10 * time.Minute}}
+	tr := &http.Transport{
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &Client{base: base, http: &http.Client{Transport: tr, Timeout: 10 * time.Minute}}
 }
 
 // NewRegionClient targets one named region of a multi-region server.
@@ -550,6 +595,7 @@ func (c *Client) FetchForestTagged(tree *loctree.Tree, privacyLevel, delta int, 
 		return nil, err
 	}
 	defer resp.Body.Close()
+	defer drainBody(resp.Body)
 	if resp.StatusCode == http.StatusNotModified {
 		etag := resp.Header.Get("ETag")
 		if etag == "" {
@@ -618,6 +664,7 @@ func (c *Client) FetchForestBatch(items []BatchItem) (*BatchForestResponse, erro
 		return nil, err
 	}
 	defer resp.Body.Close()
+	defer drainBody(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return nil, fmt.Errorf("proto: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
@@ -684,6 +731,7 @@ func (c *Client) getJSON(path string, v interface{}) error {
 		return err
 	}
 	defer resp.Body.Close()
+	defer drainBody(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return fmt.Errorf("proto: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -95,26 +94,11 @@ type BatchReportResponse struct {
 }
 
 // reportErrStatus maps a report-pipeline error to an HTTP status, shared
-// by the single and batch paths: unknown regions are 404, caller-side
-// rejections (bad cell, invalid policy, over-budget prune set) 422, an
-// exhausted per-user epsilon budget 429 (the budget regenerates as the
-// accounting window slides, so Too Many Requests is the honest class),
-// interrupted work 5xx, and anything else a server fault.
+// by the single and batch paths. The classification lives in
+// registry.ReportErrStatus so the binary stream transport answers from
+// the identical table — a given failure is the same class on every wire.
 func reportErrStatus(err error) (int, string) {
-	switch {
-	case errors.Is(err, registry.ErrUnknownRegion):
-		return http.StatusNotFound, err.Error()
-	case errors.Is(err, registry.ErrBudgetExhausted):
-		return http.StatusTooManyRequests, err.Error()
-	case errors.Is(err, registry.ErrBadReport):
-		return http.StatusUnprocessableEntity, err.Error()
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout, "report timed out: " + err.Error()
-	case errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable, "request canceled"
-	default:
-		return http.StatusInternalServerError, err.Error()
-	}
+	return registry.ReportErrStatus(err)
 }
 
 // resolveReport translates one wire request into the registry pipeline.
@@ -179,7 +163,7 @@ func (h *MultiHandler) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, msg, status)
 		return
 	}
-	writeJSONAs(w, r, "application/json", resp)
+	writeJSONPooled(w, r, resp)
 }
 
 // handleReports serves POST /v1/reports: a batch of report draws with
@@ -223,7 +207,7 @@ func (h *MultiHandler) handleReports(w http.ResponseWriter, r *http.Request) {
 		}(i, item)
 	}
 	wg.Wait()
-	writeJSONAs(w, r, "application/json", resp)
+	writeJSONPooled(w, r, resp)
 }
 
 // Report draws obfuscated reports from the server-side pipeline. A client
@@ -260,7 +244,11 @@ func (c *Client) ReportBatch(items []ReportRequest) (*BatchReportResponse, error
 	return &resp, nil
 }
 
-// postJSON posts a JSON body and decodes a JSON response.
+// postJSON posts a JSON body and decodes a JSON response. Every return
+// path fully drains the response body first, so the keep-alive connection
+// goes back to the transport's pool instead of being torn down — without
+// the drain, error responses and decoder-trailing bytes force a fresh TCP
+// connection per affected request.
 func (c *Client) postJSON(path string, body, v interface{}) error {
 	data, err := json.Marshal(body)
 	if err != nil {
@@ -271,6 +259,7 @@ func (c *Client) postJSON(path string, body, v interface{}) error {
 		return err
 	}
 	defer resp.Body.Close()
+	defer drainBody(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return fmt.Errorf("proto: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 
 	"corgi/internal/budget"
 	"corgi/internal/core"
@@ -23,6 +24,44 @@ var ErrBadReport = errors.New("bad report request")
 // serving layers can classify it (429 Too Many Requests) without importing
 // internal/budget directly.
 var ErrBudgetExhausted = budget.ErrBudgetExhausted
+
+// ReportErrStatus maps a report-pipeline error to an HTTP-equivalent
+// status and message. It is the single classification every transport
+// shares — the HTTP handlers (internal/proto) and the binary stream
+// transport (internal/stream) both answer from it, so a given failure is
+// the same class on every wire: unknown regions are 404, caller-side
+// rejections (bad cell, invalid policy, over-budget prune set) 422, an
+// exhausted per-user epsilon budget 429 (the budget regenerates as the
+// accounting window slides, so Too Many Requests is the honest class),
+// interrupted work 5xx, and anything else a server fault.
+func ReportErrStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrUnknownRegion):
+		return http.StatusNotFound, err.Error()
+	case errors.Is(err, ErrBudgetExhausted):
+		return http.StatusTooManyRequests, err.Error()
+	case errors.Is(err, ErrBadReport):
+		return http.StatusUnprocessableEntity, err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "report timed out: " + err.Error()
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "request canceled"
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
+}
+
+// BudgetRemaining extracts the user's live epsilon headroom from a
+// 429-class rejection (0, false for any other error), letting transports
+// report eps_remaining on budget rejections without a second accountant
+// query.
+func BudgetRemaining(err error) (float64, bool) {
+	var ex *budget.ExhaustedError
+	if errors.As(err, &ex) {
+		return ex.Remaining, true
+	}
+	return 0, false
+}
 
 // ReportRequest is one user's report ask: which region, which true leaf
 // cell, the inline customization policy, and the draw parameters. Serving

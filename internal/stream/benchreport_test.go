@@ -1,0 +1,279 @@
+package stream_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"corgi/internal/hexgrid"
+	"corgi/internal/policy"
+	"corgi/internal/proto"
+	"corgi/internal/registry"
+	"corgi/internal/stream"
+
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+)
+
+// benchTarget is one (region, cell) the closed loop cycles through.
+type benchTarget struct {
+	region string
+	cell   [2]int
+}
+
+// benchSetup bootstraps the three-region registry both transports share
+// in spirit (each caller builds its own so sessions replay identically)
+// and returns its warm targets.
+func benchSetup(tb testing.TB) (*registry.Registry, []benchTarget) {
+	tb.Helper()
+	specs := streamSpecs("bench-a", "bench-b", "bench-c")
+	reg, err := registry.New(specs, registry.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := reg.BootstrapAll(ctx); err != nil {
+		tb.Fatal(err)
+	}
+	var targets []benchTarget
+	for _, spec := range specs {
+		sh, err := reg.Shard(ctx, spec.Name)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for _, leaf := range sh.Server.Tree().LevelNodes(0)[:8] {
+			targets = append(targets, benchTarget{spec.Name, [2]int{leaf.Coord.Q, leaf.Coord.R}})
+		}
+	}
+	// Warm every (region, subtree) entry so measurement is steady state,
+	// not LP solves.
+	for i, tg := range targets {
+		if _, err := reg.Report(ctx, registry.ReportRequest{
+			Region: tg.region,
+			Cell:   hexgrid.Coord{Q: tg.cell[0], R: tg.cell[1]},
+			UID:    int64(i % 32),
+			Policy: policy.Policy{PrivacyLevel: 1},
+			Seed:   int64(i % 32),
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return reg, targets
+}
+
+const benchReportCount = 16 // draws per request, both transports
+
+// BenchmarkReportHTTP measures one POST /v1/report round trip — JSON
+// encode, HTTP framing, handler, JSON response — on a warm server.
+func BenchmarkReportHTTP(b *testing.B) {
+	reg, targets := benchSetup(b)
+	h, err := proto.NewMultiHandler(reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+	c := proto.NewClient(srv.URL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg := targets[i%len(targets)]
+		if _, err := c.Report(proto.ReportRequest{
+			Region: tg.region, Cell: tg.cell, UID: int64(i % 32),
+			Policy: policy.Policy{PrivacyLevel: 1}, Seed: int64(i % 32),
+			Count: benchReportCount,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReportStream measures the same request as one REPORT frame
+// exchange on a persistent corgi-stream connection.
+func BenchmarkReportStream(b *testing.B) {
+	reg, targets := benchSetup(b)
+	_, addr := startStreamB(b, reg)
+	c := stream.NewClient(addr, stream.ClientConfig{Timeout: 30 * time.Second})
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg := targets[i%len(targets)]
+		if _, err := c.Report(stream.Request{
+			Region: tg.region, Cell: tg.cell, UID: int64(i % 32),
+			Policy: policy.Policy{PrivacyLevel: 1}, Seed: int64(i % 32),
+			Count: benchReportCount,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// startStreamB is startStream for benchmarks (testing.TB has no Cleanup
+// ordering guarantee worth relying on mid-benchmark).
+func startStreamB(tb testing.TB, reg *registry.Registry) (*stream.Server, string) {
+	tb.Helper()
+	srv, err := stream.NewServer(reg, stream.Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	go srv.Serve(lis)
+	tb.Cleanup(func() { srv.Close() })
+	return srv, lis.Addr().String()
+}
+
+// benchPR6Report is the BENCH_pr6.json shape consumed by CI: both
+// transports' sustained request rates on the same three-region setup,
+// measured closed-loop with identical workloads.
+type benchPR6Report struct {
+	HTTPReqPerSec   float64 `json:"http_req_per_sec"`
+	StreamReqPerSec float64 `json:"stream_req_per_sec"`
+	// Speedup = stream / http; the acceptance bar is >= 20.
+	Speedup     float64 `json:"stream_speedup"`
+	Regions     int     `json:"regions"`
+	Concurrency int     `json:"concurrency"`
+	ReportCount int     `json:"report_count"`
+	// Bytes per request on each wire (response traffic / requests).
+	HTTPBytesPerReq   float64 `json:"http_bytes_per_req"`
+	StreamBytesPerReq float64 `json:"stream_bytes_per_req"`
+}
+
+// closedLoop drives issue from workers goroutines for the window and
+// returns sustained requests/second.
+func closedLoop(t *testing.T, workers int, window time.Duration, issue func(w, i int) error) float64 {
+	t.Helper()
+	var (
+		wg    sync.WaitGroup
+		total int64
+		mu    sync.Mutex
+		first error
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 0
+			for time.Since(start) < window {
+				if err := issue(w, n); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+				n++
+			}
+			mu.Lock()
+			total += int64(n)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if first != nil {
+		t.Fatal(first)
+	}
+	return float64(total) / time.Since(start).Seconds()
+}
+
+// TestBenchReportPR6 writes BENCH_pr6.json for the CI benchmark artifact:
+// HTTP+JSON vs corgi-stream on the same three-region setup, same closed
+// loop, same draw counts. Skipped unless BENCH_PR6_OUT names the output
+// path, so regular test runs stay fast.
+func TestBenchReportPR6(t *testing.T) {
+	out := os.Getenv("BENCH_PR6_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PR6_OUT=path to generate the benchmark report")
+	}
+	const (
+		workers = 8
+		window  = 2 * time.Second
+	)
+
+	// HTTP+JSON. Fresh registry so both transports replay identical
+	// session streams.
+	regHTTP, targets := benchSetup(t)
+	h, err := proto.NewMultiHandler(regHTTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsrv := httptest.NewServer(h.Mux())
+	defer hsrv.Close()
+	hc := proto.NewClient(hsrv.URL)
+	httpRate := closedLoop(t, workers, window, func(w, i int) error {
+		tg := targets[(w*31+i)%len(targets)]
+		_, err := hc.Report(proto.ReportRequest{
+			Region: tg.region, Cell: tg.cell, UID: int64(w),
+			Policy: policy.Policy{PrivacyLevel: 1}, Seed: int64(w),
+			Count: benchReportCount,
+		})
+		return err
+	})
+
+	// corgi-stream, identical workload.
+	regStream, _ := benchSetup(t)
+	streamSrv, addr := startStreamB(t, regStream)
+	sc := stream.NewClient(addr, stream.ClientConfig{
+		Timeout: 30 * time.Second, MaxIdleConns: workers,
+	})
+	defer sc.Close()
+	streamRate := closedLoop(t, workers, window, func(w, i int) error {
+		tg := targets[(w*31+i)%len(targets)]
+		_, err := sc.Report(stream.Request{
+			Region: tg.region, Cell: tg.cell, UID: int64(w),
+			Policy: policy.Policy{PrivacyLevel: 1}, Seed: int64(w),
+			Count: benchReportCount,
+		})
+		return err
+	})
+
+	// One raw round trip sizes the HTTP response body (headers excluded,
+	// which flatters HTTP); the stream side divides actual wire bytes by
+	// answered requests.
+	rawBody, _ := json.Marshal(proto.ReportRequest{
+		Region: targets[0].region, Cell: targets[0].cell, UID: 0,
+		Policy: policy.Policy{PrivacyLevel: 1}, Seed: 0, Count: benchReportCount,
+	})
+	rawResp, err := http.Post(hsrv.URL+"/v1/report", "application/json", bytes.NewReader(rawBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpRespBytes, _ := io.Copy(io.Discard, rawResp.Body)
+	rawResp.Body.Close()
+
+	speedup := streamRate / httpRate
+	st := streamSrv.Stats()
+	cs := sc.Stats()
+	rep := benchPR6Report{
+		HTTPReqPerSec:     math.Round(httpRate),
+		StreamReqPerSec:   math.Round(streamRate),
+		Speedup:           math.Round(speedup*10) / 10,
+		Regions:           3,
+		Concurrency:       workers,
+		ReportCount:       benchReportCount,
+		HTTPBytesPerReq:   float64(httpRespBytes),
+		StreamBytesPerReq: math.Round(float64(cs.BytesIn) / math.Max(1, float64(st.Reports))),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("BENCH_pr6: %s\n", data)
+	if speedup < 20 {
+		t.Fatalf("stream sustained only %.1fx the HTTP+JSON rate (acceptance: >= 20x)", speedup)
+	}
+}

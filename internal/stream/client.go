@@ -1,0 +1,419 @@
+package stream
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClientClosed marks calls on a closed client.
+var ErrClientClosed = errors.New("stream: client closed")
+
+// ErrDraining marks an exchange abandoned because the server said GOODBYE
+// and closed before the response arrived.
+var ErrDraining = errors.New("stream: server draining")
+
+// DefaultMaxIdleConns bounds the client's idle-connection pool.
+const DefaultMaxIdleConns = 16
+
+// ClientConfig tunes a stream Client.
+type ClientConfig struct {
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// Timeout bounds one exchange end to end — write through response —
+	// via connection deadlines; zero means no deadline.
+	Timeout time.Duration
+	// MaxFrameBytes bounds one received frame (default 4 MiB, matching the
+	// server).
+	MaxFrameBytes int
+	// MaxIdleConns bounds the pooled idle connections (default 16). Active
+	// connections are unbounded: each concurrent caller holds one
+	// exclusively for the duration of its exchange.
+	MaxIdleConns int
+	// Region, when set, fills empty request regions, mirroring
+	// proto.NewRegionClient.
+	Region string
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if c.MaxIdleConns <= 0 {
+		c.MaxIdleConns = DefaultMaxIdleConns
+	}
+	return c
+}
+
+// ClientStats snapshots a client's transfer counters.
+type ClientStats struct {
+	Dials    uint64 `json:"dials"`
+	Retries  uint64 `json:"retries"`
+	BytesIn  uint64 `json:"bytes_in"`
+	BytesOut uint64 `json:"bytes_out"`
+}
+
+// Client speaks corgi-stream to one server address with connection
+// pooling and auto-reconnect: exchanges check a connection out of the
+// idle pool (dialing and re-negotiating HELLO/WELCOME when empty), hold
+// it exclusively, and return it on success. An I/O failure on a pooled
+// connection — the server restarted, said GOODBYE, or the conn idled out —
+// closes it and retries once on a freshly dialed one, the same
+// stale-keep-alive retry semantics HTTP clients apply. Application-level
+// rejections come back as *StatusError and leave the connection healthy.
+//
+// Client is safe for concurrent use; each concurrent exchange holds its
+// own connection, so per-user FIFO ordering is the caller's to arrange
+// (one goroutine per user stream, as corgi-loadgen does).
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	mu     sync.Mutex
+	idle   []*clientConn // LIFO: most recently used first
+	closed bool
+
+	dials    atomic.Uint64
+	retries  atomic.Uint64
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+}
+
+// clientConn is one negotiated connection.
+type clientConn struct {
+	conn net.Conn
+	fr   *frameReader
+	// nextID numbers exchanges on this connection; responses echo it, and
+	// a mismatch is a protocol fault (the exchange pattern is strictly
+	// serial per connection).
+	nextID uint32
+	// maxBatch and maxCount are the server's advertised limits.
+	maxBatch int
+	maxCount int
+	draining bool
+}
+
+// NewClient targets a server stream address (host:port).
+func NewClient(addr string, cfg ClientConfig) *Client {
+	return &Client{addr: addr, cfg: cfg.withDefaults()}
+}
+
+// dial opens and negotiates a fresh connection.
+func (c *Client) dial() (*clientConn, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.dials.Add(1)
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Frames are written whole; batching them behind Nagle only adds
+		// latency to the request/response pattern.
+		tc.SetNoDelay(true)
+	}
+	cc := &clientConn{
+		conn: conn,
+		fr: newFrameReader(
+			bufio.NewReaderSize(countingReader{r: conn, n: &c.bytesIn}, 64<<10),
+			c.cfg.MaxFrameBytes,
+		),
+	}
+	if err := c.handshake(cc); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return cc, nil
+}
+
+// handshake sends HELLO and validates WELCOME.
+func (c *Client) handshake(cc *clientConn) error {
+	if c.cfg.DialTimeout > 0 {
+		cc.conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+		defer cc.conn.SetDeadline(time.Time{})
+	}
+	bp := getFrame(frameHello)
+	*bp = append(*bp, Magic...)
+	*bp = append(*bp, Version, Version)
+	if err := c.writeFrame(cc, bp); err != nil {
+		return err
+	}
+	ftype, payload, err := cc.fr.next()
+	if err != nil {
+		return fmt.Errorf("stream: handshake failed: %w", err)
+	}
+	if ftype == frameError {
+		return decodeErrorFrame(payload)
+	}
+	if ftype != frameWelcome {
+		return fmt.Errorf("stream: expected WELCOME, got frame type %d", ftype)
+	}
+	d := decoder{b: payload}
+	if v := d.u8(); v != Version {
+		return fmt.Errorf("stream: server negotiated unsupported version %d", v)
+	}
+	cc.maxBatch = int(d.uvarint())
+	cc.maxCount = int(d.uvarint())
+	if err := d.done("WELCOME"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c *Client) writeFrame(cc *clientConn, bp *[]byte) error {
+	b := finishFrame(*bp)
+	n, err := cc.conn.Write(b)
+	c.bytesOut.Add(uint64(n))
+	putFrame(bp)
+	return err
+}
+
+// getConn checks a connection out of the pool, dialing when empty.
+// reused reports whether the connection might be stale (and so a failed
+// exchange should retry on a fresh one).
+func (c *Client) getConn() (cc *clientConn, reused bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, ErrClientClosed
+	}
+	if n := len(c.idle); n > 0 {
+		cc = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, true, nil
+	}
+	c.mu.Unlock()
+	cc, err = c.dial()
+	return cc, false, err
+}
+
+// putConn returns a healthy connection to the pool.
+func (c *Client) putConn(cc *clientConn) {
+	if cc.draining {
+		cc.conn.Close()
+		return
+	}
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= c.cfg.MaxIdleConns {
+		c.mu.Unlock()
+		cc.conn.Close()
+		return
+	}
+	c.idle = append(c.idle, cc)
+	c.mu.Unlock()
+}
+
+// Close closes the client and its pooled connections. In-flight
+// exchanges finish on their checked-out connections, which then close on
+// return.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, cc := range idle {
+		// A GOODBYE tells the server this close is deliberate, not a torn
+		// connection. Best effort.
+		bp := getFrame(frameGoodbye)
+		*bp = appendString(*bp, "client closing")
+		c.writeFrame(cc, bp)
+		cc.conn.Close()
+	}
+	return nil
+}
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Dials:    c.dials.Load(),
+		Retries:  c.retries.Load(),
+		BytesIn:  c.bytesIn.Load(),
+		BytesOut: c.bytesOut.Load(),
+	}
+}
+
+// decodeErrorFrame turns an ERROR payload into a *StatusError.
+func decodeErrorFrame(payload []byte) error {
+	d := decoder{b: payload}
+	d.u32() // reqID, already matched by the caller (0 for connection-level)
+	se := &StatusError{Status: int(d.u16())}
+	if d.u8()&errFlagEpsRemaining != 0 {
+		se.EpsRemaining = d.f64()
+		se.HasEpsRemaining = true
+	}
+	se.Msg = d.str()
+	if d.err != nil {
+		return fmt.Errorf("stream: malformed ERROR frame: %w", d.err)
+	}
+	return se
+}
+
+// exchange writes one request frame and reads its matching response,
+// tolerating a GOODBYE notice in between (the server drains in-flight
+// work before closing, so the response is still coming).
+func (c *Client) exchange(cc *clientConn, bp *[]byte, reqID uint32, wantType byte) ([]byte, error) {
+	if c.cfg.Timeout > 0 {
+		cc.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+		defer cc.conn.SetDeadline(time.Time{})
+	}
+	if err := c.writeFrame(cc, bp); err != nil {
+		return nil, err
+	}
+	for {
+		ftype, payload, err := cc.fr.next()
+		if err != nil {
+			if cc.draining && (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+				return nil, ErrDraining
+			}
+			return nil, err
+		}
+		switch ftype {
+		case frameGoodbye:
+			cc.draining = true
+			continue
+		case frameError:
+			d := decoder{b: payload}
+			if id := d.u32(); d.err == nil && id != reqID && id != 0 {
+				return nil, fmt.Errorf("stream: ERROR for request %d while waiting for %d", id, reqID)
+			}
+			return nil, decodeErrorFrame(payload)
+		case wantType:
+			d := decoder{b: payload}
+			if id := d.u32(); d.err != nil || id != reqID {
+				return nil, fmt.Errorf("stream: response for request %d while waiting for %d", id, reqID)
+			}
+			return payload[4:], nil
+		default:
+			return nil, fmt.Errorf("stream: unexpected frame type %d", ftype)
+		}
+	}
+}
+
+// retryable reports whether an exchange error may be cured by a fresh
+// connection: transport faults yes, application rejections no.
+func retryable(err error) bool {
+	var se *StatusError
+	return !errors.As(err, &se)
+}
+
+// Report draws obfuscated reports over the stream, mirroring
+// proto.Client.Report. A configured Region fills an empty request region.
+func (c *Client) Report(req Request) (*Response, error) {
+	if req.Region == "" {
+		req.Region = c.cfg.Region
+	}
+	var resp *Response
+	err := c.withConn(func(cc *clientConn) error {
+		cc.nextID++
+		reqID := cc.nextID
+		bp := getFrame(frameReport)
+		*bp = appendU32(*bp, reqID)
+		*bp = appendRequest(*bp, &req)
+		payload, err := c.exchange(cc, bp, reqID, frameReportOK)
+		if err != nil {
+			return err
+		}
+		d := decoder{b: payload}
+		r, err := d.decodeResponse()
+		if err == nil {
+			err = d.done("REPORT_OK")
+		}
+		resp = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ReportBatch draws for many requests in one REPORTS round trip,
+// mirroring proto.Client.ReportBatch: per-item outcomes come back in
+// request order with their own statuses, and the caller's slice is not
+// modified (a configured Region fills empty item regions on the wire).
+func (c *Client) ReportBatch(items []Request) ([]ItemResult, error) {
+	var results []ItemResult
+	err := c.withConn(func(cc *clientConn) error {
+		cc.nextID++
+		reqID := cc.nextID
+		bp := getFrame(frameReports)
+		*bp = appendU32(*bp, reqID)
+		*bp = appendUvarints(*bp, uint64(len(items)))
+		for i := range items {
+			if items[i].Region == "" && c.cfg.Region != "" {
+				it := items[i]
+				it.Region = c.cfg.Region
+				*bp = appendRequest(*bp, &it)
+			} else {
+				*bp = appendRequest(*bp, &items[i])
+			}
+		}
+		payload, err := c.exchange(cc, bp, reqID, frameReportsOK)
+		if err != nil {
+			return err
+		}
+		d := decoder{b: payload}
+		n := d.uvarint()
+		if d.err != nil {
+			return d.err
+		}
+		if n != uint64(len(items)) {
+			return fmt.Errorf("stream: batch answered %d items for %d requests", n, len(items))
+		}
+		out := make([]ItemResult, 0, n)
+		for i := uint64(0); i < n; i++ {
+			it, err := d.decodeItem()
+			if err != nil {
+				return err
+			}
+			out = append(out, it)
+		}
+		if err := d.done("REPORTS_OK"); err != nil {
+			return err
+		}
+		results = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// withConn runs one exchange with checkout, pooling, and the retry-once
+// reconnect policy.
+func (c *Client) withConn(fn func(cc *clientConn) error) error {
+	for attempt := 0; ; attempt++ {
+		cc, reused, err := c.getConn()
+		if err != nil {
+			return err
+		}
+		err = fn(cc)
+		if err == nil {
+			c.putConn(cc)
+			return nil
+		}
+		if !retryable(err) {
+			// Application-level rejection: the connection is fine.
+			c.putConn(cc)
+			return err
+		}
+		cc.conn.Close()
+		if reused && attempt == 0 {
+			// A pooled connection can be stale (server restarted or drained
+			// while it idled); one fresh dial retries the exchange. Failures
+			// on a fresh connection are real and surface.
+			c.retries.Add(1)
+			continue
+		}
+		return err
+	}
+}

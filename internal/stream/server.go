@@ -1,0 +1,538 @@
+package stream
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corgi/internal/registry"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown or Close, mirroring
+// http.ErrServerClosed so callers can treat a drained listener as clean.
+var ErrServerClosed = errors.New("stream: server closed")
+
+// DefaultHandshakeTimeout bounds how long a fresh connection may sit
+// before completing HELLO; slots are cheap but not free.
+const DefaultHandshakeTimeout = 10 * time.Second
+
+// Config tunes a stream Server. The zero value matches the HTTP handler's
+// defaults, so the two transports enforce the same request limits.
+type Config struct {
+	// MaxBatch caps the items of one REPORTS frame (default 64, matching
+	// proto.DefaultMaxBatch).
+	MaxBatch int
+	// MaxReportCount caps the draws of one report request (default 1000,
+	// matching proto.DefaultMaxReportCount).
+	MaxReportCount int
+	// Timeout bounds each frame's report work (the whole batch for
+	// REPORTS); zero means no per-frame deadline.
+	Timeout time.Duration
+	// MaxFrameBytes bounds one frame's type+payload (default 4 MiB).
+	MaxFrameBytes int
+	// HandshakeTimeout bounds the HELLO wait on a fresh connection.
+	HandshakeTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxReportCount <= 0 {
+		c.MaxReportCount = 1000
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of a stream server's counters,
+// merged into GET /v1/stats alongside the engine and session counters.
+type Stats struct {
+	// ConnsTotal counts accepted connections over the server's lifetime;
+	// ConnsActive is the live count. Handshakes counts completed HELLO/
+	// WELCOME negotiations (a port scanner accepts but never negotiates).
+	ConnsTotal  uint64 `json:"conns_total"`
+	ConnsActive int64  `json:"conns_active"`
+	Handshakes  uint64 `json:"handshakes"`
+	FramesIn    uint64 `json:"frames_in"`
+	FramesOut   uint64 `json:"frames_out"`
+	BytesIn     uint64 `json:"bytes_in"`
+	BytesOut    uint64 `json:"bytes_out"`
+	// Reports counts resolved report requests (batch items included via
+	// BatchItems; Batches counts REPORTS frames).
+	Reports    uint64 `json:"reports"`
+	Batches    uint64 `json:"batches"`
+	BatchItems uint64 `json:"batch_items"`
+	// ErrorFrames counts ERROR frames sent (application rejections and
+	// protocol faults alike); Oversized counts frames refused for size.
+	ErrorFrames uint64 `json:"error_frames"`
+	Oversized   uint64 `json:"oversized_frames"`
+	// GoodbyesSent counts drain notices sent during Shutdown.
+	GoodbyesSent uint64 `json:"goodbyes_sent"`
+}
+
+// Server speaks the corgi-stream protocol over raw TCP listeners,
+// answering every report from the same Registry.Report pipeline the HTTP
+// routes use — session re-anchoring, epsilon accounting, and error
+// classes are identical across transports by construction.
+type Server struct {
+	reg *registry.Registry
+	cfg Config
+
+	// interned maps region-name bytes to the registry's canonical spec
+	// names, so the per-frame decode of a known region allocates nothing.
+	interned map[string]string
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*serverConn]struct{}
+	closed    bool
+
+	connWG   sync.WaitGroup // one per accepted connection
+	inflight sync.WaitGroup // one per frame being processed
+
+	connsTotal  atomic.Uint64
+	connsActive atomic.Int64
+	handshakes  atomic.Uint64
+	framesIn    atomic.Uint64
+	framesOut   atomic.Uint64
+	bytesIn     atomic.Uint64
+	bytesOut    atomic.Uint64
+	reports     atomic.Uint64
+	batches     atomic.Uint64
+	batchItems  atomic.Uint64
+	errorFrames atomic.Uint64
+	oversized   atomic.Uint64
+	goodbyes    atomic.Uint64
+}
+
+// NewServer wires a region registry into a stream server.
+func NewServer(reg *registry.Registry, cfg Config) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("stream: nil registry")
+	}
+	s := &Server{
+		reg:       reg,
+		cfg:       cfg.withDefaults(),
+		interned:  make(map[string]string),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*serverConn]struct{}),
+	}
+	// The region set is fixed at registry construction, so the intern
+	// table is immutable after this loop — lookups need no lock. The empty
+	// name aliases the default region, matching the HTTP routes.
+	for _, name := range reg.Names() {
+		s.interned[name] = name
+	}
+	s.interned[""] = ""
+	return s, nil
+}
+
+// intern returns the canonical string for a region name's bytes without
+// allocating for known regions (the map lookup with a string(b) key does
+// not escape). Unknown names allocate and then fail resolution with 404.
+func (s *Server) intern(b []byte) string {
+	if name, ok := s.interned[string(b)]; ok {
+		return name
+	}
+	return string(b)
+}
+
+// serverConn is one accepted connection's state.
+type serverConn struct {
+	srv  *Server
+	conn net.Conn
+
+	// wmu serializes frame writes: the conn's own responses interleave
+	// with Shutdown's GOODBYE from another goroutine.
+	wmu sync.Mutex
+}
+
+func (sc *serverConn) writeFrame(bp *[]byte) error {
+	b := finishFrame(*bp)
+	sc.wmu.Lock()
+	n, err := sc.conn.Write(b)
+	sc.wmu.Unlock()
+	sc.srv.bytesOut.Add(uint64(n))
+	sc.srv.framesOut.Add(1)
+	putFrame(bp)
+	return err
+}
+
+// Serve accepts connections on lis until Shutdown or Close, then returns
+// ErrServerClosed. One server may serve several listeners.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return ErrServerClosed
+	}
+	s.listeners[lis] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, lis)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		sc := &serverConn{srv: s, conn: conn}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[sc] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		s.connsTotal.Add(1)
+		s.connsActive.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			defer s.connsActive.Add(-1)
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, sc)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.serveConn(sc)
+		}()
+	}
+}
+
+// countingReader feeds the frame reader while accounting received bytes.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(uint64(n))
+	return n, err
+}
+
+// serveConn runs one connection: handshake, then frames in FIFO order.
+// Processing is sequential per connection — that ordering is the session
+// stickiness contract: one user's pipelined reports on one connection
+// resolve in send order, so their draw sequence replays deterministically.
+func (s *Server) serveConn(sc *serverConn) {
+	fr := newFrameReader(
+		bufio.NewReaderSize(countingReader{r: sc.conn, n: &s.bytesIn}, 64<<10),
+		s.cfg.MaxFrameBytes,
+	)
+	if !s.handshake(sc, fr) {
+		return
+	}
+	for {
+		ftype, payload, err := fr.next()
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				s.oversized.Add(1)
+				s.sendError(sc, 0, 413, err.Error(), 0, false)
+			}
+			return
+		}
+		s.framesIn.Add(1)
+		switch ftype {
+		case frameReport:
+			s.handleReport(sc, payload)
+		case frameReports:
+			s.handleReports(sc, payload)
+		case frameGoodbye:
+			return
+		default:
+			s.sendError(sc, 0, 400, fmt.Sprintf("stream: unexpected frame type %d", ftype), 0, false)
+			return
+		}
+	}
+}
+
+// handshake validates HELLO and answers WELCOME. Connection-level
+// failures answer an ERROR frame with reqID 0 and close.
+func (s *Server) handshake(sc *serverConn, fr *frameReader) bool {
+	sc.conn.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	ftype, payload, err := fr.next()
+	if err != nil {
+		if errors.Is(err, ErrFrameTooLarge) {
+			s.oversized.Add(1)
+			s.sendError(sc, 0, 413, err.Error(), 0, false)
+		}
+		return false
+	}
+	s.framesIn.Add(1)
+	fail := func(msg string) bool {
+		s.sendError(sc, 0, 400, msg, 0, false)
+		return false
+	}
+	if ftype != frameHello {
+		return fail(fmt.Sprintf("stream: expected HELLO, got frame type %d", ftype))
+	}
+	if len(payload) != len(Magic)+2 || string(payload[:len(Magic)]) != Magic {
+		return fail("stream: bad HELLO magic")
+	}
+	minVer, maxVer := payload[len(Magic)], payload[len(Magic)+1]
+	if minVer > Version || maxVer < Version {
+		return fail(fmt.Sprintf("stream: no common version in [%d, %d], server speaks %d", minVer, maxVer, Version))
+	}
+	sc.conn.SetReadDeadline(time.Time{})
+	bp := getFrame(frameWelcome)
+	*bp = append(*bp, Version)
+	*bp = appendUvarints(*bp, uint64(s.cfg.MaxBatch), uint64(s.cfg.MaxReportCount))
+	if sc.writeFrame(bp) != nil {
+		return false
+	}
+	s.handshakes.Add(1)
+	return true
+}
+
+// frameCtx applies the configured per-frame deadline.
+func (s *Server) frameCtx() (context.Context, context.CancelFunc) {
+	if s.cfg.Timeout > 0 {
+		return context.WithTimeout(context.Background(), s.cfg.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// outcome is one resolved request, either a result or a classified error.
+type outcome struct {
+	res    *registry.ReportResult
+	status int
+	msg    string
+	epsRem float64
+	hasEps bool
+}
+
+// resolve runs one request through the shared registry pipeline, applying
+// the same count cap and error classification as the HTTP handlers.
+func (s *Server) resolve(ctx context.Context, req *Request) outcome {
+	if req.Count > s.cfg.MaxReportCount {
+		return outcome{status: 422, msg: fmt.Sprintf("count %d exceeds limit %d", req.Count, s.cfg.MaxReportCount)}
+	}
+	res, err := s.reg.Report(ctx, registry.ReportRequest{
+		Region: req.Region,
+		Cell:   req.reqCell(),
+		UID:    req.UID,
+		Policy: req.Policy,
+		Seed:   req.Seed,
+		Count:  req.Count,
+	})
+	if err != nil {
+		status, msg := registry.ReportErrStatus(err)
+		epsRem, hasEps := registry.BudgetRemaining(err)
+		return outcome{status: status, msg: msg, epsRem: epsRem, hasEps: hasEps}
+	}
+	s.reports.Add(1)
+	return outcome{res: res, status: statusOK}
+}
+
+// handleReport answers one REPORT frame.
+func (s *Server) handleReport(sc *serverConn, payload []byte) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	d := decoder{b: payload}
+	reqID := d.u32()
+	req, err := d.decodeRequest(s.intern)
+	if err == nil {
+		err = d.done("REPORT")
+	}
+	if err != nil {
+		s.sendError(sc, reqID, 400, err.Error(), 0, false)
+		return
+	}
+	ctx, cancel := s.frameCtx()
+	out := s.resolve(ctx, &req)
+	cancel()
+	if out.status != statusOK {
+		s.sendError(sc, reqID, out.status, out.msg, out.epsRem, out.hasEps)
+		return
+	}
+	bp := getFrame(frameReportOK)
+	*bp = appendU32(*bp, reqID)
+	*bp = appendResult(*bp, out.res)
+	sc.writeFrame(bp)
+}
+
+// handleReports answers one REPORTS frame with per-item outcomes in
+// request order, fanned out concurrently like POST /v1/reports — each
+// shard's engine still bounds its own solve concurrency and the session
+// managers serialize per-session draws.
+func (s *Server) handleReports(sc *serverConn, payload []byte) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	d := decoder{b: payload}
+	reqID := d.u32()
+	n := d.uvarint()
+	if d.err != nil {
+		s.sendError(sc, reqID, 400, d.err.Error(), 0, false)
+		return
+	}
+	if n == 0 {
+		s.sendError(sc, reqID, 400, "batch has no items", 0, false)
+		return
+	}
+	if n > uint64(s.cfg.MaxBatch) {
+		s.sendError(sc, reqID, 413,
+			fmt.Sprintf("batch of %d items exceeds limit %d", n, s.cfg.MaxBatch), 0, false)
+		return
+	}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		var err error
+		reqs[i], err = d.decodeRequest(s.intern)
+		if err != nil {
+			s.sendError(sc, reqID, 400, err.Error(), 0, false)
+			return
+		}
+	}
+	if err := d.done("REPORTS"); err != nil {
+		s.sendError(sc, reqID, 400, err.Error(), 0, false)
+		return
+	}
+	s.batches.Add(1)
+	s.batchItems.Add(n)
+	ctx, cancel := s.frameCtx()
+	outs := make([]outcome, n)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = s.resolve(ctx, &reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	cancel()
+	bp := getFrame(frameReportsOK)
+	*bp = appendU32(*bp, reqID)
+	*bp = appendUvarints(*bp, n)
+	for i := range outs {
+		if outs[i].status == statusOK {
+			*bp = appendU16(*bp, uint16(statusOK))
+			*bp = appendResult(*bp, outs[i].res)
+		} else {
+			*bp = appendItemError(*bp, outs[i].status, outs[i].msg, outs[i].epsRem, outs[i].hasEps)
+		}
+	}
+	sc.writeFrame(bp)
+}
+
+// sendError writes an ERROR frame (best effort; a failed write surfaces
+// as the connection's read error).
+func (s *Server) sendError(sc *serverConn, reqID uint32, status int, msg string, epsRem float64, hasEps bool) {
+	s.errorFrames.Add(1)
+	bp := getFrame(frameError)
+	*bp = appendU32(*bp, reqID)
+	*bp = appendU16(*bp, uint16(status))
+	if hasEps {
+		*bp = append(*bp, errFlagEpsRemaining)
+		*bp = appendF64(*bp, epsRem)
+	} else {
+		*bp = append(*bp, 0)
+	}
+	*bp = appendString(*bp, msg)
+	sc.writeFrame(bp)
+}
+
+// Shutdown drains the server: stop accepting, say GOODBYE on every live
+// connection, wait for in-flight frames to finish writing their responses
+// (bounded by ctx), then close all connections. Registered listeners are
+// closed immediately; Serve calls return ErrServerClosed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for lis := range s.listeners {
+		lis.Close()
+	}
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+
+	for _, sc := range conns {
+		bp := getFrame(frameGoodbye)
+		*bp = appendString(*bp, "server draining")
+		if sc.writeFrame(bp) == nil {
+			s.goodbyes.Add(1)
+		}
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	// Closing the connections unblocks every conn goroutine's read; after
+	// that the connWG drains promptly regardless of client behavior.
+	s.mu.Lock()
+	for sc := range s.conns {
+		sc.conn.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	return err
+}
+
+// Close force-closes the server without draining.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		ConnsTotal:   s.connsTotal.Load(),
+		ConnsActive:  s.connsActive.Load(),
+		Handshakes:   s.handshakes.Load(),
+		FramesIn:     s.framesIn.Load(),
+		FramesOut:    s.framesOut.Load(),
+		BytesIn:      s.bytesIn.Load(),
+		BytesOut:     s.bytesOut.Load(),
+		Reports:      s.reports.Load(),
+		Batches:      s.batches.Load(),
+		BatchItems:   s.batchItems.Load(),
+		ErrorFrames:  s.errorFrames.Load(),
+		Oversized:    s.oversized.Load(),
+		GoodbyesSent: s.goodbyes.Load(),
+	}
+}

@@ -1,0 +1,470 @@
+// Package stream implements the corgi-stream binary report transport: the
+// report pipeline of internal/registry served over one long-lived TCP
+// connection per client instead of an HTTP round trip per draw.
+//
+// HTTP+JSON serving tops out three orders of magnitude below the in-proc
+// sampling rate — virtually all cost is connection setup, header parsing,
+// and JSON, not the paper's mechanism. The stream transport removes that
+// overhead: length-prefixed binary frames over a persistent connection,
+// negotiated once with HELLO/WELCOME, then pipelined REPORT / REPORTS
+// exchanges answered in FIFO order (per-connection ordering is what keeps a
+// moving user's draw sequence session-sticky). Failures come back as ERROR
+// frames carrying the same HTTP-equivalent status classification the JSON
+// routes use (registry.ReportErrStatus), including 429 budget exhaustion
+// with the user's live eps_remaining; a draining server says GOODBYE.
+//
+// The wire format (all integers little-endian, varints per encoding/binary):
+//
+//	frame   := uint32 length | uint8 type | payload     (length covers type+payload)
+//	HELLO   := magic "CGS1" | uint8 minVer | uint8 maxVer
+//	WELCOME := uint8 version | uvarint maxBatch | uvarint maxReportCount
+//	REPORT  := uint32 reqID | request
+//	REPORTS := uint32 reqID | uvarint n | n * request
+//	REPORT_OK  := uint32 reqID | result
+//	REPORTS_OK := uint32 reqID | uvarint n | n * item
+//	ERROR   := uint32 reqID | uint16 status | uint8 flags | [float64 epsRemaining] | string msg
+//	GOODBYE := string reason
+//
+// where request serializes proto.ReportRequest's fields (region, cell,
+// uid, seed, count, policy triple) with varints and length-prefixed
+// strings, and result mirrors proto.ReportResponse except that report
+// centers ride as internal/codec's 32-bit fixed point — the same quantized
+// representation the forest blobs use, re-scaled to degrees — so each
+// drawn location costs 16 bytes flat. reqID 0 in an ERROR frame marks a
+// connection-level fault (handshake, framing, oversized frame); the
+// connection closes after it.
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"corgi/internal/codec"
+	"corgi/internal/hexgrid"
+	"corgi/internal/policy"
+	"corgi/internal/registry"
+)
+
+// Protocol identity and limits.
+const (
+	// Magic opens every HELLO frame: "CGS1" (corgi-stream, format family 1).
+	Magic = "CGS1"
+	// Version is the one protocol version this implementation speaks; HELLO
+	// carries a [min, max] range so future versions can negotiate down.
+	Version = 1
+
+	// DefaultMaxFrameBytes bounds one frame's type+payload. A maximal
+	// batch (64 items x 1000 draws x 16 bytes/draw) fits with headroom.
+	DefaultMaxFrameBytes = 4 << 20
+
+	frameHeaderLen = 4 // uint32 length prefix
+)
+
+// Frame types.
+const (
+	frameHello     = 1
+	frameWelcome   = 2
+	frameReport    = 3
+	frameReports   = 4
+	frameReportOK  = 5
+	frameReportsOK = 6
+	frameError     = 7
+	frameGoodbye   = 8
+)
+
+// ERROR frame flag bits.
+const errFlagEpsRemaining = 1 // float64 epsRemaining follows the flags byte
+
+// result flag bits (REPORT_OK payloads).
+const (
+	resFlagReanchored = 1
+	resFlagBudgeted   = 2
+)
+
+// Request is one report ask on the stream wire, mirroring the JSON
+// transport's proto.ReportRequest field for field (the stream package
+// cannot import internal/proto — proto imports stream for /v1/stats).
+type Request struct {
+	Region string
+	// Cell is the axial (q, r) coordinate of the true leaf cell.
+	Cell [2]int
+	UID  int64
+	policy.Policy
+	Seed  int64
+	Count int
+}
+
+// ReportedLocation is one drawn report. Lat/Lng round-trip the wire as
+// codec's 32-bit fixed point over [-90,90] x [-180,180], so decoded
+// centers match the JSON transport's to ~4.7e-8 degrees (about 5 mm).
+type ReportedLocation struct {
+	Q   int
+	R   int
+	Lat float64
+	Lng float64
+}
+
+// Response mirrors proto.ReportResponse.
+type Response struct {
+	Region         string
+	PrecisionLevel int
+	SubtreeRoot    [2]int
+	Pruned         int
+	Reports        []ReportedLocation
+	Reanchored     bool
+	Budgeted       bool
+	EpsSpent       float64
+	EpsRemaining   float64
+}
+
+// ItemResult is one batch item's outcome, mirroring proto.ReportItemResult:
+// items fail independently with per-item HTTP-equivalent statuses. A
+// 429-status item additionally carries the user's live budget headroom.
+type ItemResult struct {
+	Status int
+	Error  string
+	Report *Response
+	// EpsRemaining is the user's window headroom on a budget rejection
+	// (valid when HasEpsRemaining; mirrors the single-request ERROR frame).
+	EpsRemaining    float64
+	HasEpsRemaining bool
+}
+
+// StatusError is an application-level rejection delivered over the stream:
+// the same HTTP-equivalent status the JSON routes would have answered. The
+// connection stays healthy after one — only transport faults close it.
+type StatusError struct {
+	Status int
+	Msg    string
+	// EpsRemaining carries the user's live budget headroom on a 429
+	// (valid when HasEpsRemaining).
+	EpsRemaining    float64
+	HasEpsRemaining bool
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("stream: server returned %d: %s", e.Status, e.Msg)
+}
+
+// quantLat/quantLng map degrees onto codec's [0,1] fixed-point domain and
+// back. Shared with nothing else: the scale is part of the wire contract.
+func quantLat(lat float64) uint32 { return codec.Quantize((lat + 90) / 180) }
+func quantLng(lng float64) uint32 { return codec.Quantize((lng + 180) / 360) }
+func dequantLat(q uint32) float64 { return codec.Dequantize(q)*180 - 90 }
+func dequantLng(q uint32) float64 { return codec.Dequantize(q)*360 - 180 }
+
+// appendString appends a uvarint length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+func appendUvarints(b []byte, vs ...uint64) []byte {
+	for _, v := range vs {
+		b = binary.AppendUvarint(b, v)
+	}
+	return b
+}
+
+func appendF64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// decoder is a cursor over one frame payload. The first malformed read
+// latches err; subsequent reads return zero values, so decode functions
+// check err once at the end instead of after every field.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("stream: truncated or malformed %s at byte %d", what, d.off)
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail("byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.b) {
+		d.fail("uint16")
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail("uint32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// strBytes returns the raw bytes of a length-prefixed string without
+// allocating; the slice aliases the frame buffer and must not outlive it.
+func (d *decoder) strBytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("string")
+		return nil
+	}
+	s := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) str() string { return string(d.strBytes()) }
+
+// done checks the cursor consumed the payload exactly.
+func (d *decoder) done(what string) error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("stream: %s payload has %d trailing bytes", what, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// appendRequest serializes one report request body.
+func appendRequest(b []byte, req *Request) []byte {
+	b = appendString(b, req.Region)
+	b = binary.AppendVarint(b, int64(req.Cell[0]))
+	b = binary.AppendVarint(b, int64(req.Cell[1]))
+	b = binary.AppendVarint(b, req.UID)
+	b = binary.AppendVarint(b, req.Seed)
+	b = binary.AppendVarint(b, int64(req.Count))
+	b = binary.AppendVarint(b, int64(req.PrivacyLevel))
+	b = binary.AppendVarint(b, int64(req.PrecisionLevel))
+	b = binary.AppendUvarint(b, uint64(len(req.Preferences)))
+	for _, p := range req.Preferences {
+		b = appendString(b, p.Var)
+		b = append(b, byte(p.Op), byte(p.Val.Kind))
+		switch p.Val.Kind {
+		case policy.KindString:
+			b = appendString(b, p.Val.S)
+		case policy.KindNumber:
+			b = appendF64(b, p.Val.F)
+		default:
+			if p.Val.B {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		}
+	}
+	return b
+}
+
+// maxPreferences bounds one request's predicate count on decode; policies
+// are small conjunctions, so anything huge is a malformed frame, not a
+// real policy.
+const maxPreferences = 1 << 10
+
+// decodeRequest reads one request body. intern maps region-name bytes to a
+// shared string (nil falls back to a fresh allocation per request).
+func (d *decoder) decodeRequest(intern func([]byte) string) (Request, error) {
+	var req Request
+	if rb := d.strBytes(); intern != nil {
+		req.Region = intern(rb)
+	} else {
+		req.Region = string(rb)
+	}
+	req.Cell[0] = int(d.varint())
+	req.Cell[1] = int(d.varint())
+	req.UID = d.varint()
+	req.Seed = d.varint()
+	req.Count = int(d.varint())
+	req.PrivacyLevel = int(d.varint())
+	req.PrecisionLevel = int(d.varint())
+	nprefs := d.uvarint()
+	if d.err == nil && nprefs > maxPreferences {
+		return req, fmt.Errorf("stream: request carries %d preferences (limit %d)", nprefs, maxPreferences)
+	}
+	if d.err == nil && nprefs > 0 {
+		req.Preferences = make([]policy.Predicate, 0, nprefs)
+		for i := uint64(0); i < nprefs && d.err == nil; i++ {
+			var p policy.Predicate
+			p.Var = d.str()
+			p.Op = policy.Op(d.u8())
+			switch policy.Kind(d.u8()) {
+			case policy.KindString:
+				p.Val = policy.String(d.str())
+			case policy.KindNumber:
+				p.Val = policy.Number(d.f64())
+			default:
+				p.Val = policy.Bool(d.u8() != 0)
+			}
+			req.Preferences = append(req.Preferences, p)
+		}
+	}
+	return req, d.err
+}
+
+// appendResult serializes a registry report result straight from the
+// pipeline's own types — the server never builds an intermediate response
+// struct, it encodes ReportResult into the pooled frame buffer directly.
+func appendResult(b []byte, res *registry.ReportResult) []byte {
+	b = appendString(b, res.Region)
+	b = binary.AppendVarint(b, int64(res.PrecisionLevel))
+	b = binary.AppendVarint(b, int64(res.SubtreeRoot.Coord.Q))
+	b = binary.AppendVarint(b, int64(res.SubtreeRoot.Coord.R))
+	b = binary.AppendVarint(b, int64(res.Pruned))
+	var flags byte
+	if res.Reanchored {
+		flags |= resFlagReanchored
+	}
+	if res.Budgeted {
+		flags |= resFlagBudgeted
+	}
+	b = append(b, flags)
+	if res.Budgeted {
+		b = appendF64(b, res.EpsSpent)
+		b = appendF64(b, res.EpsRemaining)
+	}
+	b = binary.AppendUvarint(b, uint64(len(res.Reports)))
+	for i, n := range res.Reports {
+		c := res.Centers[i]
+		b = binary.AppendVarint(b, int64(n.Coord.Q))
+		b = binary.AppendVarint(b, int64(n.Coord.R))
+		b = binary.LittleEndian.AppendUint32(b, quantLat(c.Lat))
+		b = binary.LittleEndian.AppendUint32(b, quantLng(c.Lng))
+	}
+	return b
+}
+
+// decodeResponse reads one result body into the client-side Response.
+func (d *decoder) decodeResponse() (*Response, error) {
+	resp := &Response{}
+	resp.Region = d.str()
+	resp.PrecisionLevel = int(d.varint())
+	resp.SubtreeRoot[0] = int(d.varint())
+	resp.SubtreeRoot[1] = int(d.varint())
+	resp.Pruned = int(d.varint())
+	flags := d.u8()
+	resp.Reanchored = flags&resFlagReanchored != 0
+	resp.Budgeted = flags&resFlagBudgeted != 0
+	if resp.Budgeted {
+		resp.EpsSpent = d.f64()
+		resp.EpsRemaining = d.f64()
+	}
+	n := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Each report costs >= 10 payload bytes; the frame bound keeps n sane.
+	if n > uint64(len(d.b)) {
+		return nil, fmt.Errorf("stream: result claims %d reports in a %d-byte payload", n, len(d.b))
+	}
+	resp.Reports = make([]ReportedLocation, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		resp.Reports = append(resp.Reports, ReportedLocation{
+			Q:   int(d.varint()),
+			R:   int(d.varint()),
+			Lat: dequantLat(d.u32()),
+			Lng: dequantLng(d.u32()),
+		})
+	}
+	return resp, d.err
+}
+
+// appendItemError serializes a failed batch item with the same layout an
+// ERROR frame uses after its reqID: status, flags, optional headroom,
+// message.
+func appendItemError(b []byte, status int, msg string, epsRem float64, hasEps bool) []byte {
+	b = appendU16(b, uint16(status))
+	if hasEps {
+		b = append(b, errFlagEpsRemaining)
+		b = appendF64(b, epsRem)
+	} else {
+		b = append(b, 0)
+	}
+	return appendString(b, msg)
+}
+
+// decodeItem reads one batch item result (status, then error or body).
+func (d *decoder) decodeItem() (ItemResult, error) {
+	var it ItemResult
+	it.Status = int(d.u16())
+	if d.err != nil {
+		return it, d.err
+	}
+	if it.Status == statusOK {
+		rep, err := d.decodeResponse()
+		if err != nil {
+			return it, err
+		}
+		it.Report = rep
+		return it, nil
+	}
+	if d.u8()&errFlagEpsRemaining != 0 {
+		it.EpsRemaining = d.f64()
+		it.HasEpsRemaining = true
+	}
+	it.Error = d.str()
+	return it, d.err
+}
+
+// statusOK avoids importing net/http just for the constant in hot paths.
+const statusOK = 200
+
+// reqCell converts the wire cell to the registry's coordinate type.
+func (r *Request) reqCell() hexgrid.Coord { return hexgrid.Coord{Q: r.Cell[0], R: r.Cell[1]} }
