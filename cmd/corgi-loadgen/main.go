@@ -18,6 +18,13 @@
 //     measuring re-anchor rate, budget-rejection rate (429s under
 //     -budget-eps servers), and latency split warm / re-anchor / cold.
 //
+// Against a -degraded-serving server, every workload additionally counts
+// responses flagged degraded (served from the planar-Laplace fallback
+// while the LP optimum solved in the background) and slices their latency
+// out — driving a cold region shows the degraded-vs-optimal split
+// directly: degraded_reports with millisecond latency up front, then the
+// degraded rate decaying to zero as background solves land.
+//
 // The request stream is a replayable trace. It comes from one of:
 //
 //   - a trace file (-trace): whitespace-separated lines of
@@ -144,6 +151,11 @@ type sample struct {
 	// was spent. An expected outcome of budget-capped runs, reported as a
 	// rate rather than an error.
 	budgetRejected bool
+	// degraded marks a response served from a planar-Laplace fallback
+	// entry (-degraded-serving servers): same epsilon bound, utility below
+	// the LP optimum until the background solve lands. For batch requests
+	// it means at least one item in the batch was degraded.
+	degraded bool
 }
 
 // coldTracker decides request temperature: the first request per (region,
@@ -1136,7 +1148,7 @@ func doReport(client *http.Client, server string, entry request, precision, coun
 		return sample{region: entry.Region, err: true, cold: isCold}, 0, 1
 	}
 	req.Header.Set("Content-Type", "application/json")
-	s := roundTrip(client, req)
+	s, body := roundTripBody(client, req)
 	s.region = entry.Region
 	s.cold = isCold
 	if s.err {
@@ -1144,6 +1156,10 @@ func doReport(client *http.Client, server string, entry request, precision, coun
 			cold.forget(entry)
 		}
 		return s, 0, 1
+	}
+	var rr proto.ReportResponse
+	if json.Unmarshal(body, &rr) == nil {
+		s.degraded = rr.Degraded
 	}
 	return s, 1, 0
 }
@@ -1203,6 +1219,7 @@ func doMobilityReport(client *http.Client, server string, entry request, precisi
 		return s, 0, 1
 	}
 	s.reanchored = rr.Reanchored
+	s.degraded = rr.Degraded
 	return s, 1, 0
 }
 
@@ -1255,6 +1272,9 @@ func doReportBatch(client *http.Client, server string, trace []request, idx int6
 	for i, item := range envelope.Items {
 		if item.Status == http.StatusOK {
 			ok++
+			if item.Report != nil && item.Report.Degraded {
+				s.degraded = true
+			}
 		} else {
 			bad++
 			if i < len(claimed) && claimed[i] {
@@ -1310,6 +1330,7 @@ func doReportStream(sc *stream.Client, entry request, precision, count int, cold
 	}
 	s.status = http.StatusOK
 	s.reanchored = resp.Reanchored
+	s.degraded = resp.Degraded
 	return s, 1, 0
 }
 
@@ -1349,6 +1370,9 @@ func doReportBatchStream(sc *stream.Client, trace []request, idx int64, n, preci
 	for i, item := range results {
 		if item.Status == http.StatusOK {
 			ok++
+			if item.Report != nil && item.Report.Degraded {
+				s.degraded = true
+			}
 		} else {
 			bad++
 			if i < len(claimed) && claimed[i] {
@@ -1371,6 +1395,22 @@ func roundTrip(client *http.Client, req *http.Request) sample {
 	s := sample{latency: time.Since(start), status: resp.StatusCode, bytes: n}
 	s.err = resp.StatusCode != http.StatusOK
 	return s
+}
+
+// roundTripBody is roundTrip for callers that need a flag out of the
+// response body; the returned bytes are nil on transport errors, and the
+// measured latency still covers full-body completion.
+func roundTripBody(client *http.Client, req *http.Request) (sample, []byte) {
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{latency: time.Since(start), err: true}, nil
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	s := sample{latency: time.Since(start), status: resp.StatusCode, bytes: int64(len(body))}
+	s.err = resp.StatusCode != http.StatusOK
+	return s, body
 }
 
 // config echoes the run parameters into the report.
@@ -1441,13 +1481,22 @@ type report struct {
 	// onto a new subtree; ReanchorRate is Reanchors over successful
 	// requests. BudgetRejections counts 429s (the user's sliding-window
 	// epsilon budget was spent); BudgetRejectionRate is over all requests.
-	Reanchors           int64           `json:"reanchors,omitempty"`
-	ReanchorRate        float64         `json:"reanchor_rate,omitempty"`
-	BudgetRejections    int64           `json:"budget_rejections,omitempty"`
-	BudgetRejectionRate float64         `json:"budget_rejection_rate,omitempty"`
-	Latency             latencySummary  `json:"latency"`
-	LatencyCold         *latencySummary `json:"latency_cold,omitempty"`
-	LatencyWarm         *latencySummary `json:"latency_warm,omitempty"`
+	Reanchors           int64   `json:"reanchors,omitempty"`
+	ReanchorRate        float64 `json:"reanchor_rate,omitempty"`
+	BudgetRejections    int64   `json:"budget_rejections,omitempty"`
+	BudgetRejectionRate float64 `json:"budget_rejection_rate,omitempty"`
+	// DegradedReports counts responses served from a planar-Laplace
+	// fallback entry (-degraded-serving servers); DegradedRate is over
+	// successful requests. LatencyDegraded slices their latency out, so a
+	// cold-region run shows the degraded-vs-optimal serving split
+	// directly: degraded responses arrive in milliseconds while the LP
+	// optimum is still solving in the background.
+	DegradedReports int64           `json:"degraded_reports,omitempty"`
+	DegradedRate    float64         `json:"degraded_rate,omitempty"`
+	LatencyDegraded *latencySummary `json:"latency_degraded,omitempty"`
+	Latency         latencySummary  `json:"latency"`
+	LatencyCold     *latencySummary `json:"latency_cold,omitempty"`
+	LatencyWarm     *latencySummary `json:"latency_warm,omitempty"`
 	// LatencyReanchor slices out the mobility middle tier: requests that
 	// re-anchored a session (preference re-evaluation + entry lookup, but
 	// no cold session build). Warm then means steady-state O(1) draws.
@@ -1464,7 +1513,7 @@ func summarize(workers []*worker, elapsed time.Duration, cfg config) *report {
 		StatusCounts: map[string]int64{},
 		PerRegion:    map[string]regionReport{},
 	}
-	var all, coldMs, warmMs, reanchorMs []float64
+	var all, coldMs, warmMs, reanchorMs, degradedMs []float64
 	perRegion := map[string][]float64{}
 	var okRequests int64
 	for _, w := range workers {
@@ -1489,6 +1538,10 @@ func summarize(workers []*worker, elapsed time.Duration, cfg config) *report {
 			}
 			if s.reanchored {
 				rep.Reanchors++
+			}
+			if s.degraded {
+				rep.DegradedReports++
+				degradedMs = append(degradedMs, ms)
 			}
 			if s.budgetRejected {
 				rep.BudgetRejections++
@@ -1544,8 +1597,13 @@ func summarize(workers []*worker, elapsed time.Duration, cfg config) *report {
 		q := quantiles(reanchorMs)
 		rep.LatencyReanchor = &q
 	}
+	if len(degradedMs) > 0 {
+		q := quantiles(degradedMs)
+		rep.LatencyDegraded = &q
+	}
 	if okRequests > 0 {
 		rep.ReanchorRate = round4(float64(rep.Reanchors) / float64(okRequests))
+		rep.DegradedRate = round4(float64(rep.DegradedReports) / float64(okRequests))
 	}
 	if rep.Requests > 0 {
 		rep.BudgetRejectionRate = round4(float64(rep.BudgetRejections) / float64(rep.Requests))

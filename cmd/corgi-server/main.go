@@ -38,6 +38,15 @@
 // Requests until spend slides out of the window. budget_* counters appear
 // in /v1/stats.
 //
+// -degraded-serving kills the cold-path latency cliff: a report request
+// whose forest entry misses both the cache and the store is answered
+// immediately from a discretized planar-Laplace fallback — same epsilon
+// guarantee, lower utility — while the real LP solve runs in the
+// background; the optimal entry atomically replaces the fallback, resident
+// sessions upgrade without resetting their RNG streams, and responses
+// carry a "degraded" flag until then. degraded_* counters appear in
+// /v1/stats.
+//
 // -stream-addr ADDR additionally serves the report pipeline over the
 // corgi-stream binary transport (internal/stream): length-prefixed frames
 // on persistent TCP connections, answering from the same registry —
@@ -54,6 +63,7 @@
 //	             [-workers 0] [-cache-mb 256] [-warmup -1] [-eager]
 //	             [-store ./forests] [-max-batch 64] [-max-sessions 4096]
 //	             [-max-report-count 1000] [-budget-eps 0] [-budget-window 1h]
+//	             [-degraded-serving]
 //	             [-read-timeout 30s] [-write-timeout 10m] [-idle-timeout 2m]
 //	             [-request-timeout 5m]
 package main
@@ -109,6 +119,8 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 10*time.Minute, "HTTP server write timeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
 	requestTimeout := flag.Duration("request-timeout", 5*time.Minute, "per-request generation timeout (0: none)")
+	degradedServing := flag.Bool("degraded-serving", false,
+		"serve cold report requests immediately from a planar-Laplace fallback (same epsilon bound, lower utility) while the LP solve runs in the background")
 	flag.Parse()
 
 	if *listRegions {
@@ -137,8 +149,9 @@ func main() {
 	}
 	reg, err := registry.New(specs, registry.Options{
 		Engine: core.EngineOptions{
-			Workers:    *workers,
-			CacheBytes: *cacheMB << 20,
+			Workers:         *workers,
+			CacheBytes:      *cacheMB << 20,
+			DegradedServing: *degradedServing,
 		},
 		WarmupDelta: *warmup,
 		Store:       st,

@@ -42,11 +42,13 @@ type ExhaustedError struct {
 	Window                  time.Duration
 }
 
+// Error formats the rejection with the user's spend, cap, and window.
 func (e *ExhaustedError) Error() string {
 	return fmt.Sprintf("%v: user %d spent %.4g of %.4g eps in the last %v",
 		ErrBudgetExhausted, e.UID, e.Spent, e.Limit, e.Window)
 }
 
+// Unwrap makes errors.Is(err, ErrBudgetExhausted) match.
 func (e *ExhaustedError) Unwrap() error { return ErrBudgetExhausted }
 
 // DefaultWindow is the sliding accounting window when Config.Window is not

@@ -107,8 +107,25 @@ func (c *entryCache) add(key forestKey, e *ForestEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		// Lost a race with another inserter; refresh recency only.
+		it := el.Value.(*cacheItem)
+		if !it.entry.Degraded || e.Degraded {
+			// Lost a race with another inserter of the same (or better)
+			// quality; refresh recency only.
+			c.ll.MoveToFront(el)
+			return
+		}
+		// Optimal entry arriving over a degraded fallback: swap in place so
+		// readers atomically switch to the LP-optimal matrix.
+		c.bytes -= it.size
+		it.entry.detachAliasMetrics()
+		if c.alias != nil {
+			e.attachAliasMetrics(c.alias)
+		}
+		it.entry = e
+		it.size = size
+		c.bytes += size
 		c.ll.MoveToFront(el)
+		c.evictLocked()
 		return
 	}
 	if c.alias != nil {

@@ -268,6 +268,11 @@ type Params struct {
 	// DWExact runs the column-generation tail to full optimality
 	// certification instead of stopping when improvement stalls below 0.1%.
 	DWExact bool
+	// NoWarmStart disables carrying simplex bases between related solves
+	// (Algorithm-1 iterations, DW master rounds and pricing solves). Every
+	// solve then starts from the crash basis. Exists to benchmark the
+	// warm-start speedup; production leaves it false.
+	NoWarmStart bool
 }
 
 func (p Params) validate() error {
@@ -302,6 +307,11 @@ type Result struct {
 	Constraints int
 	// LPIterations is the total simplex pivots across all solves.
 	LPIterations int
+	// WarmAttempts counts LP solves that were offered a warm-start basis
+	// from a related earlier solve; WarmAccepts counts those where the
+	// solver verified and kept it (skipping phase 1 and most pivots).
+	WarmAttempts int
+	WarmAccepts  int
 	// Elapsed is the wall-clock generation time.
 	Elapsed time.Duration
 }
@@ -314,10 +324,33 @@ func (inst *Instance) constraintPairs(useApprox bool) []obf.Pair {
 	return inst.AllPairs()
 }
 
-// solveMatrix dispatches one LP solve to the configured strategy. pool
-// carries Dantzig-Wolfe generator columns between related solves (e.g.
-// Algorithm 1 iterations); it is ignored by the direct solver.
-func (inst *Instance) solveMatrix(p Params, pairs []obf.Pair, mult []float64, pool []dwColumn, tightened bool) (*obf.Matrix, []dwColumn, int, error) {
+// solveCarry threads reusable solver state between related solves over the
+// same instance (Algorithm-1 iterations): Dantzig-Wolfe generator columns
+// and, for the direct solver, the previous optimal simplex basis. The
+// constraint shape is identical across iterations — only coefficients move
+// with the tightened multipliers — so the old basis is usually still (near-)
+// feasible and the warm start lands.
+type solveCarry struct {
+	pool  []dwColumn
+	basis []int
+}
+
+// solveStats aggregates per-solve counters surfaced in Result.
+type solveStats struct {
+	iters        int
+	warmAttempts int
+	warmAccepts  int
+}
+
+func (st *solveStats) add(o solveStats) {
+	st.iters += o.iters
+	st.warmAttempts += o.warmAttempts
+	st.warmAccepts += o.warmAccepts
+}
+
+// solveMatrix dispatches one LP solve to the configured strategy, updating
+// carry with whatever state the next related solve can reuse.
+func (inst *Instance) solveMatrix(p Params, pairs []obf.Pair, mult []float64, carry *solveCarry, tightened bool) (*obf.Matrix, solveStats, error) {
 	kind := p.Solver
 	if kind == SolverAuto {
 		if inst.K() <= directSolveLimit {
@@ -327,16 +360,36 @@ func (inst *Instance) solveMatrix(p Params, pairs []obf.Pair, mult []float64, po
 		}
 	}
 	if kind == SolverDirect {
-		m, iters, err := inst.solveLP(pairs, mult, p.lpOptions())
-		return m, nil, iters, err
+		var st solveStats
+		opts := *p.lpOptions() // copy: never mutate the caller's Options
+		if !p.NoWarmStart && len(carry.basis) > 0 {
+			opts.WarmBasis = carry.basis
+			st.warmAttempts++
+		}
+		m, sol, err := inst.solveLP(pairs, mult, &opts)
+		if sol != nil {
+			st.iters = sol.Iterations
+			if sol.Warm {
+				st.warmAccepts++
+			}
+			if sol.Status == lp.Optimal {
+				carry.basis = sol.Basis
+			}
+		}
+		return m, st, err
 	}
-	return inst.solveDW(pairs, mult, &dwOptions{MaxRounds: p.DWRounds, Exact: p.DWExact, SubLP: p.LP, SeedUniform: tightened}, pool)
+	m, pool, st, err := inst.solveDW(pairs, mult, &dwOptions{
+		MaxRounds: p.DWRounds, Exact: p.DWExact, SubLP: p.LP,
+		SeedUniform: tightened, NoWarmStart: p.NoWarmStart,
+	}, carry.pool)
+	carry.pool = pool
+	return m, st, err
 }
 
 // solveLP builds and solves the LP of Equ. (8)/(16): minimize quality loss
 // subject to row-stochasticity and the per-pair Geo-Ind constraints with
 // the given multipliers mult[p] = exp((eps - eps'_p) * d_p).
-func (inst *Instance) solveLP(pairs []obf.Pair, mult []float64, opts *lp.Options) (*obf.Matrix, int, error) {
+func (inst *Instance) solveLP(pairs []obf.Pair, mult []float64, opts *lp.Options) (*obf.Matrix, *lp.Solution, error) {
 	k := inst.K()
 	nv := k * k
 	prob := lp.NewProblem(nv)
@@ -348,7 +401,7 @@ func (inst *Instance) solveLP(pairs []obf.Pair, mult []float64, opts *lp.Options
 		}
 	}
 	if err := prob.SetObjective(obj); err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
 	// Row-stochasticity (Equ. 5).
 	idx := make([]int, k)
@@ -361,7 +414,7 @@ func (inst *Instance) solveLP(pairs []obf.Pair, mult []float64, opts *lp.Options
 			idx[j] = i*k + j
 		}
 		if err := prob.AddConstraint(lp.EQ, 1, idx, ones); err != nil {
-			return nil, 0, err
+			return nil, nil, err
 		}
 	}
 	// Geo-Ind rows: z[i][c] - mult * z[j][c] <= 0 for each pair and column.
@@ -373,25 +426,25 @@ func (inst *Instance) solveLP(pairs []obf.Pair, mult []float64, opts *lp.Options
 			two[0], two[1] = p.I*k+c, p.J*k+c
 			vals[0], vals[1] = 1, -m
 			if err := prob.AddConstraint(lp.LE, 0, two, vals); err != nil {
-				return nil, 0, err
+				return nil, nil, err
 			}
 		}
 	}
 	sol, err := lp.Solve(prob, opts)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
 	if sol.Status != lp.Optimal {
-		return nil, sol.Iterations, fmt.Errorf("core: LP %v (delta may be too large for epsilon)", sol.Status)
+		return nil, sol, fmt.Errorf("core: LP %v (delta may be too large for epsilon)", sol.Status)
 	}
 	m := obf.NewMatrix(k)
 	for i := 0; i < k; i++ {
 		copy(m.Row(i), sol.X[i*k:(i+1)*k])
 	}
 	if err := m.NormalizeRows(1e-6); err != nil {
-		return nil, sol.Iterations, fmt.Errorf("core: LP solution: %w", err)
+		return nil, sol, fmt.Errorf("core: LP solution: %w", err)
 	}
-	return m, sol.Iterations, nil
+	return m, sol, nil
 }
 
 // Generate produces an obfuscation matrix for the instance. With Delta == 0
@@ -420,11 +473,12 @@ func (inst *Instance) GenerateCtx(ctx context.Context, p Params) (*Result, error
 		mult[i] = math.Exp(p.Epsilon * pr.Dist)
 	}
 	res := &Result{Constraints: len(pairs) * inst.K()}
-	m, pool, iters, err := inst.solveMatrix(p, pairs, mult, nil, false)
+	carry := &solveCarry{}
+	m, st, err := inst.solveMatrix(p, pairs, mult, carry, false)
 	if err != nil {
 		return nil, err
 	}
-	res.LPIterations += iters
+	total := st
 	loss, err := inst.QualityLoss(m)
 	if err != nil {
 		return nil, err
@@ -452,12 +506,11 @@ func (inst *Instance) GenerateCtx(ctx context.Context, p Params) (*Result, error
 			}
 			mult[pi] = budget.TightenedMultiplier(p.Epsilon, ep, pr.Dist)
 		}
-		m2, pool2, iters, err := inst.solveMatrix(p, pairs, mult, pool, true)
+		m2, st, err := inst.solveMatrix(p, pairs, mult, carry, true)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", it+1, err)
 		}
-		pool = pool2
-		res.LPIterations += iters
+		total.add(st)
 		m = m2
 		loss, err = inst.QualityLoss(m)
 		if err != nil {
@@ -467,6 +520,9 @@ func (inst *Instance) GenerateCtx(ctx context.Context, p Params) (*Result, error
 	}
 	res.Matrix = m
 	res.QualityLoss = res.Trace[len(res.Trace)-1]
+	res.LPIterations = total.iters
+	res.WarmAttempts = total.warmAttempts
+	res.WarmAccepts = total.warmAccepts
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

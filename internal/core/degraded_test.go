@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestDegradedServingFastPath drives the full fallback lifecycle: a cold
+// ServeEntryCtx returns a degraded planar-Laplace entry immediately, the
+// background solve replaces it with the LP optimum, and the counters track
+// each transition.
+func TestDegradedServingFastPath(t *testing.T) {
+	srv := newEngineTestServer(t, EngineOptions{Workers: 2, DegradedServing: true})
+	tree := srv.Tree()
+	leaf := tree.LevelNodes(0)[0]
+	root, ok := tree.AncestorAt(leaf, 1)
+	if !ok {
+		t.Fatal("no level-1 ancestor")
+	}
+
+	start := time.Now()
+	e, err := srv.ServeEntryCtx(context.Background(), root, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := time.Since(start)
+	if !e.Degraded {
+		t.Fatal("cold ServeEntryCtx did not return a degraded entry")
+	}
+	if e.Root != root || e.Matrix == nil {
+		t.Fatalf("degraded entry malformed: root %v matrix %v", e.Root, e.Matrix)
+	}
+	// The fallback is analytic — milliseconds, not an LP solve. A second
+	// bound keeps slow CI from flaking while still catching a fallback
+	// that accidentally runs the solver.
+	if fast > time.Second {
+		t.Fatalf("degraded entry took %v; the fallback must not run the LP", fast)
+	}
+	for i := 0; i < e.Matrix.Dim(); i++ {
+		sum := 0.0
+		for j := 0; j < e.Matrix.Dim(); j++ {
+			sum += e.Matrix.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("degraded row %d sums to %g", i, sum)
+		}
+	}
+	if st := srv.Stats(); st.DegradedBuilds != 1 {
+		t.Fatalf("DegradedBuilds = %d, want 1", st.DegradedBuilds)
+	}
+
+	srv.WaitUpgrades()
+	up, ok := srv.PeekEntry(root, 1)
+	if !ok {
+		t.Fatal("entry missing from cache after upgrade")
+	}
+	if up.Degraded {
+		t.Fatal("entry still degraded after WaitUpgrades")
+	}
+	st := srv.Stats()
+	if st.DegradedUpgrades != 1 {
+		t.Fatalf("DegradedUpgrades = %d, want 1", st.DegradedUpgrades)
+	}
+
+	// Post-upgrade serves hit the optimal entry — no new fallback builds.
+	e2, err := srv.ServeEntryCtx(context.Background(), root, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Degraded {
+		t.Fatal("post-upgrade ServeEntryCtx returned a degraded entry")
+	}
+	if st := srv.Stats(); st.DegradedBuilds != 1 {
+		t.Fatalf("DegradedBuilds = %d after upgrade, want still 1", st.DegradedBuilds)
+	}
+}
+
+// TestDegradedHitCountsWhileUpgrading checks that repeat requests served
+// from a cached fallback are counted as degraded hits, and that the real
+// generation path (GenerateEntryCtx) never serves a degraded entry.
+func TestDegradedHitCountsWhileUpgrading(t *testing.T) {
+	srv := newEngineTestServer(t, EngineOptions{Workers: 1, DegradedServing: true})
+	tree := srv.Tree()
+	root, _ := tree.AncestorAt(tree.LevelNodes(0)[0], 1)
+
+	if _, err := srv.ServeEntryCtx(context.Background(), root, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A repeat fast-path request before the upgrade lands may see either
+	// the fallback (degraded hit) or the already-published optimum; both
+	// are valid. What must never happen is the strict path serving a
+	// fallback.
+	e, err := srv.GenerateEntryCtx(context.Background(), root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Degraded {
+		t.Fatal("GenerateEntryCtx returned a degraded entry")
+	}
+	srv.WaitUpgrades()
+
+	// With the optimum published, another fast-path request must not count
+	// a degraded hit beyond those recorded before the upgrade.
+	before := srv.Stats().DegradedHits
+	if _, err := srv.ServeEntryCtx(context.Background(), root, 0); err != nil {
+		t.Fatal(err)
+	}
+	if after := srv.Stats().DegradedHits; after != before {
+		t.Fatalf("DegradedHits grew %d -> %d after upgrade", before, after)
+	}
+}
+
+// TestServeEntryWithoutDegradedServing pins ServeEntryCtx to the strict
+// path when the option is off: the first return is already LP-optimal.
+func TestServeEntryWithoutDegradedServing(t *testing.T) {
+	srv := newEngineTestServer(t, EngineOptions{Workers: 1})
+	tree := srv.Tree()
+	root, _ := tree.AncestorAt(tree.LevelNodes(0)[0], 1)
+	e, err := srv.ServeEntryCtx(context.Background(), root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Degraded {
+		t.Fatal("degraded entry served with DegradedServing off")
+	}
+	if st := srv.Stats(); st.DegradedBuilds != 0 {
+		t.Fatalf("DegradedBuilds = %d with DegradedServing off", st.DegradedBuilds)
+	}
+}

@@ -41,10 +41,13 @@ type dwOptions struct {
 	PriceTol    float64 // a block must price below -PriceTol to enter
 	Exact       bool    // run the tail to full optimality certification
 	SeedUniform bool    // seed the uniform generator per block (tightened cones)
+	NoWarmStart bool    // disable master/pricing warm starts (benchmarking)
 	SubLP       *lp.Options
 	MasterLP    *lp.Options
 	OnProgress  func(round int, masterObj float64, negBlocks int)
 }
+
+func (o *dwOptions) noWarm() bool { return o != nil && o.NoWarmStart }
 
 // dwStallTol ends the convergence tail once the master objective improves
 // by less than this relative amount over dwStallRounds consecutive rounds
@@ -82,9 +85,13 @@ type dwColumn struct {
 
 // solveDW solves the obfuscation LP by column generation. pairs/mult define
 // the cone (identical for every block); the objective is the instance's
-// prior-weighted cost. Returns the assembled matrix and total simplex
-// iterations across master and pricing solves.
-func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, seed []dwColumn) (*obf.Matrix, []dwColumn, int, error) {
+// prior-weighted cost. Returns the assembled matrix and solve statistics
+// (simplex pivots, warm-start attempts/accepts) across master and pricing
+// solves. Master re-solves are warm-started from the previous round's basis
+// (column indices are append-only until the pruning pass reindexes them);
+// pricing solves are warm-started from the last pricing basis, which stays
+// primal feasible because only the objective changes between blocks.
+func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, seed []dwColumn) (*obf.Matrix, []dwColumn, solveStats, error) {
 	k := inst.K()
 	blockCost := make([][]float64, k) // w_l[i] = priors[i]*cost[i][l]
 	for l := 0; l < k; l++ {
@@ -97,6 +104,7 @@ func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, 
 
 	// Pricing problem skeleton: K vars, cone rows + simplex row. The
 	// objective is rewritten every call.
+	var st solveStats
 	sub := lp.NewProblem(k)
 	{
 		idx := make([]int, k)
@@ -105,11 +113,11 @@ func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, 
 			idx[j], ones[j] = j, 1
 		}
 		if err := sub.AddConstraint(lp.EQ, 1, idx, ones); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, st, err
 		}
 		for pi, p := range pairs {
 			if err := sub.AddConstraint(lp.LE, 0, []int{p.I, p.J}, []float64{1, -mult[pi]}); err != nil {
-				return nil, nil, 0, err
+				return nil, nil, st, err
 			}
 		}
 	}
@@ -188,7 +196,6 @@ func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, 
 			cols = append(cols, dwColumn{block: l, g: u, cost: cost})
 		}
 	}
-	totalIters := 0
 	priceTol := opt.priceTol()
 	objW := make([]float64, k)
 	type profKey struct {
@@ -200,6 +207,10 @@ func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, 
 	// negative for its neighbors too).
 	var learned [][]float64
 	const learnedCap = 256
+
+	// Warm-start state: the previous master basis (invalidated when column
+	// pruning reindexes cols) and the last pricing basis.
+	var masterBasis, subBasis []int
 
 	solveMaster := func() (*lp.Solution, error) {
 		nv := k + len(cols) // artificials first, then generated columns
@@ -231,14 +242,23 @@ func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, 
 				return nil, err
 			}
 		}
-		sol, err := lp.Solve(mp, masterOpts)
+		mOpts := *masterOpts // copy: never mutate the caller's Options
+		if !opt.noWarm() && len(masterBasis) > 0 {
+			mOpts.WarmBasis = masterBasis
+			st.warmAttempts++
+		}
+		sol, err := lp.Solve(mp, &mOpts)
 		if err != nil {
 			return nil, err
 		}
 		if sol.Status != lp.Optimal {
 			return nil, fmt.Errorf("core: DW master %v (%s)", sol.Status, sol.Note)
 		}
-		totalIters += sol.Iterations
+		if sol.Warm {
+			st.warmAccepts++
+		}
+		masterBasis = sol.Basis
+		st.iters += sol.Iterations
 		return sol, nil
 	}
 
@@ -253,7 +273,7 @@ func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, 
 		var err error
 		master, err = solveMaster()
 		if err != nil {
-			return nil, nil, totalIters, err
+			return nil, nil, st, err
 		}
 		// Early-stop on a stalled tail (feasible, near-optimal). Only once
 		// the Big-M artificials have left the solution.
@@ -344,21 +364,32 @@ func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, 
 					objW[i] = blockCost[l][i] - y[i]
 				}
 				if err := sub.SetObjective(objW); err != nil {
-					return nil, nil, totalIters, err
+					return nil, nil, st, err
 				}
-				subSol, err := lp.Solve(sub, subOpts)
+				sOpts := *subOpts
+				if !opt.noWarm() && len(subBasis) > 0 {
+					sOpts.WarmBasis = subBasis
+					st.warmAttempts++
+				}
+				subSol, err := lp.Solve(sub, &sOpts)
 				if err != nil {
-					return nil, nil, totalIters, err
+					return nil, nil, st, err
 				}
-				totalIters += subSol.Iterations
+				if subSol.Warm {
+					st.warmAccepts++
+				}
+				if subSol.Status == lp.Optimal {
+					subBasis = subSol.Basis
+				}
+				st.iters += subSol.Iterations
 				switch subSol.Status {
 				case lp.Optimal:
 				case lp.Infeasible:
 					// The cone intersected with the simplex is empty: the
 					// requested budget admits no stochastic matrix.
-					return nil, nil, totalIters, fmt.Errorf("core: Geo-Ind constraints infeasible (delta too aggressive for epsilon)")
+					return nil, nil, st, fmt.Errorf("core: Geo-Ind constraints infeasible (delta too aggressive for epsilon)")
 				default:
-					return nil, nil, totalIters, fmt.Errorf("core: DW pricing %v (%s)", subSol.Status, subSol.Note)
+					return nil, nil, st, fmt.Errorf("core: DW pricing %v (%s)", subSol.Status, subSol.Note)
 				}
 				if subSol.Objective < -priceTol {
 					negBlocks++
@@ -400,6 +431,7 @@ func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, 
 				}
 			}
 			cols = kept
+			masterBasis = nil // pruning reindexed the master's columns
 		}
 		if opt != nil && opt.OnProgress != nil {
 			opt.OnProgress(round, master.Objective, negBlocks)
@@ -410,7 +442,7 @@ func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, 
 		}
 	}
 	if master == nil {
-		return nil, nil, totalIters, fmt.Errorf("core: DW produced no master solution")
+		return nil, nil, st, fmt.Errorf("core: DW produced no master solution")
 	}
 	if !converged {
 		// Early stop: re-solve the master over everything generated so far;
@@ -418,7 +450,7 @@ func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, 
 		var err error
 		master, err = solveMaster()
 		if err != nil {
-			return nil, nil, totalIters, err
+			return nil, nil, st, err
 		}
 	}
 	// Reject if artificials still carry real weight: no feasible assembly
@@ -427,7 +459,7 @@ func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, 
 	// audit tolerance.
 	for i := 0; i < k; i++ {
 		if master.X[i] > 1e-4 {
-			return nil, nil, totalIters, fmt.Errorf("core: DW master infeasible (artificial %d = %g): delta too aggressive for epsilon", i, master.X[i])
+			return nil, nil, st, fmt.Errorf("core: DW master infeasible (artificial %d = %g): delta too aggressive for epsilon", i, master.X[i])
 		}
 	}
 
@@ -444,9 +476,9 @@ func (inst *Instance) solveDW(pairs []obf.Pair, mult []float64, opt *dwOptions, 
 		}
 	}
 	if err := z.NormalizeRows(1e-6); err != nil {
-		return nil, nil, totalIters, fmt.Errorf("core: DW assembly: %w", err)
+		return nil, nil, st, fmt.Errorf("core: DW assembly: %w", err)
 	}
-	return z, cols, totalIters, nil
+	return z, cols, st, nil
 }
 
 // exponentialProfiles returns, for every peak m, the normalized profile

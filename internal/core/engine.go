@@ -49,6 +49,12 @@ type EngineOptions struct {
 	// asynchronously, and Server.HydrateFromStore preloads it into the
 	// cache at startup.
 	Store ForestStore
+	// DegradedServing enables the planar-Laplace fast path on
+	// Server.ServeEntryCtx: a request whose entry misses both the cache and
+	// the store is answered immediately with a discretized planar-Laplace
+	// fallback entry (same ε bound, lower utility) while the real LP solve
+	// runs in the background and atomically replaces it on completion.
+	DegradedServing bool
 }
 
 // EngineStats is a point-in-time snapshot of the engine's counters, exposed
@@ -78,6 +84,15 @@ type EngineStats struct {
 	// of tables attached to currently cached entries (eviction subtracts).
 	AliasBuilds, AliasHits uint64
 	AliasBytes             int64
+	// DegradedBuilds counts planar-Laplace fallback entries built on the
+	// fast path; DegradedHits counts requests served from a cached fallback
+	// while its real solve was still running; DegradedUpgrades counts
+	// background solves that completed and replaced a fallback with the
+	// optimal entry. All zero unless DegradedServing is enabled.
+	DegradedBuilds, DegradedHits, DegradedUpgrades uint64
+	// WarmAttempts/WarmAccepts aggregate the simplex warm-start counters of
+	// every generation run by this engine (see Result.WarmAttempts).
+	WarmAttempts, WarmAccepts uint64
 }
 
 // Merge accumulates o into s. The multi-region registry uses it to fold
@@ -101,6 +116,11 @@ func (s *EngineStats) Merge(o EngineStats) {
 	s.AliasBuilds += o.AliasBuilds
 	s.AliasHits += o.AliasHits
 	s.AliasBytes += o.AliasBytes
+	s.DegradedBuilds += o.DegradedBuilds
+	s.DegradedHits += o.DegradedHits
+	s.DegradedUpgrades += o.DegradedUpgrades
+	s.WarmAttempts += o.WarmAttempts
+	s.WarmAccepts += o.WarmAccepts
 }
 
 // engine is the concurrent forest-generation core: a semaphore-bounded
@@ -126,12 +146,23 @@ type engine struct {
 	persisted   map[StoredForestRef]bool
 	writeWG     sync.WaitGroup
 
-	solves        atomic.Uint64
-	inFlight      atomic.Int64
-	storeHits     atomic.Uint64
-	storeMisses   atomic.Uint64
-	storeWrites   atomic.Uint64
-	storeHydrated atomic.Uint64
+	// upMu guards the set of keys with a background optimal solve running;
+	// upgradeWG lets tests and shutdown wait for upgrades to land.
+	upMu      sync.Mutex
+	upgrading map[forestKey]bool
+	upgradeWG sync.WaitGroup
+
+	solves           atomic.Uint64
+	inFlight         atomic.Int64
+	storeHits        atomic.Uint64
+	storeMisses      atomic.Uint64
+	storeWrites      atomic.Uint64
+	storeHydrated    atomic.Uint64
+	degradedBuilds   atomic.Uint64
+	degradedHits     atomic.Uint64
+	degradedUpgrades atomic.Uint64
+	warmAttempts     atomic.Uint64
+	warmAccepts      atomic.Uint64
 
 	// alias aggregates the per-row alias-table counters of every cached
 	// entry (builds, reuse hits, resident bytes); the entry cache attaches
@@ -140,6 +171,10 @@ type engine struct {
 
 	// generate runs one uncached subtree solve; wired to Server.generate.
 	generate func(ctx context.Context, root forestKey) (*ForestEntry, error)
+	// fallback builds a degraded (planar-Laplace) entry in milliseconds;
+	// nil unless EngineOptions.DegradedServing is set. Wired to
+	// Server.fallbackEntry.
+	fallback func(ctx context.Context, root forestKey) (*ForestEntry, error)
 }
 
 // flightCall is one in-progress generation that concurrent requesters for
@@ -173,6 +208,7 @@ func newEngine(opts EngineOptions, generate func(context.Context, forestKey) (*F
 		flight:      map[forestKey]*flightCall{},
 		storeFlight: map[StoredForestRef]*storeCall{},
 		persisted:   map[StoredForestRef]bool{},
+		upgrading:   map[forestKey]bool{},
 		generate:    generate,
 	}
 	en.cache = newEntryCache(capacity, &en.alias)
@@ -200,7 +236,9 @@ func (en *engine) entryOnce(ctx context.Context, key forestKey) (*ForestEntry, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if e, ok := en.cache.get(key); ok {
+	// A cached degraded fallback does not satisfy the real path: fall
+	// through to the solve, whose published result replaces the fallback.
+	if e, ok := en.cache.get(key); ok && !e.Degraded {
 		return e, nil
 	}
 	en.mu.Lock()
@@ -237,7 +275,7 @@ func (en *engine) solve(ctx context.Context, key forestKey) (*ForestEntry, error
 	}
 	defer func() { <-en.sem }()
 
-	if e, ok := en.cache.peek(key); ok {
+	if e, ok := en.cache.peek(key); ok && !e.Degraded {
 		return e, nil
 	}
 	if en.store != nil {
@@ -256,9 +294,83 @@ func (en *engine) solve(ctx context.Context, key forestKey) (*ForestEntry, error
 		return nil, err
 	}
 	en.solves.Add(1)
+	if e.Result != nil {
+		en.warmAttempts.Add(uint64(e.Result.WarmAttempts))
+		en.warmAccepts.Add(uint64(e.Result.WarmAccepts))
+	}
 	en.cache.add(key, e)
 	return e, nil
 }
+
+// entryFast is the degraded-serving read path: any cached entry (optimal or
+// fallback) answers immediately; a full miss is answered with a freshly
+// built planar-Laplace fallback in milliseconds while the real LP solve is
+// kicked off in the background. Without a configured fallback it is exactly
+// entry. Store snapshots still short-circuit the fallback — a stored forest
+// loads in milliseconds too and is optimal.
+func (en *engine) entryFast(ctx context.Context, key forestKey) (*ForestEntry, error) {
+	if en.fallback == nil {
+		return en.entry(ctx, key)
+	}
+	if e, ok := en.cache.get(key); ok {
+		if e.Degraded {
+			en.degradedHits.Add(1)
+			en.startUpgrade(key) // retried here in case an earlier upgrade failed
+		}
+		return e, nil
+	}
+	if en.store != nil {
+		if e, ok := en.storeFetch(ctx, key); ok {
+			return e, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	e, err := en.fallback(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	en.degradedBuilds.Add(1)
+	en.cache.add(key, e)
+	en.startUpgrade(key)
+	// The add may have lost the race with a concurrent optimal publication;
+	// serve whatever the cache settled on.
+	if cur, ok := en.cache.peek(key); ok {
+		return cur, nil
+	}
+	return e, nil
+}
+
+// startUpgrade launches (at most one) background optimal solve for key. The
+// solve runs detached from the triggering request's context — the optimal
+// entry is wanted regardless of whether that client sticks around — and its
+// publication replaces the cached fallback via the cache's degraded-swap
+// rule. Resident sessions pick the optimal entry up on their next report.
+func (en *engine) startUpgrade(key forestKey) {
+	en.upMu.Lock()
+	if en.upgrading[key] {
+		en.upMu.Unlock()
+		return
+	}
+	en.upgrading[key] = true
+	en.upMu.Unlock()
+	en.upgradeWG.Add(1)
+	go func() {
+		defer en.upgradeWG.Done()
+		_, err := en.entry(context.Background(), key)
+		en.upMu.Lock()
+		delete(en.upgrading, key)
+		en.upMu.Unlock()
+		if err == nil {
+			en.degradedUpgrades.Add(1)
+		}
+	}()
+}
+
+// waitUpgrades blocks until every background upgrade started so far has
+// finished (successfully or not).
+func (en *engine) waitUpgrades() { en.upgradeWG.Wait() }
 
 // storeFetch consults the durable store for the forest containing key.
 // Snapshot files hold whole (level, delta) forests, so a hit publishes
@@ -274,8 +386,13 @@ func (en *engine) storeFetch(ctx context.Context, key forestKey) (*ForestEntry, 
 		case <-ctx.Done():
 			return nil, false
 		}
-		// The leader published any snapshot entries to the cache.
-		return en.cache.peek(key)
+		// The leader published any snapshot entries to the cache. Skip a
+		// degraded fallback a concurrent fast path may have slipped in: a
+		// snapshot hit is always optimal.
+		if e, ok := en.cache.peek(key); ok && !e.Degraded {
+			return e, true
+		}
+		return nil, false
 	}
 	call := &storeCall{done: make(chan struct{})}
 	en.storeFlight[ref] = call
@@ -319,6 +436,14 @@ func (en *engine) markPersisted(ref StoredForestRef) {
 func (en *engine) persistAsync(level, delta int, entries []*ForestEntry) {
 	if en.store == nil || len(entries) == 0 {
 		return
+	}
+	// Never persist a degraded fallback: snapshots are a durable tier and
+	// must only ever hold LP-optimal matrices. (Forest assembly uses the
+	// real path, so this only fires on a logic regression.)
+	for _, e := range entries {
+		if e.Degraded {
+			return
+		}
 	}
 	ref := StoredForestRef{Level: level, Delta: delta}
 	en.storeMu.Lock()
@@ -418,21 +543,26 @@ func (en *engine) forest(ctx context.Context, keys []forestKey) (map[forestKey]*
 func (en *engine) stats() EngineStats {
 	cs := en.cache.stats()
 	return EngineStats{
-		Hits:          cs.hits,
-		Misses:        cs.misses,
-		Evictions:     cs.evictions,
-		CacheBytes:    cs.bytes,
-		CacheEntries:  cs.entries,
-		CacheCapacity: en.cache.capacity,
-		Solves:        en.solves.Load(),
-		InFlight:      en.inFlight.Load(),
-		Workers:       en.workers,
-		StoreHits:     en.storeHits.Load(),
-		StoreMisses:   en.storeMisses.Load(),
-		StoreWrites:   en.storeWrites.Load(),
-		StoreHydrated: en.storeHydrated.Load(),
-		AliasBuilds:   en.alias.builds.Load(),
-		AliasHits:     en.alias.hits.Load(),
-		AliasBytes:    en.alias.bytes.Load(),
+		Hits:             cs.hits,
+		Misses:           cs.misses,
+		Evictions:        cs.evictions,
+		CacheBytes:       cs.bytes,
+		CacheEntries:     cs.entries,
+		CacheCapacity:    en.cache.capacity,
+		Solves:           en.solves.Load(),
+		InFlight:         en.inFlight.Load(),
+		Workers:          en.workers,
+		StoreHits:        en.storeHits.Load(),
+		StoreMisses:      en.storeMisses.Load(),
+		StoreWrites:      en.storeWrites.Load(),
+		StoreHydrated:    en.storeHydrated.Load(),
+		AliasBuilds:      en.alias.builds.Load(),
+		AliasHits:        en.alias.hits.Load(),
+		AliasBytes:       en.alias.bytes.Load(),
+		DegradedBuilds:   en.degradedBuilds.Load(),
+		DegradedHits:     en.degradedHits.Load(),
+		DegradedUpgrades: en.degradedUpgrades.Load(),
+		WarmAttempts:     en.warmAttempts.Load(),
+		WarmAccepts:      en.warmAccepts.Load(),
 	}
 }

@@ -3,11 +3,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"corgi/internal/geo"
 	"corgi/internal/hexgrid"
 	"corgi/internal/loctree"
 	"corgi/internal/obf"
+	"corgi/internal/planar"
 )
 
 // ForestEntry is one privacy-forest element: the robust obfuscation matrix
@@ -22,10 +25,18 @@ type ForestEntry struct {
 	Leaves []loctree.NodeID
 	Matrix *obf.Matrix
 	// Pairs is the Geo-Ind constraint set the matrix was generated under
-	// (graph-approximation neighbor pairs), kept for audits.
+	// (graph-approximation neighbor pairs), kept for audits. Degraded
+	// fallback entries carry none (their bound holds analytically for every
+	// pair, not just graph neighbors).
 	Pairs []obf.Pair
 	// Result carries generation statistics (trace, LP iterations, timing).
 	Result *Result
+	// Degraded marks a planar-Laplace fallback entry: it satisfies the same
+	// ε-Geo-Ind bound as the optimal matrix (robustly, for any pruning set)
+	// but at strictly worse utility. Served only on the degraded fast path
+	// while the real LP solve runs; the optimal entry replaces it in the
+	// cache on completion.
+	Degraded bool
 
 	alias aliasState
 }
@@ -103,6 +114,9 @@ func NewServerWithOptions(tree *loctree.Tree, priors *loctree.Priors, targets []
 		params:      params,
 	}
 	s.engine = newEngine(opts, s.generate)
+	if opts.DegradedServing {
+		s.engine.fallback = s.fallbackEntry
+	}
 	return s, nil
 }
 
@@ -136,6 +150,75 @@ func (s *Server) GenerateEntryCtx(ctx context.Context, root loctree.NodeID, delt
 		return nil, fmt.Errorf("core: delta must be >= 0, got %d", delta)
 	}
 	return s.engine.entry(ctx, forestKey{node: root, delta: delta})
+}
+
+// ServeEntryCtx is the degraded-capable read path: with
+// EngineOptions.DegradedServing enabled, a request whose (root, delta)
+// entry misses both the cache and the store is answered immediately with a
+// discretized planar-Laplace fallback (ForestEntry.Degraded set) while the
+// real LP solve proceeds in the background; the optimal entry atomically
+// replaces the fallback on completion. Without the option it is exactly
+// GenerateEntryCtx.
+func (s *Server) ServeEntryCtx(ctx context.Context, root loctree.NodeID, delta int) (*ForestEntry, error) {
+	if !s.tree.Contains(root) {
+		return nil, fmt.Errorf("core: node %v not in tree", root)
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("core: delta must be >= 0, got %d", delta)
+	}
+	return s.engine.entryFast(ctx, forestKey{node: root, delta: delta})
+}
+
+// PeekEntry returns the cached entry for (root, delta) without touching the
+// hit/miss counters or triggering any generation. The report pipeline uses
+// it to discover that a background upgrade has replaced the degraded entry
+// a session is bound to.
+func (s *Server) PeekEntry(root loctree.NodeID, delta int) (*ForestEntry, bool) {
+	return s.engine.cache.peek(forestKey{node: root, delta: delta})
+}
+
+// WaitUpgrades blocks until every background degraded-to-optimal upgrade
+// started so far has finished. Tests use it for deterministic upgrade
+// observation; servers may call it on drain.
+func (s *Server) WaitUpgrades() { s.engine.waitUpgrades() }
+
+// fallbackEntry builds a degraded entry for a subtree from analytic
+// discretized planar-Laplace rows: w_i(j) ∝ exp(-(ε/2)·d_ij) over the
+// subtree's leaf centers. No LP runs — cost is O(K²) exponentials,
+// milliseconds even for the largest subtrees. The halved exponent makes the
+// normalized rows ε-Geo-Ind for every pair (see planar.DiscretizedRows),
+// and the bound survives arbitrary row pruning + renormalization, so the
+// fallback is δ-prunable for every δ at once — strictly safe, strictly
+// worse utility than the LP optimum.
+func (s *Server) fallbackEntry(ctx context.Context, key forestKey) (*ForestEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	root := key.node
+	leaves := s.tree.LeavesUnder(root)
+	k := len(leaves)
+	centers := make([]geo.LatLng, k)
+	for i, l := range leaves {
+		centers[i] = s.tree.System().Center(0, l.Coord)
+	}
+	start := time.Now()
+	rows, err := planar.DiscretizedRows(k, func(i, j int) float64 {
+		return geo.Haversine(centers[i], centers[j])
+	}, s.params.Epsilon)
+	if err != nil {
+		return nil, fmt.Errorf("core: fallback for subtree %v: %w", root, err)
+	}
+	m := obf.NewMatrix(k)
+	for i, row := range rows {
+		copy(m.Row(i), row)
+	}
+	return &ForestEntry{
+		Root:     root,
+		Leaves:   leaves,
+		Matrix:   m,
+		Result:   &Result{Matrix: m, Elapsed: time.Since(start)},
+		Degraded: true,
+	}, nil
 }
 
 // generate builds the instance for a subtree's leaf set and runs Generate.
@@ -231,18 +314,39 @@ func (s *Server) FlushStore() { s.engine.flushStore() }
 
 // Warmup precomputes every (level, delta) combination for privacy levels
 // 1..Height and deltas 0..maxDelta, filling the cache before traffic
-// arrives. Entries evicted by the byte bound are simply regenerated on
-// demand later.
+// arrives. All combinations fan out concurrently — the engine's worker-pool
+// semaphore still bounds real solve parallelism, and warm-started bases
+// inside each generation keep the individual solves short — so total warmup
+// time approaches the critical path of the slowest subtree rather than the
+// sum over levels. The first error cancels the remaining forests. Entries
+// evicted by the byte bound are simply regenerated on demand later.
 func (s *Server) Warmup(ctx context.Context, maxDelta int) error {
 	if maxDelta < 0 {
 		return fmt.Errorf("core: warmup delta must be >= 0, got %d", maxDelta)
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
 	for level := 1; level <= s.tree.Height(); level++ {
 		for delta := 0; delta <= maxDelta; delta++ {
-			if _, err := s.GenerateForestCtx(ctx, level, delta); err != nil {
-				return fmt.Errorf("core: warmup level %d delta %d: %w", level, delta, err)
-			}
+			wg.Add(1)
+			go func(level, delta int) {
+				defer wg.Done()
+				if _, err := s.GenerateForestCtx(ctx, level, delta); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: warmup level %d delta %d: %w", level, delta, err)
+						cancel()
+					}
+					mu.Unlock()
+				}
+			}(level, delta)
 		}
 	}
-	return nil
+	wg.Wait()
+	return firstErr
 }

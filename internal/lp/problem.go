@@ -182,6 +182,15 @@ type Solution struct {
 	Duals      []float64 // one per constraint (valid when Optimal)
 	Iterations int       // total simplex pivots across phases
 	Note       string    // diagnostic detail for non-optimal statuses
+	// Basis is the optimal basis in Options.WarmBasis encoding (valid when
+	// Optimal and the sparse solver ran): one entry per constraint row —
+	// a standard-form column index (structurals first, then slacks) when
+	// >= 0, or -(i+1) for row i's artificial. Feed it to a related solve's
+	// WarmBasis to skip phase 1 and most of phase 2.
+	Basis []int
+	// Warm reports whether a caller-supplied WarmBasis was accepted as the
+	// starting point of this solve.
+	Warm bool
 }
 
 // Options tunes the solvers. The zero value asks for defaults.
@@ -198,6 +207,15 @@ type Options struct {
 	// Seed drives the perturbation. Zero means a fixed default seed so runs
 	// are reproducible.
 	Seed int64
+	// WarmBasis seeds the sparse solver with a starting basis, typically a
+	// prior related solve's Solution.Basis. One entry per constraint row:
+	// >= 0 names a standard-form column (structural variables first, then
+	// slacks in row order), -(i+1) names row i's artificial. The basis is
+	// installed only if it factors cleanly and is primal feasible for the
+	// current RHS; otherwise the solver silently falls back to the standard
+	// crash basis. An accepted warm basis with no artificials skips phase 1
+	// entirely.
+	WarmBasis []int
 }
 
 func (o *Options) tol() float64 {
@@ -221,6 +239,13 @@ func (o *Options) seed() int64 {
 		return 0x5f3759df
 	}
 	return o.Seed
+}
+
+func (o *Options) warmBasis() []int {
+	if o == nil {
+		return nil
+	}
+	return o.WarmBasis
 }
 
 // Eval returns c·x for this problem's objective.

@@ -723,6 +723,71 @@ func (s *sparseState) dualCleanup() phaseResult {
 	return phaseIterLimit
 }
 
+// tryWarmBasis swaps the just-installed crash basis for a caller-supplied
+// warm basis (Options.WarmBasis encoding). The warm basis is accepted only
+// if it is structurally valid, factors without singularity, and is primal
+// feasible for the current (possibly perturbed) RHS; any failure restores
+// the crash state exactly and reports false. Basis membership is a column
+// set, so warm bases survive re-equilibration and RHS perturbation across
+// solves unchanged.
+func (s *sparseState) tryWarmBasis(warm []int) bool {
+	if len(warm) != s.m {
+		return false
+	}
+	cols := make([]int, s.m)
+	for i, w := range warm {
+		j := w
+		if w < 0 {
+			r := -w - 1
+			if r >= s.m {
+				return false
+			}
+			j = s.n + r
+		} else if j >= s.n {
+			return false
+		}
+		cols[i] = j
+	}
+	seen := make([]bool, s.n+s.m)
+	for _, j := range cols {
+		if seen[j] {
+			return false
+		}
+		seen[j] = true
+	}
+	crash := append([]int(nil), s.basis...)
+	restore := func() {
+		s.etas = s.etas[:0]
+		copy(s.basis, crash)
+		for j := range s.inBasis {
+			s.inBasis[j] = false
+		}
+		for _, j := range s.basis {
+			s.inBasis[j] = true
+		}
+		copy(s.xB, s.sf.b)
+	}
+	copy(s.basis, cols)
+	for j := range s.inBasis {
+		s.inBasis[j] = false
+	}
+	for _, j := range cols {
+		s.inBasis[j] = true
+	}
+	if err := s.reinvert(); err != nil {
+		restore()
+		return false
+	}
+	s.refreshXB()
+	for _, v := range s.xB {
+		if v < -1e-7 {
+			restore()
+			return false
+		}
+	}
+	return true
+}
+
 // run executes phase 1, phase 2 and, if perturbed, the exact cleanup. The
 // standard form has been equilibrated; rowScale/colScale recover original
 // units.
@@ -737,6 +802,11 @@ func (s *sparseState) run(p *Problem, flipped []bool, bTrue []float64, opt *Opti
 		s.inBasis[s.basis[i]] = true
 	}
 	copy(s.xB, s.sf.b)
+
+	warm := false
+	if wb := opt.warmBasis(); len(wb) > 0 {
+		warm = s.tryWarmBasis(wb)
+	}
 
 	// Phase 1: minimize the sum of artificials (zero cost otherwise).
 	nArt := 0
@@ -828,11 +898,21 @@ func (s *sparseState) run(p *Problem, flipped []bool, bTrue []float64, opt *Opti
 		}
 		duals[i] = yv
 	}
+	basisOut := make([]int, s.m)
+	for i, j := range s.basis {
+		if j >= s.n {
+			basisOut[i] = -(j - s.n + 1)
+		} else {
+			basisOut[i] = j
+		}
+	}
 	return &Solution{
 		Status:     Optimal,
 		X:          x,
 		Objective:  p.Eval(x),
 		Duals:      duals,
 		Iterations: s.iters,
+		Basis:      basisOut,
+		Warm:       warm,
 	}
 }

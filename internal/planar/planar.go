@@ -113,6 +113,49 @@ func (m *Mechanism) Discretize(centers []geo.XY, i int, rng *rand.Rand) (int, er
 	return best, nil
 }
 
+// DiscretizedRows builds an analytic row-stochastic obfuscation matrix over
+// n cells with entries w_i(j) ∝ exp(-(eps/2)·d(i,j)), where dist returns the
+// symmetric distance (km) between cell centers. Unlike EmpiricalMatrix it is
+// deterministic and costs O(n²) exponentials — milliseconds even for the
+// largest subtrees — which makes it usable as a serving fallback, not just
+// an evaluation baseline.
+//
+// The halved exponent is what makes the normalized rows eps-geo-ind: for any
+// cells i, j and output l, the triangle inequality bounds the unnormalized
+// ratio exp(-(eps/2)(d_il - d_jl)) <= exp((eps/2)·d_ij), and the normalizers
+// satisfy the same bound in the other direction, so
+// w_i(l)/w_j(l) <= exp(eps·d_ij). Utility is strictly worse than the
+// LP-optimal matrix (the fallback spreads mass at the full bound everywhere
+// instead of only where constraints bind), which is the price of building it
+// without a solve.
+func DiscretizedRows(n int, dist func(i, j int) float64, eps float64) ([][]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("planar: need at least 1 cell, got %d", n)
+	}
+	if eps <= 0 || math.IsInf(eps, 0) || math.IsNaN(eps) {
+		return nil, fmt.Errorf("planar: epsilon must be positive and finite, got %v", eps)
+	}
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		var sum float64
+		for j := 0; j < n; j++ {
+			d := dist(i, j)
+			if d < 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+				return nil, fmt.Errorf("planar: dist(%d,%d) = %v is not a finite non-negative distance", i, j, d)
+			}
+			w := math.Exp(-(eps / 2) * d)
+			row[j] = w
+			sum += w
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
 // EmpiricalMatrix estimates the discretized mechanism's obfuscation matrix
 // by Monte Carlo: samples draws per row. The result is row-stochastic by
 // construction and lets CORGI's audit machinery apply to planar Laplace.

@@ -125,6 +125,57 @@ func TestDiscretize(t *testing.T) {
 	}
 }
 
+func TestDiscretizedRows(t *testing.T) {
+	centers := []geo.XY{{X: 0, Y: 0}, {X: 0.4, Y: 0}, {X: 0.8, Y: 0}, {X: 0.2, Y: 0.6}}
+	dist := func(i, j int) float64 { return centers[i].Dist(centers[j]) }
+	const eps = 3.0
+	rows, err := DiscretizedRows(len(centers), dist, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		sum := 0.0
+		for j, v := range row {
+			sum += v
+			if v <= 0 {
+				t.Errorf("row %d entry %d = %v, want strictly positive", i, j, v)
+			}
+			if row[i] < v {
+				t.Errorf("row %d: diagonal %v below entry %d = %v", i, row[i], j, v)
+			}
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+	// The eps-geo-ind bound: w_i(l)/w_j(l) <= exp(eps*d(i,j)) for all i,j,l.
+	for i := range rows {
+		for j := range rows {
+			bound := math.Exp(eps * dist(i, j))
+			for l := range rows {
+				if ratio := rows[i][l] / rows[j][l]; ratio > bound*(1+1e-12) {
+					t.Errorf("ratio w_%d(%d)/w_%d(%d) = %v exceeds exp(eps*d) = %v", i, l, j, l, ratio, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestDiscretizedRowsValidation(t *testing.T) {
+	dist := func(i, j int) float64 { return math.Abs(float64(i - j)) }
+	if _, err := DiscretizedRows(0, dist, 1); err == nil {
+		t.Error("zero cells must fail")
+	}
+	for _, eps := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := DiscretizedRows(3, dist, eps); err == nil {
+			t.Errorf("epsilon %v must fail", eps)
+		}
+	}
+	if _, err := DiscretizedRows(3, func(i, j int) float64 { return -1 }, 1); err == nil {
+		t.Error("negative distance must fail")
+	}
+}
+
 func TestEmpiricalMatrix(t *testing.T) {
 	m, _ := New(3)
 	rng := rand.New(rand.NewSource(5))

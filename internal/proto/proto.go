@@ -127,6 +127,11 @@ type StatsResponse struct {
 	AliasBuilds        uint64 `json:"alias_builds"`
 	AliasHits          uint64 `json:"alias_hits"`
 	AliasBytes         int64  `json:"alias_bytes"`
+	DegradedBuilds     uint64 `json:"degraded_builds"`
+	DegradedHits       uint64 `json:"degraded_hits"`
+	DegradedUpgrades   uint64 `json:"degraded_upgrades"`
+	WarmAttempts       uint64 `json:"warm_attempts"`
+	WarmAccepts        uint64 `json:"warm_accepts"`
 }
 
 // NewHandler wires a core server into an http.Handler.
@@ -274,6 +279,11 @@ func statsResponse(s core.EngineStats) StatsResponse {
 		AliasBuilds:        s.AliasBuilds,
 		AliasHits:          s.AliasHits,
 		AliasBytes:         s.AliasBytes,
+		DegradedBuilds:     s.DegradedBuilds,
+		DegradedHits:       s.DegradedHits,
+		DegradedUpgrades:   s.DegradedUpgrades,
+		WarmAttempts:       s.WarmAttempts,
+		WarmAccepts:        s.WarmAccepts,
 	}
 }
 

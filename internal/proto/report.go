@@ -72,6 +72,11 @@ type ReportResponse struct {
 	Budgeted     bool    `json:"budgeted,omitempty"`
 	EpsSpent     float64 `json:"eps_spent,omitempty"`
 	EpsRemaining float64 `json:"eps_remaining,omitempty"`
+	// Degraded is true when the reports were drawn from a planar-Laplace
+	// fallback entry (degraded serving): the epsilon guarantee holds in
+	// full, but utility is below the LP optimum until the background solve
+	// replaces the fallback.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // BatchReportRequest draws for many users/cells in one round trip.
@@ -133,6 +138,7 @@ func (h *MultiHandler) resolveReport(ctx context.Context, req ReportRequest) (*R
 		Budgeted:       res.Budgeted,
 		EpsSpent:       res.EpsSpent,
 		EpsRemaining:   res.EpsRemaining,
+		Degraded:       res.Degraded,
 	}
 	for i, n := range res.Reports {
 		c := res.Centers[i]

@@ -111,6 +111,11 @@ type ReportResult struct {
 	Budgeted     bool
 	EpsSpent     float64
 	EpsRemaining float64
+	// Degraded is true when the reports were drawn from a planar-Laplace
+	// fallback entry (degraded serving): the same epsilon bound holds, but
+	// utility is below the LP optimum until the background solve lands and
+	// the session upgrades.
+	Degraded bool
 }
 
 // prunePlan is the preference evaluation for one (user, subtree): the
@@ -231,7 +236,7 @@ func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult
 		if err != nil {
 			return nil, err
 		}
-		entry, err := sh.Server.GenerateEntryCtx(ctx, root, len(plan.pruned))
+		entry, err := sh.Server.ServeEntryCtx(ctx, root, len(plan.pruned))
 		if err != nil {
 			return nil, err
 		}
@@ -274,7 +279,7 @@ func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult
 			if err != nil {
 				return nil, err
 			}
-			entry, err := sh.Server.GenerateEntryCtx(ctx, root, len(plan.pruned))
+			entry, err := sh.Server.ServeEntryCtx(ctx, root, len(plan.pruned))
 			if err != nil {
 				return nil, err
 			}
@@ -288,6 +293,19 @@ func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult
 			}
 			reanchored = true
 		}
+		// A session bound while its entry was degraded checks whether the
+		// background LP solve has landed and upgrades in place before
+		// drawing — the swap never touches the RNG stream, so replayed
+		// sequences stay position-aligned across the upgrade.
+		if sess.Degraded() {
+			d := len(sess.Pruned())
+			if e, ok := sh.Server.PeekEntry(sess.Root(), d); ok && !e.Degraded {
+				if _, err := sess.Upgrade(e, d); err != nil {
+					return nil, err
+				}
+			}
+		}
+		res.Degraded = sess.Degraded()
 		var err error
 		reports, err = sess.DrawCellN(leaf, count)
 		if err == nil {

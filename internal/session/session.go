@@ -271,6 +271,56 @@ func (s *Session) Rebind(r Rebind) error {
 	return nil
 }
 
+// Degraded reports whether the current binding serves from a degraded
+// (planar-Laplace fallback) forest entry rather than an LP-optimal one.
+func (s *Session) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.entry.Degraded
+}
+
+// Upgrade swaps the session's degraded binding for one backed by the
+// LP-optimal entry that replaced it, without disturbing the RNG stream or
+// the re-anchor counter: the swap is invisible to the draw sequence's
+// position (each alias draw consumes exactly one RNG value regardless of
+// which matrix backs it), so a session that started on the fallback and
+// upgraded mid-stream stays seed-deterministic from the swap onward.
+//
+// Upgrade is a no-op (returning false) unless the current binding is
+// degraded and entry covers the same subtree root; the prune set and
+// attribute anchor carry forward unchanged, since preferences were
+// evaluated against the same leaf set. A concurrent Rebind between the
+// degraded check and the swap also aborts the upgrade — the session has
+// moved on, and the new subtree's own entry governs.
+func (s *Session) Upgrade(entry *core.ForestEntry, delta int) (bool, error) {
+	if entry == nil || entry.Degraded {
+		return false, nil
+	}
+	s.mu.Lock()
+	cur := s.b
+	s.mu.Unlock()
+	if !cur.entry.Degraded || cur.entry.Root != entry.Root {
+		return false, nil
+	}
+	pruned := cur.pruned
+	if pruned == nil {
+		// Non-nil means "already evaluated, nothing pruned": newBinding must
+		// not re-run preference evaluation (the attrs are long gone).
+		pruned = []loctree.NodeID{}
+	}
+	b, err := newBinding(s.tree, s.pol, entry, delta, pruned, nil, cur.anchor)
+	if err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.b != cur {
+		return false, nil // lost a race with Rebind or another Upgrade
+	}
+	s.b = b
+	return true, nil
+}
+
 // Root returns the subtree root of the current binding.
 func (s *Session) Root() loctree.NodeID {
 	s.mu.Lock()

@@ -80,6 +80,7 @@ const errFlagEpsRemaining = 1 // float64 epsRemaining follows the flags byte
 const (
 	resFlagReanchored = 1
 	resFlagBudgeted   = 2
+	resFlagDegraded   = 4
 )
 
 // Request is one report ask on the stream wire, mirroring the JSON
@@ -116,6 +117,9 @@ type Response struct {
 	Budgeted       bool
 	EpsSpent       float64
 	EpsRemaining   float64
+	// Degraded mirrors proto.ReportResponse.Degraded: the reports came from
+	// a planar-Laplace fallback entry, not the LP optimum.
+	Degraded bool
 }
 
 // ItemResult is one batch item's outcome, mirroring proto.ReportItemResult:
@@ -143,6 +147,7 @@ type StatusError struct {
 	HasEpsRemaining bool
 }
 
+// Error formats the server's status and message.
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("stream: server returned %d: %s", e.Status, e.Msg)
 }
@@ -375,6 +380,9 @@ func appendResult(b []byte, res *registry.ReportResult) []byte {
 	if res.Budgeted {
 		flags |= resFlagBudgeted
 	}
+	if res.Degraded {
+		flags |= resFlagDegraded
+	}
 	b = append(b, flags)
 	if res.Budgeted {
 		b = appendF64(b, res.EpsSpent)
@@ -402,6 +410,7 @@ func (d *decoder) decodeResponse() (*Response, error) {
 	flags := d.u8()
 	resp.Reanchored = flags&resFlagReanchored != 0
 	resp.Budgeted = flags&resFlagBudgeted != 0
+	resp.Degraded = flags&resFlagDegraded != 0
 	if resp.Budgeted {
 		resp.EpsSpent = d.f64()
 		resp.EpsRemaining = d.f64()
