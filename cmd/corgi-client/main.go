@@ -21,6 +21,14 @@
 // preference evaluation then uses the *server's* region metadata, so
 // remote draws with -pref may prune differently than local ones.
 //
+// -local-draw splits the difference: one POST /v1/lease reveals the cell
+// and policy once, pre-pays -reports draws' epsilon in a single budget
+// charge, and brings back the customized distribution rows plus a signed
+// lease token; the draws themselves then run on-device
+// (internal/clientdraw), replaying the server's RNG stream exactly — the
+// printed sequence is byte-identical to what -remote would print for the
+// same seed.
+//
 // Forests travel in the compact wire-v2 encoding with gzip by default
 // (-v1 falls back to dense JSON), and the client keeps a small on-disk
 // forest cache: each fetch sends the cached copy's ETag as If-None-Match,
@@ -32,7 +40,7 @@
 //	corgi-client [-server http://127.0.0.1:8080] [-region nyc] \
 //	             -lat 37.765 -lng -122.435 \
 //	             [-privacy 1] [-precision 0] [-pref "home != true" -pref "distance <= 5"] \
-//	             [-reports 1] [-seed 0] [-remote] [-uid 0] \
+//	             [-reports 1] [-seed 0] [-remote] [-local-draw] [-uid 0] \
 //	             [-v1] [-no-cache] [-cache-dir DIR]
 package main
 
@@ -47,6 +55,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"corgi/internal/clientdraw"
 	"corgi/internal/core"
 	"corgi/internal/geo"
 	"corgi/internal/gowalla"
@@ -160,6 +169,7 @@ func main() {
 	reports := flag.Int("reports", 1, "number of obfuscated reports to draw")
 	seed := flag.Int64("seed", 0, "sampling seed (0: time-based)")
 	remote := flag.Bool("remote", false, "draw via the server-side report pipeline (POST /v1/report)")
+	localDraw := flag.Bool("local-draw", false, "lease the distribution once (POST /v1/lease) and draw on-device")
 	uid := flag.Int64("uid", 0, "user id for remote metadata attributes and session state")
 	v1 := flag.Bool("v1", false, "request the dense v1 forest encoding instead of compact v2")
 	noCache := flag.Bool("no-cache", false, "disable the on-disk forest cache")
@@ -202,6 +212,44 @@ func main() {
 	s := *seed
 	if s == 0 {
 		s = time.Now().UnixNano()
+	}
+
+	if *localDraw {
+		log.Printf("draw lease: cell (%d,%d) uid %d seed %d cap %d (cell and policy cross the wire once; draws stay on-device)",
+			leaf.Coord.Q, leaf.Coord.R, *uid, s, *reports)
+		lr, err := c.Lease(proto.LeaseRequest{
+			Cell:   [2]int{leaf.Coord.Q, leaf.Coord.R},
+			UID:    *uid,
+			Policy: pol,
+			Seed:   s,
+			Draws:  *reports,
+		})
+		if err != nil {
+			log.Fatalf("lease: %v", err)
+		}
+		lease, err := clientdraw.Open(tree, lr.Bundle, lr.Token)
+		if err != nil {
+			log.Fatalf("opening lease: %v", err)
+		}
+		if lr.Budgeted {
+			log.Printf("lease granted: %d draws pre-paid (eps %.4g spent, %.4g remaining), expires %s",
+				lr.DrawCap, lr.EpsSpent, lr.EpsRemaining,
+				time.UnixMilli(lr.ExpiresUnixMs).Format(time.RFC3339))
+		} else {
+			log.Printf("lease granted: %d draws, expires %s",
+				lr.DrawCap, time.UnixMilli(lr.ExpiresUnixMs).Format(time.RFC3339))
+		}
+		for i := 0; i < *reports; i++ {
+			reported, err := lease.DrawCell(leaf)
+			if err != nil {
+				log.Fatalf("local draw: %v", err)
+			}
+			center := tree.Center(reported)
+			fmt.Printf("report %d: node %v center %.6f,%.6f (moved %.3f km, pruned %d)\n",
+				i+1, reported, center.Lat, center.Lng,
+				geo.Haversine(real, center), lr.Pruned)
+		}
+		return
 	}
 
 	if *remote {

@@ -66,8 +66,8 @@
 //	              [-mix uniform|zipf] [-cell-mix uniform|zipf]
 //	              [-users 1000] [-moves 64] [-report-count 1] [-precision 0]
 //	              [-batch 0] [-trace FILE | -checkins FILE]
-//	              [-transport http|stream] [-stream-addr host:port]
-//	              [-wire v2|v1] [-seed 1] [-out report.json]
+//	              [-transport http|stream|lease] [-stream-addr host:port]
+//	              [-lease-draws 256] [-wire v2|v1] [-seed 1] [-out report.json]
 //
 // -transport stream sends report and mobility requests over the
 // corgi-stream binary transport (persistent TCP, length-prefixed frames)
@@ -76,6 +76,15 @@
 // -server. Running the same workload under both transports on the same
 // server measures the wire-protocol cost directly — same sessions, same
 // draws, different encoding and connection model.
+//
+// -transport lease moves the draws onto the client: each user stream
+// holds a clientdraw lease (one POST /v1/lease pre-pays -lease-draws
+// draws' epsilon and carries the customized rows home) and resolves trace
+// entries on-device, renewing when the cap runs out or a mobility
+// trajectory leaves the leased subtree. Most entries then cost no server
+// round trip at all — the per-entry latency histogram shows the
+// amortization directly, and 429s on renewal surface as budget
+// rejections just like the other transports.
 //
 // To measure the persistent forest store's effect on cold starts, drive a
 // store-backed server and compare latency_cold against a storeless run —
@@ -108,6 +117,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"corgi/internal/clientdraw"
 	"corgi/internal/geo"
 	"corgi/internal/gowalla"
 	"corgi/internal/hexgrid"
@@ -205,8 +215,9 @@ func main() {
 	batch := flag.Int("batch", 0, "pack N trace entries per batched round trip (0: single requests)")
 	tracePath := flag.String("trace", "", "trace file: 'region level delta' (forest) or 'region level q r' (report) lines")
 	checkinsPath := flag.String("checkins", "", "Gowalla check-in file; per-region weights follow its geography")
-	transport := flag.String("transport", "http", "report/mobility transport: http (JSON round trips) or stream (corgi-stream binary frames)")
+	transport := flag.String("transport", "http", "report/mobility transport: http (JSON round trips), stream (corgi-stream binary frames), or lease (client-side draws against POST /v1/lease)")
 	streamAddr := flag.String("stream-addr", "", "corgi-stream address, host:port (required with -transport stream)")
+	leaseDraws := flag.Int("lease-draws", 256, "draw cap pre-paid per lease (-transport lease)")
 	wire := flag.String("wire", "v2", "forest encoding to request: v1 or v2")
 	seed := flag.Int64("seed", 1, "mix/shuffle seed")
 	out := flag.String("out", "", "write the JSON report here (empty: stdout)")
@@ -227,8 +238,8 @@ func main() {
 	if *workload == "mobility" && *tracePath != "" {
 		log.Fatalf("the mobility workload replays -checkins trajectories or synthesizes random-waypoint walks; -trace is for forest/report")
 	}
-	if *transport != "http" && *transport != "stream" {
-		log.Fatalf("-transport must be http or stream")
+	if *transport != "http" && *transport != "stream" && *transport != "lease" {
+		log.Fatalf("-transport must be http, stream, or lease")
 	}
 	if *transport == "stream" {
 		if *workload == "forest" {
@@ -236,6 +247,17 @@ func main() {
 		}
 		if *streamAddr == "" {
 			log.Fatalf("-transport stream needs -stream-addr (the server's corgi-stream listener; trace building still uses the HTTP -server)")
+		}
+	}
+	if *transport == "lease" {
+		if *workload == "forest" {
+			log.Fatalf("-transport lease serves the report pipeline; use -workload report or mobility")
+		}
+		if *batch > 0 {
+			log.Fatalf("-batch is not supported by -transport lease (leases are per-user draw streams)")
+		}
+		if *leaseDraws < 1 {
+			log.Fatalf("-lease-draws must be >= 1")
 		}
 	}
 
@@ -286,6 +308,33 @@ func main() {
 		defer streamClient.Close()
 	}
 
+	// The lease transport draws on-device: trace entries resolve against
+	// per-user clientdraw leases, renewed over POST /v1/lease when a cap
+	// runs out or a user's trajectory leaves the leased subtree.
+	var leaseMgr *leaseManager
+	if *transport == "lease" {
+		trees := make(map[string]*loctree.Tree, len(regions))
+		for _, r := range regions {
+			w, err := fetchRegionWorld(*server, r)
+			if err != nil {
+				log.Fatalf("lease trees: %v", err)
+			}
+			trees[r] = w.tree
+		}
+		draws := *leaseDraws
+		if draws < *reportCount {
+			// A lease must cover at least one request's draws or no cap
+			// could ever serve it.
+			draws = *reportCount
+		}
+		leaseMgr = &leaseManager{
+			client: proto.NewClient(*server),
+			trees:  trees,
+			draws:  draws,
+			states: make(map[string]*leaseState),
+		}
+	}
+
 	workers := make([]*worker, *concurrency)
 	for i := range workers {
 		workers[i] = &worker{}
@@ -301,6 +350,9 @@ func main() {
 	issue := func(w *worker) {
 		idx := next.Add(1) - 1
 		switch {
+		case leaseMgr != nil:
+			entry := trace[int(idx)%len(trace)]
+			w.record(doReportLease(leaseMgr, entry, *precisionFlag, *reportCount, &cold))
 		case streamClient != nil && *batch > 0:
 			w.record(doReportBatchStream(streamClient, trace, idx, *batch, *precisionFlag, *reportCount, &cold))
 		case streamClient != nil:
@@ -385,6 +437,9 @@ func main() {
 		Wire: *wire, Mix: *mix, CellMix: *cellMix, ReportCount: *reportCount,
 		TraceSource: traceSource,
 	})
+	if leaseMgr != nil {
+		report.Config.LeaseDraws = leaseMgr.draws
+	}
 	report.DroppedArrivals = dropped.Load()
 	if streamClient != nil {
 		// Per-sample byte counts are an HTTP-body concept; the stream
@@ -1383,6 +1438,143 @@ func doReportBatchStream(sc *stream.Client, trace []request, idx int64, n, preci
 	return s, ok, bad
 }
 
+// leaseManager holds the lease transport's per-user state: one clientdraw
+// lease per (region, uid, seed, policy) session stream, renewed over POST
+// /v1/lease when its cap runs out or the user's trajectory leaves the
+// leased subtree. The states map is keyed exactly like server-side
+// sessions, so one loadgen user maps onto one server RNG stream.
+type leaseManager struct {
+	client *proto.Client
+	trees  map[string]*loctree.Tree
+	draws  int
+
+	mu     sync.Mutex
+	states map[string]*leaseState
+}
+
+// leaseState is one user stream's lease; its mutex serializes that
+// stream's draws and renewals (matching the per-connection FIFO ordering
+// the stream transport gives a user), while distinct users proceed in
+// parallel.
+type leaseState struct {
+	mu    sync.Mutex
+	lease *clientdraw.Lease
+}
+
+func (m *leaseManager) state(key string) *leaseState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.states[key]
+	if !ok {
+		st = &leaseState{}
+		m.states[key] = st
+	}
+	return st
+}
+
+// doReportLease resolves one trace entry through the lease transport:
+// draw on-device from the user's open lease, acquiring or renewing it
+// first when needed. The measured latency covers whatever the entry
+// actually cost — near-zero for a leased draw, one HTTP round trip when a
+// renewal was due — which is exactly the amortization the transport
+// sells. A 429 on renewal is a budget rejection like the other
+// transports; a 403 on an expired token falls back to one fresh
+// (un-renewed) lease attempt.
+func doReportLease(m *leaseManager, entry request, precision, count int, cold *coldTracker) (sample, int64, int64) {
+	st := m.state(fmt.Sprintf("%s|%d|%d|%d|%d", entry.Region, entry.UID, entry.Seed, entry.Level, precision))
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	tree := m.trees[entry.Region]
+	leaf := loctree.NodeID{Level: 0, Coord: hexgrid.Coord{Q: entry.Cell[0], R: entry.Cell[1]}}
+	isCold := cold.first(entry)
+	s := sample{region: entry.Region, cold: isCold}
+	fail := func(start time.Time) (sample, int64, int64) {
+		s.latency = time.Since(start)
+		s.err = true
+		if isCold {
+			cold.forget(entry)
+		}
+		return s, 0, 1
+	}
+	out := make([]loctree.NodeID, count)
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		if st.lease != nil && tree != nil {
+			err := st.lease.DrawCellNInto(leaf, out)
+			if err == nil {
+				s.latency = time.Since(start)
+				s.status = http.StatusOK
+				s.degraded = st.lease.Degraded()
+				return s, 1, 0
+			}
+			if !errors.Is(err, clientdraw.ErrLeaseExhausted) && !errors.Is(err, clientdraw.ErrOutsideSubtree) {
+				return fail(start)
+			}
+			// Cap spent or the user moved off the leased subtree: renew.
+		}
+		if attempt >= 3 {
+			return fail(start)
+		}
+		var token []byte
+		if st.lease != nil {
+			token = st.lease.Token()
+		}
+		lr, err := m.client.Lease(proto.LeaseRequest{
+			Region: entry.Region,
+			Cell:   entry.Cell,
+			UID:    entry.UID,
+			Policy: policy.Policy{PrivacyLevel: entry.Level, PrecisionLevel: precision},
+			Seed:   entry.Seed,
+			Draws:  m.draws,
+			Token:  token,
+		})
+		if err != nil {
+			var le *proto.LeaseError
+			if errors.As(err, &le) {
+				if le.Status == http.StatusTooManyRequests {
+					// Same accounting as the other transports: the refused
+					// renewal absorbed no session work, so release the cold
+					// claim for the first granted request.
+					s.latency = time.Since(start)
+					s.status = le.Status
+					s.budgetRejected = true
+					if isCold {
+						s.cold = false
+						cold.forget(entry)
+					}
+					return s, 0, 1
+				}
+				if le.Status == http.StatusForbidden && token != nil {
+					// The renewal token expired while the lease idled; one
+					// fresh lease continues the stream (the server session
+					// still holds the position).
+					st.lease = nil
+					continue
+				}
+				s.status = le.Status
+			}
+			return fail(start)
+		}
+		var lease *clientdraw.Lease
+		if st.lease != nil {
+			// Renewal: hand the live RNG stream to the next window instead
+			// of replaying O(position) variates from the seed.
+			lease, err = st.lease.Renew(lr.Bundle, lr.Token)
+		} else {
+			lease, err = clientdraw.Open(tree, lr.Bundle, lr.Token)
+		}
+		if err != nil {
+			st.lease = nil
+			return fail(start)
+		}
+		st.lease = lease
+		if lr.Reanchored {
+			s.reanchored = true
+		}
+	}
+}
+
 // roundTrip measures one request to full-body completion.
 func roundTrip(client *http.Client, req *http.Request) sample {
 	start := time.Now()
@@ -1427,7 +1619,9 @@ type config struct {
 	Mix         string   `json:"mix"`
 	CellMix     string   `json:"cell_mix,omitempty"`
 	ReportCount int      `json:"report_count,omitempty"`
-	TraceSource string   `json:"trace_source"`
+	// LeaseDraws is the pre-paid cap per lease (-transport lease only).
+	LeaseDraws  int    `json:"lease_draws,omitempty"`
+	TraceSource string `json:"trace_source"`
 }
 
 // latencySummary is the quantile block of the report, in milliseconds.

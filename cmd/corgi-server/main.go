@@ -47,6 +47,16 @@
 // carry a "degraded" flag until then. degraded_* counters appear in
 // /v1/stats.
 //
+// POST /v1/lease (and the stream transport's LEASE frame) issues
+// client-side draw leases: one request pre-pays n draws' epsilon in a
+// single budget charge, and the response carries the user's customized
+// distribution rows plus an HMAC-signed token (user, subtree, draw cap,
+// RNG position, expiry) so the device draws locally at memory speed and
+// renews when the cap runs out — see internal/clientdraw. -lease-secret
+// fixes the token-signing key (hex; default: a random per-process key,
+// meaning leases do not survive a restart) and -lease-ttl bounds token
+// lifetime. lease_* counters appear in /v1/stats.
+//
 // -stream-addr ADDR additionally serves the report pipeline over the
 // corgi-stream binary transport (internal/stream): length-prefixed frames
 // on persistent TCP connections, answering from the same registry —
@@ -63,13 +73,14 @@
 //	             [-workers 0] [-cache-mb 256] [-warmup -1] [-eager]
 //	             [-store ./forests] [-max-batch 64] [-max-sessions 4096]
 //	             [-max-report-count 1000] [-budget-eps 0] [-budget-window 1h]
-//	             [-degraded-serving]
+//	             [-lease-secret HEX] [-lease-ttl 1m] [-degraded-serving]
 //	             [-read-timeout 30s] [-write-timeout 10m] [-idle-timeout 2m]
 //	             [-request-timeout 5m]
 package main
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -115,6 +126,8 @@ func main() {
 	budgetEps := flag.Float64("budget-eps", 0, "per-user epsilon budget per sliding window (0: accounting off)")
 	budgetWindow := flag.Duration("budget-window", time.Hour, "sliding epsilon-budget window")
 	budgetUsers := flag.Int("budget-users", 0, "tracked users per region budget accountant (0: default 65536)")
+	leaseSecret := flag.String("lease-secret", "", "hex key for lease-token signing (empty: random per-process key)")
+	leaseTTL := flag.Duration("lease-ttl", registry.DefaultLeaseTTL, "draw-lease token lifetime")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 10*time.Minute, "HTTP server write timeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
@@ -147,6 +160,12 @@ func main() {
 			log.Fatalf("store: %v", err)
 		}
 	}
+	var secret []byte
+	if *leaseSecret != "" {
+		if secret, err = hex.DecodeString(*leaseSecret); err != nil {
+			log.Fatalf("lease-secret: %v", err)
+		}
+	}
 	reg, err := registry.New(specs, registry.Options{
 		Engine: core.EngineOptions{
 			Workers:         *workers,
@@ -161,6 +180,8 @@ func main() {
 			Window:   *budgetWindow,
 			MaxUsers: *budgetUsers,
 		},
+		LeaseSecret: secret,
+		LeaseTTL:    *leaseTTL,
 	})
 	if err != nil {
 		log.Fatalf("registry: %v", err)

@@ -37,6 +37,7 @@ import (
 	"math/rand"
 
 	"corgi/internal/budget"
+	"corgi/internal/clientdraw"
 	"corgi/internal/core"
 	"corgi/internal/geo"
 	"corgi/internal/gowalla"
@@ -140,12 +141,49 @@ type (
 	// StreamStatusError is an application-level stream failure carrying the
 	// same HTTP-equivalent status the JSON routes would have answered.
 	StreamStatusError = stream.StatusError
+	// LeaseRequest asks the registry for a client-side draw lease: one
+	// epsilon charge pre-pays a whole draw cap, and the grant carries the
+	// user's customized distribution rows plus a signed token.
+	LeaseRequest = registry.LeaseRequest
+	// LeaseGrant is an issued draw lease (token + bundle + the
+	// customization facts a report response would carry).
+	LeaseGrant = registry.LeaseGrant
+	// LeaseStats snapshots lease issuance/denial counters.
+	LeaseStats = registry.LeaseStats
+	// LeaseToken is the authenticated claim set inside a lease token
+	// (user, subtree, epsilon rate, draw cap, RNG position, expiry).
+	LeaseToken = budget.LeaseToken
+	// LeaseKeyring signs and verifies lease tokens with per-user
+	// HMAC-SHA256 keys derived from one master secret.
+	LeaseKeyring = budget.Keyring
+	// ClientLease replays the server's exact draw sequence on the device
+	// from a lease grant; open one with OpenClientLease.
+	ClientLease = clientdraw.Lease
 )
 
 // ErrBudgetExhausted marks a report rejected because drawing it would push
 // the user's epsilon spend over their sliding-window cap (the serving
 // stack answers 429 Too Many Requests).
 var ErrBudgetExhausted = budget.ErrBudgetExhausted
+
+// ErrBadLeaseToken marks a forged, tampered, or expired lease token (the
+// serving stack answers 403 Forbidden).
+var ErrBadLeaseToken = budget.ErrBadLeaseToken
+
+// ErrLeaseExhausted marks a client-side draw past a lease's pre-paid cap;
+// renew the lease (its token rides along) to continue the stream.
+var ErrLeaseExhausted = clientdraw.ErrLeaseExhausted
+
+// OpenClientLease opens a granted draw lease for on-device sampling: it
+// rebuilds the server's alias tables from the bundle's exact weights and
+// positions the RNG stream so every draw is byte-identical to what the
+// server would have produced for the same seed.
+func OpenClientLease(tree *Tree, g *LeaseGrant) (*ClientLease, error) {
+	if g == nil {
+		return nil, fmt.Errorf("corgi: nil lease grant")
+	}
+	return clientdraw.Open(tree, g.Bundle, g.Token)
+}
 
 // NewBudgetAccountant builds a sliding-window per-user epsilon accountant;
 // cfg.LimitEps must be positive.

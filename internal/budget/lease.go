@@ -1,0 +1,245 @@
+package budget
+
+// This file is the lease half of the budget package: where the Accountant
+// enforces how much epsilon a user may spend, the Keyring proves how much
+// they already paid. A draw lease pre-pays n draws' epsilon in one Charge
+// and hands the client an HMAC-signed token binding everything the server
+// must not re-trust the client about — user, region, subtree, prune
+// budget, epsilon rate, draw cap, RNG position, expiry. The server keeps
+// no per-lease state: a renewal presents the token, the HMAC proves the
+// server issued it, and the carried RNG position lets an evicted session
+// be rebuilt exactly where the leased stream ends. Keys are per-user
+// (derived from one master secret via HMAC-SHA256, in the spirit of the
+// Psiphon OSL key hierarchy), so one user's captured token material never
+// verifies another user's leases.
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"corgi/internal/loctree"
+)
+
+// ErrBadLeaseToken marks a lease token that fails verification: forged or
+// tampered bytes, a wrong user's key, or an expired lease. The serving
+// layer maps it to 403 Forbidden — unlike a budget rejection (429), the
+// condition does not clear by waiting.
+var ErrBadLeaseToken = errors.New("budget: invalid lease token")
+
+// tokenMagic brands an encoded lease token.
+const tokenMagic = "CGT1"
+
+// tokenVersion is the current token layout version.
+const tokenVersion = 1
+
+// tagLen is the HMAC-SHA256 tag length appended to the token payload.
+const tagLen = sha256.Size
+
+// LeaseToken is the signed claim a draw lease carries: the facts the
+// server asserted at issuance and refuses to re-derive from client input.
+type LeaseToken struct {
+	// UID is the user the lease's epsilon was charged to; the token only
+	// verifies under that user's derived key.
+	UID int64
+	// Region and Root name the shard and privacy subtree the leased rows
+	// customize.
+	Region string
+	Root   loctree.NodeID
+	// Delta is the prune budget (|S|) the leased binding was built with.
+	Delta int
+	// Eps is the per-draw epsilon rate charged (linear composition: the
+	// lease pre-paid Eps x DrawCap).
+	Eps float64
+	// DrawCap is how many draws the lease pre-paid; the client-side
+	// sampler refuses draws beyond it.
+	DrawCap int
+	// RNGPos is the draws-consumed position the leased window starts at;
+	// RNGPos + DrawCap is where the user's stream continues after it.
+	RNGPos uint64
+	// IssuedAt / ExpiresAt bound the lease lifetime (Unix milliseconds).
+	IssuedAt  int64
+	ExpiresAt int64
+}
+
+// Expiry returns the token's expiry instant.
+func (t LeaseToken) Expiry() time.Time { return time.UnixMilli(t.ExpiresAt) }
+
+// appendTokenPayload serializes the signed portion of a token.
+func appendTokenPayload(buf []byte, t LeaseToken) []byte {
+	buf = append(buf, tokenMagic...)
+	buf = append(buf, tokenVersion)
+	buf = binary.AppendVarint(buf, t.UID)
+	buf = binary.AppendUvarint(buf, uint64(len(t.Region)))
+	buf = append(buf, t.Region...)
+	buf = binary.AppendVarint(buf, int64(t.Root.Level))
+	buf = binary.AppendVarint(buf, int64(t.Root.Coord.Q))
+	buf = binary.AppendVarint(buf, int64(t.Root.Coord.R))
+	buf = binary.AppendUvarint(buf, uint64(t.Delta))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.Eps))
+	buf = binary.AppendUvarint(buf, uint64(t.DrawCap))
+	buf = binary.AppendUvarint(buf, t.RNGPos)
+	buf = binary.AppendVarint(buf, t.IssuedAt)
+	buf = binary.AppendVarint(buf, t.ExpiresAt)
+	return buf
+}
+
+// decodeTokenPayload parses the signed portion, returning the payload
+// length consumed so the caller can locate the tag.
+func decodeTokenPayload(data []byte) (LeaseToken, int, error) {
+	var t LeaseToken
+	if len(data) < len(tokenMagic)+1 || string(data[:len(tokenMagic)]) != tokenMagic {
+		return t, 0, fmt.Errorf("%w: bad magic", ErrBadLeaseToken)
+	}
+	off := len(tokenMagic)
+	if data[off] != tokenVersion {
+		return t, 0, fmt.Errorf("%w: version %d unsupported", ErrBadLeaseToken, data[off])
+	}
+	off++
+	varint := func() (int64, error) {
+		v, n := binary.Varint(data[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated at byte %d", ErrBadLeaseToken, off)
+		}
+		off += n
+		return v, nil
+	}
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated at byte %d", ErrBadLeaseToken, off)
+		}
+		off += n
+		return v, nil
+	}
+	var err error
+	if t.UID, err = varint(); err != nil {
+		return t, 0, err
+	}
+	rl, err := uvarint()
+	if err != nil {
+		return t, 0, err
+	}
+	if rl > 256 || off+int(rl) > len(data) {
+		return t, 0, fmt.Errorf("%w: region length %d out of range", ErrBadLeaseToken, rl)
+	}
+	t.Region = string(data[off : off+int(rl)])
+	off += int(rl)
+	lvl, err := varint()
+	if err != nil {
+		return t, 0, err
+	}
+	q, err := varint()
+	if err != nil {
+		return t, 0, err
+	}
+	r, err := varint()
+	if err != nil {
+		return t, 0, err
+	}
+	t.Root = loctree.NodeID{Level: int(lvl)}
+	t.Root.Coord.Q = int(q)
+	t.Root.Coord.R = int(r)
+	delta, err := uvarint()
+	if err != nil {
+		return t, 0, err
+	}
+	t.Delta = int(delta)
+	if off+8 > len(data) {
+		return t, 0, fmt.Errorf("%w: truncated at byte %d", ErrBadLeaseToken, off)
+	}
+	t.Eps = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+	off += 8
+	cap64, err := uvarint()
+	if err != nil {
+		return t, 0, err
+	}
+	if cap64 > math.MaxInt32 {
+		return t, 0, fmt.Errorf("%w: draw cap %d out of range", ErrBadLeaseToken, cap64)
+	}
+	t.DrawCap = int(cap64)
+	if t.RNGPos, err = uvarint(); err != nil {
+		return t, 0, err
+	}
+	if t.IssuedAt, err = varint(); err != nil {
+		return t, 0, err
+	}
+	if t.ExpiresAt, err = varint(); err != nil {
+		return t, 0, err
+	}
+	return t, off, nil
+}
+
+// DecodeLeaseToken parses a token WITHOUT authenticating it. Clients use
+// it to read their own lease's cap and expiry; servers must only trust
+// fields coming out of Keyring.Verify.
+func DecodeLeaseToken(data []byte) (LeaseToken, error) {
+	t, off, err := decodeTokenPayload(data)
+	if err != nil {
+		return t, err
+	}
+	if len(data) != off+tagLen {
+		return t, fmt.Errorf("%w: bad tag length", ErrBadLeaseToken)
+	}
+	return t, nil
+}
+
+// Keyring derives per-user lease-signing keys from one master secret and
+// signs/verifies lease tokens with them.
+type Keyring struct {
+	master []byte
+}
+
+// NewKeyring builds a keyring over a non-empty master secret.
+func NewKeyring(secret []byte) (*Keyring, error) {
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("budget: keyring needs a non-empty secret")
+	}
+	return &Keyring{master: append([]byte(nil), secret...)}, nil
+}
+
+// userKey derives uid's signing key: HMAC-SHA256(master, uid). Capturing
+// one user's tag material therefore never helps forging another user's.
+func (k *Keyring) userKey(uid int64) []byte {
+	mac := hmac.New(sha256.New, k.master)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(uid))
+	mac.Write(b[:])
+	return mac.Sum(nil)
+}
+
+// Sign encodes and signs a token under its user's derived key.
+func (k *Keyring) Sign(t LeaseToken) []byte {
+	payload := appendTokenPayload(nil, t)
+	mac := hmac.New(sha256.New, k.userKey(t.UID))
+	mac.Write(payload)
+	return mac.Sum(payload)
+}
+
+// Verify authenticates an encoded token and checks it against the clock:
+// a tampered payload, a truncated tag, a key mismatch (wrong user or
+// wrong server secret), or an expired lease all fail with
+// ErrBadLeaseToken. Only a verified token's fields may be trusted.
+func (k *Keyring) Verify(data []byte, now time.Time) (LeaseToken, error) {
+	t, off, err := decodeTokenPayload(data)
+	if err != nil {
+		return LeaseToken{}, err
+	}
+	if len(data) != off+tagLen {
+		return LeaseToken{}, fmt.Errorf("%w: bad tag length", ErrBadLeaseToken)
+	}
+	mac := hmac.New(sha256.New, k.userKey(t.UID))
+	mac.Write(data[:off])
+	if !hmac.Equal(mac.Sum(nil), data[off:]) {
+		return LeaseToken{}, fmt.Errorf("%w: signature mismatch", ErrBadLeaseToken)
+	}
+	if now.UnixMilli() > t.ExpiresAt {
+		return LeaseToken{}, fmt.Errorf("%w: lease expired %v ago",
+			ErrBadLeaseToken, now.Sub(t.Expiry()).Round(time.Millisecond))
+	}
+	return t, nil
+}

@@ -1,0 +1,301 @@
+// Package clientdraw replays the server's exact draw sequence from a
+// lease bundle, on the device. It is the client half of the draw-lease
+// pipeline: internal/session.DetachLease serializes a session's
+// customized rows plus RNG coordinates (seed + position), internal/codec
+// carries them as a bundle, and Open rebuilds the same Walker alias
+// tables (internal/sample) over the same float64 weight vectors — equal
+// inputs, equal tables — then seeds math/rand identically and
+// fast-forwards to the recorded position. From there every DrawCell
+// consumes exactly one uniform variate, just like the server, so the
+// device-local sequence is byte-identical to what /v1/report, the stream
+// transport, or an in-proc registry would have produced for the same
+// seed, including across re-anchors (each lease carries the position its
+// window starts at).
+//
+// The lease enforces its own draw cap client-side (ErrLeaseExhausted) —
+// not as security (the token's HMAC and the server's pre-paid accounting
+// are what cap a hostile client) but so an honest client renews instead
+// of silently drawing past what it paid for. Error semantics mirror the
+// server row for row: a cell outside the leased subtree is
+// ErrOutsideSubtree (renew at the new location), a draw from a row the
+// server would refuse (pruned own location, degenerate row) fails without
+// consuming RNG.
+//
+// A Lease is safe for concurrent use; draws serialize under an internal
+// mutex exactly as server-side sessions do.
+package clientdraw
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"corgi/internal/budget"
+	"corgi/internal/codec"
+	"corgi/internal/loctree"
+	"corgi/internal/sample"
+)
+
+// ErrLeaseExhausted marks a draw attempted past the lease's pre-paid cap;
+// the client must renew (POST /v1/lease with the old token) to continue.
+var ErrLeaseExhausted = errors.New("clientdraw: lease draw cap exhausted")
+
+// ErrOutsideSubtree mirrors session.ErrOutsideSubtree: the true cell left
+// the leased subtree, and the client must renew at the new location.
+var ErrOutsideSubtree = errors.New("clientdraw: cell outside the leased subtree")
+
+// ErrUnsampleable mirrors session.ErrUnsampleable: the row is degenerate
+// (empty in the bundle) and no draw can be served from it.
+var ErrUnsampleable = errors.New("clientdraw: row unsampleable")
+
+// Lease is an open draw lease: decoded rows, lazily built alias tables,
+// and the positioned RNG stream. Create with Open.
+type Lease struct {
+	tree  *loctree.Tree
+	token []byte
+	tok   budget.LeaseToken
+
+	root      loctree.NodeID
+	precision int
+	degraded  bool
+	seed      int64
+	leafIdx   map[loctree.NodeID]bool
+	prunedSet map[loctree.NodeID]bool
+	nodes     []loctree.NodeID
+	rowIndex  map[loctree.NodeID]int
+	rows      [][]float64
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rowAlias map[int]*sample.Alias
+	used     int
+}
+
+// Open decodes a lease grant's bundle and token and positions the RNG
+// stream: seed the bundle's source, then burn its recorded position so
+// the first local draw consumes the exact variate the server's resident
+// stream reserved for it. The token is parsed (unauthenticated — the
+// client holds no key) for the draw cap; tampering with it only breaks
+// the client's own renewal.
+func Open(tree *loctree.Tree, bundle, token []byte) (*Lease, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("clientdraw: nil tree")
+	}
+	b, err := codec.DecodeLeaseBundle(bundle)
+	if err != nil {
+		return nil, err
+	}
+	tok, err := budget.DecodeLeaseToken(token)
+	if err != nil {
+		return nil, err
+	}
+	if tok.RNGPos != b.RNGPos || tok.Root != b.Root {
+		return nil, fmt.Errorf("clientdraw: token and bundle disagree (root %v/%v, position %d/%d)",
+			tok.Root, b.Root, tok.RNGPos, b.RNGPos)
+	}
+	return newLease(tree, b, tok, token, nil)
+}
+
+// newLease assembles an open lease from a decoded grant. A nil rng means
+// positioning from scratch: seed the bundle's source and burn its
+// recorded position. A non-nil rng is a handover from Renew, already
+// standing at the bundle's position.
+func newLease(tree *loctree.Tree, b *codec.LeaseBundle, tok budget.LeaseToken, token []byte, rng *rand.Rand) (*Lease, error) {
+	l := &Lease{
+		tree:      tree,
+		token:     append([]byte(nil), token...),
+		tok:       tok,
+		root:      b.Root,
+		precision: b.PrecisionLevel,
+		degraded:  b.Degraded,
+		seed:      b.Seed,
+		leafIdx:   make(map[loctree.NodeID]bool),
+		prunedSet: make(map[loctree.NodeID]bool, len(b.Pruned)),
+		nodes:     b.Nodes,
+		rowIndex:  make(map[loctree.NodeID]int, len(b.Nodes)),
+		rows:      b.Rows,
+		rng:       rng,
+		rowAlias:  map[int]*sample.Alias{},
+	}
+	for _, leaf := range tree.LeavesUnder(b.Root) {
+		l.leafIdx[leaf] = true
+	}
+	if len(l.leafIdx) == 0 {
+		return nil, fmt.Errorf("clientdraw: subtree %v has no leaves in this tree", b.Root)
+	}
+	for _, p := range b.Pruned {
+		l.prunedSet[p] = true
+	}
+	for i, n := range b.Nodes {
+		l.rowIndex[n] = i
+	}
+	if l.rng == nil {
+		l.rng = rand.New(rand.NewSource(b.Seed))
+		// Fast-forward to the leased window: one variate per position, the
+		// same consumption rate as one alias draw.
+		for i := uint64(0); i < b.RNGPos; i++ {
+			l.rng.Float64()
+		}
+	}
+	return l, nil
+}
+
+// Renew opens the next lease window from a renewal grant, handing this
+// lease's live RNG stream over instead of replaying it from the seed.
+// Positions grow without bound over a user's lifetime, so Open's
+// burn-from-zero costs O(position) per renewal — quadratic over a
+// session — while a handover is O(forfeited draws): the stream only
+// advances across the gap the server skipped (renewals continue at the
+// old window's cap, so unconsumed draws are burned, never replayed by
+// the next window). When the grant does not continue this stream (a
+// different seed, or a position behind the current one), Renew falls
+// back to a fresh Open. Either way this lease is retired: its remaining
+// draws report exhausted.
+func (l *Lease) Renew(bundle, token []byte) (*Lease, error) {
+	b, err := codec.DecodeLeaseBundle(bundle)
+	if err != nil {
+		return nil, err
+	}
+	tok, err := budget.DecodeLeaseToken(token)
+	if err != nil {
+		return nil, err
+	}
+	if tok.RNGPos != b.RNGPos || tok.Root != b.Root {
+		return nil, fmt.Errorf("clientdraw: token and bundle disagree (root %v/%v, position %d/%d)",
+			tok.Root, b.Root, tok.RNGPos, b.RNGPos)
+	}
+	var rng *rand.Rand
+	l.mu.Lock()
+	pos := l.tok.RNGPos + uint64(l.used)
+	if b.Seed == l.seed && b.RNGPos >= pos {
+		for ; pos < b.RNGPos; pos++ {
+			l.rng.Float64()
+		}
+		rng = l.rng
+	}
+	l.used = l.tok.DrawCap // retire the old window either way
+	l.mu.Unlock()
+	return newLease(l.tree, b, tok, token, rng)
+}
+
+// Token returns the signed lease token, for renewal.
+func (l *Lease) Token() []byte { return l.token }
+
+// Root returns the leased privacy subtree.
+func (l *Lease) Root() loctree.NodeID { return l.root }
+
+// Degraded reports whether the leased rows came from a planar-Laplace
+// fallback entry.
+func (l *Lease) Degraded() bool { return l.degraded }
+
+// DrawCap returns the lease's pre-paid draw cap.
+func (l *Lease) DrawCap() int { return l.tok.DrawCap }
+
+// ExpiresUnixMs returns the token expiry (Unix milliseconds).
+func (l *Lease) ExpiresUnixMs() int64 { return l.tok.ExpiresAt }
+
+// Used reports how many draws the lease has served.
+func (l *Lease) Used() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+// Remaining reports how many pre-paid draws are left.
+func (l *Lease) Remaining() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tok.DrawCap - l.used
+}
+
+// Covers reports whether the leased subtree contains leaf.
+func (l *Lease) Covers(leaf loctree.NodeID) bool { return l.leafIdx[leaf] }
+
+// DrawCell draws one obfuscated report node for a true leaf cell.
+func (l *Lease) DrawCell(leaf loctree.NodeID) (loctree.NodeID, error) {
+	out := make([]loctree.NodeID, 1)
+	if err := l.DrawCellNInto(leaf, out); err != nil {
+		return loctree.NodeID{}, err
+	}
+	return out[0], nil
+}
+
+// DrawCellN draws n reports for one true cell as one atomic sequence,
+// mirroring session.DrawCellN.
+func (l *Lease) DrawCellN(leaf loctree.NodeID, n int) ([]loctree.NodeID, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("clientdraw: draw count %d must be >= 1", n)
+	}
+	out := make([]loctree.NodeID, n)
+	if err := l.DrawCellNInto(leaf, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DrawCellNInto draws len(out) reports into a caller-owned slice. All
+// checks run before any variate is consumed — a refused draw (cap
+// exhausted, cell outside the subtree, pruned own location, degenerate
+// row) leaves the stream position untouched, exactly as the server's
+// session does, so a client that renews after a refusal stays
+// position-aligned with the server's accounting.
+func (l *Lease) DrawCellNInto(leaf loctree.NodeID, out []loctree.NodeID) error {
+	n := len(out)
+	if n < 1 {
+		return fmt.Errorf("clientdraw: draw count %d must be >= 1", n)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.used+n > l.tok.DrawCap {
+		return fmt.Errorf("%w: %d of %d draws used, %d more requested",
+			ErrLeaseExhausted, l.used, l.tok.DrawCap, n)
+	}
+	if !l.leafIdx[leaf] {
+		return fmt.Errorf("%w: cell %v, subtree %v", ErrOutsideSubtree, leaf, l.root)
+	}
+	rowNode := leaf
+	if l.precision > 0 {
+		anc, ok := l.tree.AncestorAt(leaf, l.precision)
+		if !ok {
+			return fmt.Errorf("clientdraw: no ancestor of %v at precision level %d", leaf, l.precision)
+		}
+		rowNode = anc
+	} else if l.prunedSet[leaf] {
+		return fmt.Errorf("clientdraw: preferences prune the user's own location %v at precision 0", leaf)
+	}
+	row, ok := l.rowIndex[rowNode]
+	if !ok {
+		return fmt.Errorf("clientdraw: node %v missing from the leased report set", rowNode)
+	}
+	a, err := l.aliasForRowLocked(row)
+	if err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] = l.nodes[a.Draw(l.rng)]
+	}
+	l.used += n
+	return nil
+}
+
+// aliasForRowLocked builds (and caches) the alias table for one row from
+// its exact leased weights — the same sample.New the server's buildRow
+// arms bottom out in. Caller holds l.mu.
+func (l *Lease) aliasForRowLocked(row int) (*sample.Alias, error) {
+	if a, ok := l.rowAlias[row]; ok {
+		return a, nil
+	}
+	w := l.rows[row]
+	if len(w) == 0 {
+		// The server encoded this row empty: degenerate after pruning. No
+		// RNG is consumed, matching the server's failed alias build.
+		return nil, fmt.Errorf("%w: row %v degenerate after pruning", ErrUnsampleable, l.nodes[row])
+	}
+	a, err := sample.New(w)
+	if err != nil {
+		return nil, fmt.Errorf("%w: row %v: %v", ErrUnsampleable, l.nodes[row], err)
+	}
+	l.rowAlias[row] = a
+	return a, nil
+}

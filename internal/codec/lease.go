@@ -1,0 +1,334 @@
+package codec
+
+// This file is the lease-bundle codec: the serialized form of a detached
+// session binding (internal/session.DetachLease) that a client replays
+// draws from without the server. Unlike the matrix codec in codec.go, row
+// weights here are carried as full IEEE-754 float64 bit patterns, never
+// quantized: the client rebuilds Walker alias tables from these vectors
+// (internal/sample.New), and a quantization error of even ~1.2e-10 per
+// entry would shift alias thresholds and break the byte-identical draw
+// equivalence the lease pipeline guarantees. math.Float64bits round-trips
+// exactly, so a bundle decodes to the same vectors the server sampled from.
+//
+// Layout (all integers little endian; varints are encoding/binary's):
+//
+//	"CGL1"               magic
+//	uint8  version (1)
+//	uint8  flags (bit 0: degraded entry)
+//	uvarint precision level
+//	node   subtree root
+//	varint seed
+//	uvarint rng position (draws consumed before the leased window)
+//	uvarint pruned count, then that many nodes
+//	uvarint node count n (>= 1), then n nodes (the report outcomes)
+//	n rows, each:
+//	  uint8 kind 0: empty — the row is unsampleable (degenerate after
+//	         pruning); a client draw from it fails without consuming RNG
+//	  uint8 kind 1: dense — n float64 bit patterns
+//	  uint8 kind 2: sparse — uvarint nnz, then nnz x (uvarint col,
+//	         float64 bits); omitted columns are exactly 0.0
+//
+// where node := varint level, varint q, varint r. The encoder picks dense
+// or sparse per row, whichever is smaller; exact-0.0 weights are the only
+// thing sparsity elides, which cannot perturb an alias build. Decoding is
+// strict: truncated, oversized, out-of-range, or trailing bytes are
+// errors, never panics (fuzz-tested).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"corgi/internal/loctree"
+)
+
+// leaseMagic brands an encoded lease bundle.
+const leaseMagic = "CGL1"
+
+// leaseVersion is the current bundle layout version.
+const leaseVersion = 1
+
+// MaxLeaseNodes caps the report-node count a bundle may carry, shared with
+// the matrix codec's dimension limit (the paper's largest tree has 343
+// leaves; the cap exists so a hostile bundle cannot demand gigabyte
+// allocations before validation fails).
+const MaxLeaseNodes = MaxDim
+
+const (
+	leaseFlagDegraded = 1 << 0
+
+	rowEmpty  = 0
+	rowDense  = 1
+	rowSparse = 2
+)
+
+// LeaseBundle is a detached session binding: everything a client needs to
+// replay the server's exact draw sequence for one subtree. Produced by
+// session.DetachLease, consumed by internal/clientdraw.
+type LeaseBundle struct {
+	// Root is the privacy subtree the binding covers.
+	Root loctree.NodeID
+	// PrecisionLevel is the policy's precision level: 0 draws from leaf
+	// rows, >0 from precision-group rows (the client maps a true leaf to
+	// its ancestor at this level, as the server does).
+	PrecisionLevel int
+	// Degraded marks rows detached from a planar-Laplace fallback entry.
+	Degraded bool
+	// Seed and RNGPos are the RNG coordinates: the client seeds
+	// rand.New(rand.NewSource(Seed)) and burns RNGPos variates, landing
+	// exactly where the server's resident stream stood at detach time.
+	Seed   int64
+	RNGPos uint64
+	// Pruned lists the leaves the policy's preferences removed (a draw at
+	// one of them fails at leaf precision, matching the server).
+	Pruned []loctree.NodeID
+	// Nodes are the report outcomes, index-aligned with Rows; a drawn row
+	// index names Nodes[i].
+	Nodes []loctree.NodeID
+	// Rows holds, per report row, the exact weight vector the server's
+	// alias build consumes (len == len(Nodes) each). A nil/empty row is
+	// unsampleable: degenerate after pruning, refused client-side without
+	// consuming RNG.
+	Rows [][]float64
+}
+
+func appendNode(buf []byte, n loctree.NodeID) []byte {
+	buf = binary.AppendVarint(buf, int64(n.Level))
+	buf = binary.AppendVarint(buf, int64(n.Coord.Q))
+	buf = binary.AppendVarint(buf, int64(n.Coord.R))
+	return buf
+}
+
+// EncodeLeaseBundle packs a bundle into its binary form.
+func EncodeLeaseBundle(b *LeaseBundle) ([]byte, error) {
+	n := len(b.Nodes)
+	if n < 1 || n > MaxLeaseNodes {
+		return nil, fmt.Errorf("codec: lease node count %d out of range [1, %d]", n, MaxLeaseNodes)
+	}
+	if len(b.Rows) != n {
+		return nil, fmt.Errorf("codec: lease has %d rows for %d nodes", len(b.Rows), n)
+	}
+	buf := make([]byte, 0, 64+9*n)
+	buf = append(buf, leaseMagic...)
+	buf = append(buf, leaseVersion)
+	var flags byte
+	if b.Degraded {
+		flags |= leaseFlagDegraded
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(b.PrecisionLevel))
+	buf = appendNode(buf, b.Root)
+	buf = binary.AppendVarint(buf, b.Seed)
+	buf = binary.AppendUvarint(buf, b.RNGPos)
+	buf = binary.AppendUvarint(buf, uint64(len(b.Pruned)))
+	for _, p := range b.Pruned {
+		buf = appendNode(buf, p)
+	}
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for _, nd := range b.Nodes {
+		buf = appendNode(buf, nd)
+	}
+	for i, row := range b.Rows {
+		if len(row) == 0 {
+			buf = append(buf, rowEmpty)
+			continue
+		}
+		if len(row) != n {
+			return nil, fmt.Errorf("codec: lease row %d has %d weights for %d nodes", i, len(row), n)
+		}
+		nnz := 0
+		for _, w := range row {
+			if w != 0 {
+				nnz++
+			}
+		}
+		// Sparse pays ~1-2 varint bytes of column index per nonzero on top
+		// of the 8 weight bytes; dense pays 8 per column, zero or not.
+		if 10*nnz < 8*n {
+			buf = append(buf, rowSparse)
+			buf = binary.AppendUvarint(buf, uint64(nnz))
+			for j, w := range row {
+				if w == 0 {
+					continue
+				}
+				buf = binary.AppendUvarint(buf, uint64(j))
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w))
+			}
+		} else {
+			buf = append(buf, rowDense)
+			for _, w := range row {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w))
+			}
+		}
+	}
+	return buf, nil
+}
+
+// leaseReader is a bounds-checked cursor over an encoded bundle.
+type leaseReader struct {
+	data []byte
+	off  int
+}
+
+func (r *leaseReader) u8() (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, fmt.Errorf("codec: lease bundle truncated at byte %d", r.off)
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *leaseReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("codec: lease bundle bad uvarint at byte %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *leaseReader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("codec: lease bundle bad varint at byte %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *leaseReader) f64() (float64, error) {
+	if r.off+8 > len(r.data) {
+		return 0, fmt.Errorf("codec: lease bundle truncated at byte %d", r.off)
+	}
+	bits := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return math.Float64frombits(bits), nil
+}
+
+func (r *leaseReader) node() (loctree.NodeID, error) {
+	lvl, err := r.varint()
+	if err != nil {
+		return loctree.NodeID{}, err
+	}
+	q, err := r.varint()
+	if err != nil {
+		return loctree.NodeID{}, err
+	}
+	rr, err := r.varint()
+	if err != nil {
+		return loctree.NodeID{}, err
+	}
+	n := loctree.NodeID{Level: int(lvl)}
+	n.Coord.Q = int(q)
+	n.Coord.R = int(rr)
+	return n, nil
+}
+
+// DecodeLeaseBundle unpacks an encoded bundle, validating every bound; a
+// malformed input of any shape returns an error, never a panic or an
+// oversized allocation.
+func DecodeLeaseBundle(data []byte) (*LeaseBundle, error) {
+	r := &leaseReader{data: data}
+	if len(data) < len(leaseMagic)+2 || string(data[:len(leaseMagic)]) != leaseMagic {
+		return nil, fmt.Errorf("codec: not a lease bundle")
+	}
+	r.off = len(leaseMagic)
+	ver, _ := r.u8()
+	if ver != leaseVersion {
+		return nil, fmt.Errorf("codec: lease bundle version %d unsupported", ver)
+	}
+	flags, _ := r.u8()
+	b := &LeaseBundle{Degraded: flags&leaseFlagDegraded != 0}
+	prec, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if prec > 64 {
+		return nil, fmt.Errorf("codec: lease precision level %d out of range", prec)
+	}
+	b.PrecisionLevel = int(prec)
+	if b.Root, err = r.node(); err != nil {
+		return nil, err
+	}
+	if b.Seed, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if b.RNGPos, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	nPruned, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nPruned > MaxLeaseNodes {
+		return nil, fmt.Errorf("codec: lease pruned count %d exceeds %d", nPruned, MaxLeaseNodes)
+	}
+	b.Pruned = make([]loctree.NodeID, nPruned)
+	for i := range b.Pruned {
+		if b.Pruned[i], err = r.node(); err != nil {
+			return nil, err
+		}
+	}
+	nNodes, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nNodes < 1 || nNodes > MaxLeaseNodes {
+		return nil, fmt.Errorf("codec: lease node count %d out of range [1, %d]", nNodes, MaxLeaseNodes)
+	}
+	n := int(nNodes)
+	b.Nodes = make([]loctree.NodeID, n)
+	for i := range b.Nodes {
+		if b.Nodes[i], err = r.node(); err != nil {
+			return nil, err
+		}
+	}
+	b.Rows = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case rowEmpty:
+			// stays nil: unsampleable
+		case rowDense:
+			row := make([]float64, n)
+			for j := range row {
+				if row[j], err = r.f64(); err != nil {
+					return nil, err
+				}
+			}
+			b.Rows[i] = row
+		case rowSparse:
+			nnz, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if nnz > uint64(n) {
+				return nil, fmt.Errorf("codec: lease row %d claims %d entries for %d nodes", i, nnz, n)
+			}
+			row := make([]float64, n)
+			for k := uint64(0); k < nnz; k++ {
+				col, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if col >= uint64(n) {
+					return nil, fmt.Errorf("codec: lease row %d column %d out of range", i, col)
+				}
+				if row[col], err = r.f64(); err != nil {
+					return nil, err
+				}
+			}
+			b.Rows[i] = row
+		default:
+			return nil, fmt.Errorf("codec: lease row %d has unknown kind %d", i, kind)
+		}
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("codec: lease bundle has %d trailing bytes", len(data)-r.off)
+	}
+	return b, nil
+}

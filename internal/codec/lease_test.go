@@ -1,0 +1,169 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+)
+
+func nid(level, q, r int) loctree.NodeID {
+	return loctree.NodeID{Level: level, Coord: hexgrid.Coord{Q: q, R: r}}
+}
+
+// testBundle exercises every row kind: a dense row, a sparse row whose
+// zeros must decode to exact 0.0, and an empty (unsampleable) row. The
+// weights include values a quantizing codec would mangle.
+func testBundle() *LeaseBundle {
+	return &LeaseBundle{
+		Root:           nid(2, -3, 7),
+		PrecisionLevel: 1,
+		Degraded:       true,
+		Seed:           -987654321,
+		RNGPos:         4096,
+		Pruned:         []loctree.NodeID{nid(0, 1, -1), nid(0, 4, 4)},
+		Nodes:          []loctree.NodeID{nid(0, 0, 0), nid(0, 1, 0), nid(0, 0, 1), nid(0, -1, 1)},
+		Rows: [][]float64{
+			{math.Pi, 1e-300, math.Nextafter(1, 2), 0.1 + 0.2},
+			{0, 0, 5e-324, 0},
+			nil,
+			{0.25, 0, 0, 0.75},
+		},
+	}
+}
+
+func TestLeaseBundleRoundTrip(t *testing.T) {
+	want := testBundle()
+	blob, err := EncodeLeaseBundle(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLeaseBundle(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root != want.Root || got.PrecisionLevel != want.PrecisionLevel ||
+		got.Degraded != want.Degraded || got.Seed != want.Seed || got.RNGPos != want.RNGPos {
+		t.Fatalf("header mismatch: got %+v want %+v", got, want)
+	}
+	if len(got.Pruned) != len(want.Pruned) {
+		t.Fatalf("pruned count %d want %d", len(got.Pruned), len(want.Pruned))
+	}
+	for i := range want.Pruned {
+		if got.Pruned[i] != want.Pruned[i] {
+			t.Fatalf("pruned[%d] = %v want %v", i, got.Pruned[i], want.Pruned[i])
+		}
+	}
+	if len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("node count %d want %d", len(got.Nodes), len(want.Nodes))
+	}
+	for i := range want.Nodes {
+		if got.Nodes[i] != want.Nodes[i] {
+			t.Fatalf("nodes[%d] = %v want %v", i, got.Nodes[i], want.Nodes[i])
+		}
+	}
+	for i, row := range want.Rows {
+		if len(row) == 0 {
+			if got.Rows[i] != nil {
+				t.Fatalf("row %d: want nil (unsampleable), got %v", i, got.Rows[i])
+			}
+			continue
+		}
+		for j, w := range row {
+			// Bit-for-bit: alias tables are rebuilt from these weights and
+			// even one ulp of drift would shift a draw.
+			if math.Float64bits(got.Rows[i][j]) != math.Float64bits(w) {
+				t.Fatalf("row %d col %d: bits %x want %x", i, j,
+					math.Float64bits(got.Rows[i][j]), math.Float64bits(w))
+			}
+		}
+	}
+}
+
+func TestLeaseBundleEncodeRejectsBadShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*LeaseBundle)
+	}{
+		{"no nodes", func(b *LeaseBundle) { b.Nodes = nil; b.Rows = nil }},
+		{"row count mismatch", func(b *LeaseBundle) { b.Rows = b.Rows[:2] }},
+		{"row width mismatch", func(b *LeaseBundle) { b.Rows[0] = []float64{1, 2} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := testBundle()
+			tc.mut(b)
+			if _, err := EncodeLeaseBundle(b); err == nil {
+				t.Fatal("want encode error, got nil")
+			}
+		})
+	}
+}
+
+func TestLeaseBundleDecodeRejectsMalformed(t *testing.T) {
+	blob, err := EncodeLeaseBundle(testBundle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must error (truncation at any byte boundary).
+	for i := 0; i < len(blob); i++ {
+		if _, err := DecodeLeaseBundle(blob[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", i)
+		}
+	}
+	if _, err := DecodeLeaseBundle(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[4] = leaseVersion + 1
+	if _, err := DecodeLeaseBundle(bad); err == nil {
+		t.Fatal("bumped version decoded without error")
+	}
+}
+
+func FuzzDecodeLeaseBundle(f *testing.F) {
+	blob, err := EncodeLeaseBundle(testBundle())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte("CGL1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeLeaseBundle(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must satisfy the invariants clientdraw
+		// relies on without re-checking.
+		if len(b.Nodes) < 1 || len(b.Nodes) != len(b.Rows) {
+			t.Fatalf("decoded bundle violates shape: %d nodes, %d rows", len(b.Nodes), len(b.Rows))
+		}
+		for i, row := range b.Rows {
+			if row != nil && len(row) != len(b.Nodes) {
+				t.Fatalf("row %d has %d weights for %d nodes", i, len(row), len(b.Nodes))
+			}
+		}
+	})
+}
+
+func FuzzDecodeMatrix(f *testing.F) {
+	m := sparseMatrix(7, 3, 1)
+	blob, err := EncodeMatrix(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob, 7)
+	f.Add([]byte{}, 1)
+	f.Add([]byte("CGM1"), 49)
+	f.Fuzz(func(t *testing.T, data []byte, dim int) {
+		got, err := DecodeMatrix(data, dim)
+		if err != nil {
+			return
+		}
+		if got.Dim() != dim {
+			t.Fatalf("decoded matrix dim %d want %d", got.Dim(), dim)
+		}
+	})
+}

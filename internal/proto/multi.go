@@ -18,8 +18,9 @@ import (
 	"corgi/internal/stream"
 )
 
-// DefaultMaxBatch bounds the item count of one POST /v1/forests request.
-const DefaultMaxBatch = 64
+// DefaultMaxBatch bounds the item count of one POST /v1/forests request,
+// aliasing the registry-level constant shared with the stream transport.
+const DefaultMaxBatch = registry.DefaultMaxBatch
 
 // RegionInfo describes one configured region for /v1/regions. Everything
 // here comes from the spec, so listing regions never forces a bootstrap;
@@ -89,6 +90,9 @@ type MultiStatsResponse struct {
 	Budget        map[string]budget.Stats  `json:"budget,omitempty"`
 	BudgetTotal   *budget.Stats            `json:"budget_total,omitempty"`
 	Stream        *stream.Stats            `json:"stream,omitempty"`
+	// Lease reports the draw-lease counters (issued/renewed/denied and
+	// pre-paid draws), registry-wide.
+	Lease registry.LeaseStats `json:"lease"`
 }
 
 // MultiHandler serves the region-addressed CORGI API over a registry of
@@ -104,6 +108,7 @@ type MultiStatsResponse struct {
 //	POST /v1/forests                -> BatchForestResponse
 //	POST /v1/report                 -> ReportResponse (server-side draws)
 //	POST /v1/reports                -> BatchReportResponse
+//	POST /v1/lease                  -> LeaseResponse (client-side draw lease)
 //
 // Omitting ?region= addresses the registry's default region, so a
 // pre-sharding client keeps working against a multi-region server.
@@ -154,6 +159,7 @@ func (h *MultiHandler) Mux() *http.ServeMux {
 	mux.HandleFunc("/v1/forests", h.handleBatch)
 	mux.HandleFunc("/v1/report", h.handleReport)
 	mux.HandleFunc("/v1/reports", h.handleReports)
+	mux.HandleFunc("/v1/lease", h.handleLease)
 	return mux
 }
 
@@ -248,6 +254,7 @@ func (h *MultiHandler) handleStats(w http.ResponseWriter, r *http.Request) {
 		ss := h.Stream.Stats()
 		resp.Stream = &ss
 	}
+	resp.Lease = h.reg.LeaseStats()
 	writeJSON(w, resp)
 }
 

@@ -15,8 +15,10 @@ import (
 )
 
 // DefaultMaxReportCount bounds how many draws one report request may ask
-// for; a client wanting more batches requests.
-const DefaultMaxReportCount = 1000
+// for; a client wanting more batches requests. It aliases the
+// registry-level constant so the HTTP, stream, and lease transports all
+// enforce the same limit.
+const DefaultMaxReportCount = registry.DefaultMaxReportCount
 
 // ReportRequest asks the server to draw obfuscated reports directly: the
 // true leaf cell, the inline customization policy (its fields flatten into
@@ -128,6 +130,7 @@ func (h *MultiHandler) resolveReport(ctx context.Context, req ReportRequest) (*R
 		status, msg := reportErrStatus(err)
 		return nil, status, msg
 	}
+	defer res.Release()
 	resp := &ReportResponse{
 		Region:         res.Region,
 		PrecisionLevel: res.PrecisionLevel,

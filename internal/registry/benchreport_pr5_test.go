@@ -55,9 +55,11 @@ func BenchmarkReportWarm(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := reg.Report(ctx, req); err != nil {
+		res, err := reg.Report(ctx, req)
+		if err != nil {
 			b.Fatal(err)
 		}
+		res.Release()
 	}
 }
 

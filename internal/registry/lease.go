@@ -1,0 +1,311 @@
+package registry
+
+// This file is the lease arm of the report pipeline: where Report draws
+// server-side, Lease pre-pays n draws' epsilon in ONE budget charge,
+// detaches the user's customized rows into a codec.LeaseBundle, and signs
+// an HMAC token (internal/budget.Keyring) binding everything the server
+// must never re-trust the client about — user, subtree, prune budget,
+// epsilon rate, draw cap, RNG position, expiry. The client then draws at
+// device speed (internal/clientdraw); the server's per-report work
+// collapses to 1/n of a budget charge. Renewal presents the old token:
+// the HMAC proves the server issued it, and the carried RNG position lets
+// an evicted session be rebuilt exactly where the leased stream ends, so
+// draw sequences stay byte-identical to the server-side paths even across
+// session eviction.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"corgi/internal/budget"
+	"corgi/internal/codec"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/policy"
+	"corgi/internal/session"
+)
+
+// DefaultLeaseTTL bounds a draw lease's lifetime when Options.LeaseTTL is
+// not positive. Short on purpose: an expired token only costs the client a
+// fresh (un-renewed) lease request, while a long-lived one extends how
+// stale a leaked bundle's rows can be.
+const DefaultLeaseTTL = time.Minute
+
+// ErrBadLeaseToken re-exports the keyring's rejection sentinel so serving
+// layers classify it (403 Forbidden) without importing internal/budget.
+var ErrBadLeaseToken = budget.ErrBadLeaseToken
+
+// LeaseRequest asks for a client-side draw lease: like a ReportRequest,
+// plus the draw cap to pre-pay and an optional renewal token.
+type LeaseRequest struct {
+	Region string
+	// Cell is the user's true leaf cell: it anchors preference evaluation
+	// and selects the privacy subtree, exactly as a report does. (This is
+	// the one cell a lease reveals; every draw after it stays on-device.)
+	Cell   hexgrid.Coord
+	UID    int64
+	Policy policy.Policy
+	Seed   int64
+	// Draws is the draw cap to pre-pay (min 1); the transport caps it at
+	// the same max-report-count limit as /v1/reports.
+	Draws int
+	// Token, when non-empty, renews: the previous lease's token proves the
+	// RNG position the new lease must continue from even if the resident
+	// session was evicted. Forged, tampered, or expired tokens are
+	// rejected with ErrBadLeaseToken.
+	Token []byte
+}
+
+// LeaseGrant is an issued lease: the signed token, the encoded bundle the
+// client draws from, and the customization facts a report response would
+// carry.
+type LeaseGrant struct {
+	Region         string
+	SubtreeRoot    loctree.NodeID
+	PrecisionLevel int
+	Pruned         int
+	Reanchored     bool
+	Budgeted       bool
+	EpsSpent       float64
+	EpsRemaining   float64
+	Degraded       bool
+	// DrawCap echoes the granted cap; RNGPos is the stream position the
+	// leased window starts at; ExpiresAt the token expiry (Unix ms).
+	DrawCap   int
+	RNGPos    uint64
+	ExpiresAt int64
+	// Renewed is true when a valid renewal token accompanied the request.
+	Renewed bool
+	// Token is the signed lease token; Bundle the encoded lease bundle
+	// (codec.DecodeLeaseBundle / clientdraw.Open consume it).
+	Token  []byte
+	Bundle []byte
+}
+
+// leaseCounters tracks lease issuance at the registry level (the keyring
+// is registry-wide, so the counters are too).
+type leaseCounters struct {
+	issued       atomic.Uint64
+	renewed      atomic.Uint64
+	drawsGranted atomic.Uint64
+	deniedBudget atomic.Uint64
+	deniedToken  atomic.Uint64
+}
+
+// LeaseStats snapshots the lease counters for /v1/stats.
+type LeaseStats struct {
+	// Issued counts granted leases (renewals included); Renewed the subset
+	// granted against a valid renewal token; DrawsGranted the pre-paid
+	// draws across all of them.
+	Issued       uint64 `json:"issued"`
+	Renewed      uint64 `json:"renewed"`
+	DrawsGranted uint64 `json:"draws_granted"`
+	// DeniedBudget counts leases refused 429 (epsilon cap); DeniedToken
+	// leases refused 403 (forged, tampered, or expired token).
+	DeniedBudget uint64 `json:"denied_budget"`
+	DeniedToken  uint64 `json:"denied_token"`
+}
+
+// LeaseStats snapshots the registry's lease counters.
+func (r *Registry) LeaseStats() LeaseStats {
+	return LeaseStats{
+		Issued:       r.lease.issued.Load(),
+		Renewed:      r.lease.renewed.Load(),
+		DrawsGranted: r.lease.drawsGranted.Load(),
+		DeniedBudget: r.lease.deniedBudget.Load(),
+		DeniedToken:  r.lease.deniedToken.Load(),
+	}
+}
+
+// Lease runs the lease pipeline: validate like a report, verify any
+// renewal token, charge draws x epsilon in one call, bind (or re-anchor,
+// or rebuild) the user's session, detach its rows, and sign the token.
+// Budget and token checks both happen before any session work, so a
+// refused lease consumes nothing from the user's RNG stream.
+func (r *Registry) Lease(ctx context.Context, req LeaseRequest) (*LeaseGrant, error) {
+	sh, err := r.Shard(ctx, req.Region)
+	if err != nil {
+		return nil, err
+	}
+	tree := sh.Server.Tree()
+	leaf := loctree.NodeID{Level: 0, Coord: req.Cell}
+	if !tree.Contains(leaf) {
+		return nil, fmt.Errorf("%w: cell (%d, %d) outside region %q",
+			ErrBadReport, req.Cell.Q, req.Cell.R, sh.Spec.Name)
+	}
+	if err := req.Policy.Validate(tree.Height()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	root, ok := tree.AncestorAt(leaf, req.Policy.PrivacyLevel)
+	if !ok {
+		return nil, fmt.Errorf("%w: no ancestor of %v at privacy level %d",
+			ErrBadReport, leaf, req.Policy.PrivacyLevel)
+	}
+	draws := req.Draws
+	if draws < 1 {
+		draws = 1
+	}
+
+	// Renewal first: a bad token must be refused before the budget is
+	// touched (403 beats 429 — the client's next move differs).
+	var prev budget.LeaseToken
+	renewed := false
+	now := time.Now()
+	if len(req.Token) > 0 {
+		prev, err = r.keyring.Verify(req.Token, now)
+		if err != nil {
+			r.lease.deniedToken.Add(1)
+			return nil, err
+		}
+		if prev.UID != req.UID || prev.Region != sh.Spec.Name {
+			r.lease.deniedToken.Add(1)
+			return nil, fmt.Errorf("%w: token bound to user %d region %q",
+				ErrBadLeaseToken, prev.UID, prev.Region)
+		}
+		renewed = true
+	}
+
+	grant := &LeaseGrant{
+		Region:         sh.Spec.Name,
+		SubtreeRoot:    root,
+		PrecisionLevel: req.Policy.PrecisionLevel,
+		DrawCap:        draws,
+		Renewed:        renewed,
+	}
+	// ONE charge pre-pays the whole cap under linear composition: the
+	// client's n draws cost exactly what n report requests would, but the
+	// accountant is hit once per lease instead of once per draw. Unused
+	// draws are forfeited, not refunded — over-charging is the
+	// privacy-conservative direction, and it is what keeps the server
+	// from ever trusting client draw accounting.
+	if sh.Budget != nil {
+		cost := sh.Spec.Epsilon * float64(draws)
+		remaining, err := sh.Budget.Charge(req.UID, cost)
+		if err != nil {
+			r.lease.deniedBudget.Add(1)
+			return nil, err
+		}
+		grant.Budgeted = true
+		grant.EpsSpent = cost
+		grant.EpsRemaining = remaining
+	}
+
+	key := session.Key{
+		Region: sh.Spec.Name,
+		UID:    req.UID,
+		Seed:   req.Seed,
+		Policy: session.PolicyFingerprint(req.Policy),
+	}
+	hasPrefs := len(req.Policy.Preferences) > 0
+	sess, ok := sh.Sessions.Get(key)
+	if !ok {
+		plan, err := evalPrune(sh, tree, ReportRequest{Region: req.Region, Cell: req.Cell,
+			UID: req.UID, Policy: req.Policy, Seed: req.Seed}, root, leaf)
+		if err != nil {
+			return nil, err
+		}
+		entry, err := sh.Server.ServeEntryCtx(ctx, root, len(plan.pruned))
+		if err != nil {
+			return nil, err
+		}
+		sess, err = sh.Sessions.GetOrCreate(key, func() (*session.Session, error) {
+			return session.New(session.Config{
+				Tree:   tree,
+				Entry:  entry,
+				Delta:  len(plan.pruned),
+				Policy: req.Policy,
+				Pruned: plan.pruned,
+				Anchor: plan.anchor,
+				Priors: sh.Server.Priors(),
+				Seed:   req.Seed,
+			})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+		}
+	}
+	// A renewal continues the stream where the leased window ends: for a
+	// resident session FastForward is a no-op (DetachLease already burned
+	// the cap), but a session rebuilt after eviction starts at position 0
+	// and must catch up to the token's recorded end before detaching the
+	// next window — that is what keeps one seed yielding one sequence
+	// across lease generations and evictions alike.
+	if renewed {
+		sess.FastForward(prev.RNGPos + uint64(prev.DrawCap))
+	}
+
+	// Re-anchor + detach, with the same retry loop as Report: DetachLease
+	// refuses (without burning RNG) when a concurrent request re-anchored
+	// the shared session off this request's subtree.
+	var bundle *codec.LeaseBundle
+	for attempt := 0; ; attempt++ {
+		if sess.Root() != root || (hasPrefs && sess.Anchor() != leaf) {
+			plan, err := evalPrune(sh, tree, ReportRequest{Region: req.Region, Cell: req.Cell,
+				UID: req.UID, Policy: req.Policy, Seed: req.Seed}, root, leaf)
+			if err != nil {
+				return nil, err
+			}
+			entry, err := sh.Server.ServeEntryCtx(ctx, root, len(plan.pruned))
+			if err != nil {
+				return nil, err
+			}
+			if err := sess.Rebind(session.Rebind{
+				Entry:  entry,
+				Delta:  len(plan.pruned),
+				Pruned: plan.pruned,
+				Anchor: plan.anchor,
+			}); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+			}
+			grant.Reanchored = true
+		}
+		if sess.Degraded() {
+			d := len(sess.Pruned())
+			if e, ok := sh.Server.PeekEntry(sess.Root(), d); ok && !e.Degraded {
+				if _, err := sess.Upgrade(e, d); err != nil {
+					return nil, err
+				}
+			}
+		}
+		bundle, err = sess.DetachLease(leaf, draws)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, session.ErrOutsideSubtree) && attempt < 4 {
+			continue
+		}
+		if errors.Is(err, session.ErrUnsampleable) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	grant.Degraded = bundle.Degraded
+	grant.Pruned = len(bundle.Pruned)
+	grant.RNGPos = bundle.RNGPos
+	grant.Bundle, err = codec.EncodeLeaseBundle(bundle)
+	if err != nil {
+		return nil, err
+	}
+	expires := now.Add(r.leaseTTL)
+	grant.ExpiresAt = expires.UnixMilli()
+	grant.Token = r.keyring.Sign(budget.LeaseToken{
+		UID:       req.UID,
+		Region:    sh.Spec.Name,
+		Root:      bundle.Root,
+		Delta:     len(bundle.Pruned),
+		Eps:       sh.Spec.Epsilon,
+		DrawCap:   draws,
+		RNGPos:    bundle.RNGPos,
+		IssuedAt:  now.UnixMilli(),
+		ExpiresAt: grant.ExpiresAt,
+	})
+	r.lease.issued.Add(1)
+	if renewed {
+		r.lease.renewed.Add(1)
+	}
+	r.lease.drawsGranted.Add(uint64(draws))
+	return grant, nil
+}

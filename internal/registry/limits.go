@@ -1,0 +1,19 @@
+package registry
+
+// This file pins the serving limits every transport shares. The HTTP
+// handlers (internal/proto), the binary stream transport (internal/stream),
+// and the lease pipeline all cap request fan-out against the SAME numbers:
+// a draw count the /v1/reports endpoint would refuse is refused identically
+// as a REPORTS frame item and as a lease draw cap. The constants live here
+// — below both transports in the import graph (proto and stream each
+// import registry; neither may import the other) — so a deployment that
+// raises one limit raises it everywhere at once.
+
+// DefaultMaxReportCount caps the draws one report request (or one lease)
+// may ask for. Every transport enforces it: HTTP /v1/report(+s), stream
+// REPORT/REPORTS frames, and the /v1/lease + LEASE draw cap.
+const DefaultMaxReportCount = 1000
+
+// DefaultMaxBatch caps the item count of one batch request, shared by
+// HTTP /v1/reports and stream REPORTS frames.
+const DefaultMaxBatch = 64

@@ -14,6 +14,7 @@ package registry
 
 import (
 	"context"
+	cryptorand "crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -24,6 +25,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"corgi/internal/budget"
 	"corgi/internal/core"
@@ -253,6 +255,13 @@ type Options struct {
 	// user over cap is rejected with budget.ErrBudgetExhausted until spend
 	// slides out of the window. The zero value disables accounting.
 	Budget budget.Config
+	// LeaseSecret is the master secret the HMAC lease-token keyring derives
+	// per-user signing keys from (see internal/budget.Keyring). Empty
+	// generates a random per-process secret: leases still work, but tokens
+	// do not survive a restart and cannot be verified by a peer node.
+	LeaseSecret []byte
+	// LeaseTTL bounds draw-lease lifetime; <= 0 uses DefaultLeaseTTL.
+	LeaseTTL time.Duration
 }
 
 // Shard is one bootstrapped region: its spec, its serving engine, and its
@@ -333,6 +342,13 @@ type Registry struct {
 	boot   map[string]*bootCall
 
 	bootstraps atomic.Uint64
+
+	// keyring signs and verifies draw-lease tokens (registry-level: a
+	// lease token names its region, one key hierarchy covers all shards);
+	// leaseTTL bounds lease lifetime; lease holds the lease counters.
+	keyring  *budget.Keyring
+	leaseTTL time.Duration
+	lease    leaseCounters
 }
 
 // New validates the specs (defaults applied) and returns a registry with
@@ -360,11 +376,27 @@ func New(specs []Spec, opts Options) (*Registry, error) {
 	} else if opts.Budget.LimitEps < 0 {
 		return nil, fmt.Errorf("registry: budget limit %v is negative (0 disables accounting)", opts.Budget.LimitEps)
 	}
+	secret := opts.LeaseSecret
+	if len(secret) == 0 {
+		secret = make([]byte, 32)
+		if _, err := cryptorand.Read(secret); err != nil {
+			return nil, fmt.Errorf("registry: generating lease secret: %w", err)
+		}
+	}
+	keyring, err := budget.NewKeyring(secret)
+	if err != nil {
+		return nil, fmt.Errorf("registry: lease keyring: %w", err)
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = DefaultLeaseTTL
+	}
 	r := &Registry{
-		opts:   opts,
-		specs:  make(map[string]Spec, len(specs)),
-		shards: make(map[string]*Shard, len(specs)),
-		boot:   map[string]*bootCall{},
+		opts:     opts,
+		specs:    make(map[string]Spec, len(specs)),
+		shards:   make(map[string]*Shard, len(specs)),
+		boot:     map[string]*bootCall{},
+		keyring:  keyring,
+		leaseTTL: opts.LeaseTTL,
 	}
 	for _, s := range specs {
 		s = s.withDefaults()

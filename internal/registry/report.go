@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"corgi/internal/budget"
 	"corgi/internal/core"
@@ -33,13 +34,18 @@ var ErrBudgetExhausted = budget.ErrBudgetExhausted
 // rejections (bad cell, invalid policy, over-budget prune set) 422, an
 // exhausted per-user epsilon budget 429 (the budget regenerates as the
 // accounting window slides, so Too Many Requests is the honest class),
-// interrupted work 5xx, and anything else a server fault.
+// a forged or expired lease token 403, interrupted work 5xx, and anything
+// else a server fault.
 func ReportErrStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, ErrUnknownRegion):
 		return http.StatusNotFound, err.Error()
 	case errors.Is(err, ErrBudgetExhausted):
 		return http.StatusTooManyRequests, err.Error()
+	case errors.Is(err, ErrBadLeaseToken):
+		// Forged, tampered, or expired lease tokens: unlike a budget
+		// rejection, waiting does not clear the condition.
+		return http.StatusForbidden, err.Error()
 	case errors.Is(err, ErrBadReport):
 		return http.StatusUnprocessableEntity, err.Error()
 	case errors.Is(err, context.DeadlineExceeded):
@@ -116,6 +122,43 @@ type ReportResult struct {
 	// utility is below the LP optimum until the background solve lands and
 	// the session upgrades.
 	Degraded bool
+
+	// bufs, non-nil, backs Reports and Centers with pooled slices;
+	// Release returns them.
+	bufs *drawBufs
+}
+
+// drawBufs is one pooled pair of per-draw result slices. The report hot
+// path recycles them across requests (sync.Pool) instead of allocating a
+// Reports and a Centers slice per call.
+type drawBufs struct {
+	nodes   []loctree.NodeID
+	centers []geo.LatLng
+}
+
+var drawBufsPool = sync.Pool{New: func() any { return new(drawBufs) }}
+
+// Release returns the result's pooled draw buffers for reuse. It is
+// optional — a result never released is simply collected by the GC — but
+// the serving transports call it after encoding, which is what keeps the
+// warm report path allocation-flat. After Release the Reports and Centers
+// slices must not be read.
+func (res *ReportResult) Release() {
+	b := res.bufs
+	if b == nil {
+		return
+	}
+	res.bufs, res.Reports, res.Centers = nil, nil, nil
+	drawBufsPool.Put(b)
+}
+
+// grown returns s resized to n, reallocating only when capacity falls
+// short — the pooled-buffer fast path is a reslice.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // prunePlan is the preference evaluation for one (user, subtree): the
@@ -272,7 +315,8 @@ func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult
 	// surface a spurious rejection (whose budget was already charged). The
 	// attempt bound only guards against a pathological livelock of
 	// perfectly interleaved movers.
-	var reports []loctree.NodeID
+	bufs := drawBufsPool.Get().(*drawBufs)
+	bufs.nodes = grown(bufs.nodes, count)
 	for attempt := 0; ; attempt++ {
 		if sess.Root() != root || (hasPrefs && sess.Anchor() != leaf) {
 			plan, err := evalPrune(sh, tree, req, root, leaf)
@@ -306,14 +350,14 @@ func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult
 			}
 		}
 		res.Degraded = sess.Degraded()
-		var err error
-		reports, err = sess.DrawCellN(leaf, count)
+		err := sess.DrawCellNInto(leaf, bufs.nodes)
 		if err == nil {
 			break
 		}
 		if errors.Is(err, session.ErrOutsideSubtree) && attempt < 4 {
 			continue
 		}
+		drawBufsPool.Put(bufs)
 		if errors.Is(err, session.ErrUnsampleable) {
 			// Degenerate matrix data is a server fault (5xx), not a
 			// request problem.
@@ -322,12 +366,13 @@ func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult
 		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
 	}
 	res.Reanchored = reanchored
-	centers := make([]geo.LatLng, len(reports))
-	for i, n := range reports {
-		centers[i] = tree.Center(n)
+	bufs.centers = grown(bufs.centers, count)
+	for i, n := range bufs.nodes {
+		bufs.centers[i] = tree.Center(n)
 	}
 	res.Pruned = len(sess.Pruned())
-	res.Reports = reports
-	res.Centers = centers
+	res.Reports = bufs.nodes
+	res.Centers = bufs.centers
+	res.bufs = bufs
 	return res, nil
 }

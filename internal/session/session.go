@@ -39,6 +39,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"corgi/internal/codec"
 	"corgi/internal/core"
 	"corgi/internal/geo"
 	"corgi/internal/loctree"
@@ -146,6 +147,7 @@ type Session struct {
 	tree   *loctree.Tree
 	pol    policy.Policy
 	priors *loctree.Priors
+	seed   int64
 
 	mu  sync.Mutex
 	b   *binding
@@ -248,6 +250,7 @@ func New(cfg Config) (*Session, error) {
 		tree:   cfg.Tree,
 		pol:    cfg.Policy,
 		priors: cfg.Priors,
+		seed:   cfg.Seed,
 		b:      b,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}, nil
@@ -401,36 +404,50 @@ func (s *Session) DrawCellN(leaf loctree.NodeID, n int) ([]loctree.NodeID, error
 	if n < 1 {
 		return nil, fmt.Errorf("session: draw count %d must be >= 1", n)
 	}
+	out := make([]loctree.NodeID, n)
+	if err := s.DrawCellNInto(leaf, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DrawCellNInto is DrawCellN drawing len(out) reports into a caller-owned
+// slice, so the serving layer can recycle result buffers (sync.Pool)
+// instead of allocating per request. The draw semantics — atomicity, error
+// cases, RNG consumption — are exactly DrawCellN's.
+func (s *Session) DrawCellNInto(leaf loctree.NodeID, out []loctree.NodeID) error {
+	if len(out) < 1 {
+		return fmt.Errorf("session: draw count %d must be >= 1", len(out))
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b := s.b
 	if _, ok := b.leafIdx[leaf]; !ok {
-		return nil, fmt.Errorf("%w: cell %v, subtree %v", ErrOutsideSubtree, leaf, b.entry.Root)
+		return fmt.Errorf("%w: cell %v, subtree %v", ErrOutsideSubtree, leaf, b.entry.Root)
 	}
 	rowNode := leaf
 	if s.pol.PrecisionLevel > 0 {
 		anc, ok := s.tree.AncestorAt(leaf, s.pol.PrecisionLevel)
 		if !ok {
-			return nil, fmt.Errorf("session: no ancestor of %v at precision level %d", leaf, s.pol.PrecisionLevel)
+			return fmt.Errorf("session: no ancestor of %v at precision level %d", leaf, s.pol.PrecisionLevel)
 		}
 		rowNode = anc
 	} else if b.prunedSet[leaf] {
-		return nil, fmt.Errorf("session: preferences prune the user's own location %v at precision 0", leaf)
+		return fmt.Errorf("session: preferences prune the user's own location %v at precision 0", leaf)
 	}
 	row, ok := b.rowIndex[rowNode]
 	if !ok {
-		return nil, fmt.Errorf("session: node %v missing from the customized report set", rowNode)
+		return fmt.Errorf("session: node %v missing from the customized report set", rowNode)
 	}
 	a, err := s.aliasForRowLocked(b, row, leaf)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	out := make([]loctree.NodeID, n)
 	for i := range out {
 		out[i] = b.nodes[a.Draw(s.rng)]
 	}
-	s.draws.Add(uint64(n))
-	return out, nil
+	s.draws.Add(uint64(len(out)))
+	return nil
 }
 
 // aliasForRowLocked returns the alias table for one report row, building
@@ -476,6 +493,26 @@ func (s *Session) buildRow(b *binding, row int, leaf loctree.NodeID) (*sample.Al
 		return a, nil
 	}
 
+	weights, err := s.precisionWeights(b, row)
+	if err != nil {
+		return nil, err
+	}
+	a, err := sample.New(weights)
+	if err != nil {
+		return nil, fmt.Errorf("%w: precision row %v: %v", ErrUnsampleable, b.nodes[row], err)
+	}
+	return a, nil
+}
+
+// precisionWeights materializes the Equ. 17 aggregated weight vector for
+// one precision-group row. It is the single implementation behind both the
+// live draw path (buildRow) and lease detachment (DetachLease): the float
+// operation order here is what makes a client-rebuilt alias table
+// bit-identical to the server's — sample.New over equal float64 inputs
+// yields equal tables, so equality must hold at the weight vector, not
+// just mathematically.
+func (s *Session) precisionWeights(b *binding, row int) ([]float64, error) {
+	m := b.entry.Matrix
 	weights := make([]float64, len(b.nodes))
 	for _, u := range b.groups[row] { // u indexes keptLeaves
 		orig := b.keep[u]
@@ -501,11 +538,126 @@ func (s *Session) buildRow(b *binding, row int, leaf loctree.NodeID) (*sample.Al
 			weights[j] += scale * sum
 		}
 	}
-	a, err := sample.New(weights)
-	if err != nil {
-		return nil, fmt.Errorf("%w: precision row %v: %v", ErrUnsampleable, b.nodes[row], err)
+	return weights, nil
+}
+
+// detachRowWeights materializes the exact weight vector one report row
+// samples from, in the representation a client alias build needs: weights
+// over b.nodes, index-aligned. Each arm reproduces the corresponding
+// buildRow arm's inputs to sample.New bit for bit:
+//
+//   - leaf precision, empty prune set: a copy of the full matrix row
+//     (entry.AliasRow is sample.New over exactly that row);
+//   - leaf precision, pruned: the kept columns in keep order with
+//     NewSubset's minMass admission check (NewSubset feeds sample.New the
+//     same vector);
+//   - coarser precision: precisionWeights, shared with buildRow.
+//
+// A row that buildRow would refuse (degenerate after pruning) returns
+// ErrUnsampleable; DetachLease encodes it as an empty row so the client
+// fails the same draws the server would — without consuming RNG, matching
+// the server (an alias build fails before any variate is drawn).
+func (s *Session) detachRowWeights(b *binding, row int) ([]float64, error) {
+	m := b.entry.Matrix
+	if s.pol.PrecisionLevel > 0 {
+		return s.precisionWeights(b, row)
 	}
-	return a, nil
+	orig := b.leafIdx[b.nodes[row]]
+	r := m.Row(orig)
+	if len(b.pruned) == 0 {
+		return append([]float64(nil), r...), nil
+	}
+	removed := 0.0
+	for j, d := range b.dropIdx {
+		if d {
+			removed += r[j]
+		}
+	}
+	if 1-removed < minMass {
+		return nil, fmt.Errorf("%w: row %v retains %.3g probability mass after pruning",
+			ErrUnsampleable, b.nodes[row], 1-removed)
+	}
+	weights := make([]float64, len(b.keep))
+	for i, j := range b.keep {
+		weights[i] = r[j]
+	}
+	return weights, nil
+}
+
+// DetachLease serializes the session's current binding into a lease bundle
+// a client can draw from without the server: the exact per-row weight
+// vectors (full float64 precision — quantizing would shift alias
+// thresholds and break draw equivalence), the report node set, the prune
+// set, and the RNG coordinates (seed + position). It then burns n variates
+// from the session's own RNG stream, pre-advancing it past the leased
+// window: the resident stream and the client's detached stream never
+// overlap, and a later server-side draw continues exactly where an
+// n-draw client that used its whole cap would have left the stream.
+// (A client that draws fewer than n forfeits the unused positions — the
+// privacy-conservative direction, mirroring how its pre-paid epsilon is
+// forfeited.)
+//
+// Rows the live path would refuse (degenerate after pruning) come back as
+// empty rows: the client errors on them without consuming RNG, exactly as
+// the server does when the alias build fails.
+//
+// leaf anchors the detach the way it anchors a draw: if the current
+// binding does not cover it (a concurrent request re-anchored the shared
+// session), DetachLease fails with ErrOutsideSubtree before burning any
+// variate, so the caller's re-anchor-and-retry loop keeps the stream
+// position exact — the same contract DrawCellN gives the report path.
+func (s *Session) DetachLease(leaf loctree.NodeID, n int) (*codec.LeaseBundle, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("session: lease draw cap %d must be >= 1", n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.b
+	if _, ok := b.leafIdx[leaf]; !ok {
+		return nil, fmt.Errorf("%w: cell %v, subtree %v", ErrOutsideSubtree, leaf, b.entry.Root)
+	}
+	bundle := &codec.LeaseBundle{
+		Root:           b.entry.Root,
+		PrecisionLevel: s.pol.PrecisionLevel,
+		Degraded:       b.entry.Degraded,
+		Seed:           s.seed,
+		RNGPos:         s.draws.Load(),
+		Pruned:         append([]loctree.NodeID(nil), b.pruned...),
+		Nodes:          append([]loctree.NodeID(nil), b.nodes...),
+		Rows:           make([][]float64, len(b.nodes)),
+	}
+	for i := range b.nodes {
+		w, err := s.detachRowWeights(b, i)
+		if err != nil {
+			if !errors.Is(err, ErrUnsampleable) {
+				return nil, err
+			}
+			continue // encoded as an empty (unsampleable) row
+		}
+		bundle.Rows[i] = w
+	}
+	for i := 0; i < n; i++ {
+		s.rng.Float64()
+	}
+	s.draws.Add(uint64(n))
+	return bundle, nil
+}
+
+// FastForward advances the session's RNG stream to absolute position pos
+// (a draws-consumed count — every alias draw and every leased position
+// consumes exactly one variate). It is forward-only: a position at or
+// behind the current one is a no-op, never a rewind. The lease pipeline
+// uses it to rebuild stream continuity after a session eviction — a
+// renewal token carries the position its lease ends at, and a freshly
+// re-created session fast-forwards there before detaching the next lease.
+func (s *Session) FastForward(pos uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.draws.Load()
+	for ; cur < pos; cur++ {
+		s.rng.Float64()
+		s.draws.Add(1)
+	}
 }
 
 // Key addresses one session in a Manager: the region, the caller's user

@@ -1,0 +1,153 @@
+package stream_test
+
+// TestBenchReportPR8 writes BENCH_pr8.json for the CI benchmark artifact:
+// per-client draw throughput with server-side draws over corgi-stream
+// (the PR 6 fast path) versus client-side draws under a lease — one
+// LEASE exchange amortized over hundreds of local alias-table draws.
+// Skipped unless BENCH_PR8_OUT names the output path.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"corgi/internal/clientdraw"
+	"corgi/internal/loctree"
+	"corgi/internal/policy"
+	"corgi/internal/stream"
+)
+
+// benchLeaseCap is the draw cap each bench lease pre-pays: 32 exact
+// refills of benchReportCount draws, so no granted draw is forfeited.
+const benchLeaseCap = 32 * benchReportCount
+
+// benchPR8Report is the BENCH_pr8.json shape consumed by CI.
+type benchPR8Report struct {
+	// Draws per second a single warm user sustains per transport
+	// (aggregated over Concurrency independent warm users).
+	StreamDrawsPerSec float64 `json:"stream_draws_per_sec"`
+	LeaseDrawsPerSec  float64 `json:"lease_draws_per_sec"`
+	// Speedup = lease / stream; the acceptance bar is >= 5.
+	Speedup     float64 `json:"lease_speedup_vs_stream"`
+	Concurrency int     `json:"concurrency"`
+	ReportCount int     `json:"report_count"`
+	LeaseDraws  int     `json:"lease_draws"`
+	// LeaseRoundTrips is how many LEASE exchanges the whole lease-side
+	// run needed — the server traffic the offload eliminates is
+	// (draws/report_count - lease_round_trips) request round trips.
+	LeaseRoundTrips uint64 `json:"lease_round_trips"`
+}
+
+func TestBenchReportPR8(t *testing.T) {
+	out := os.Getenv("BENCH_PR8_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PR8_OUT=path to generate the benchmark report")
+	}
+	const (
+		workers = 8
+		window  = 2 * time.Second
+	)
+	pol := policy.Policy{PrivacyLevel: 1}
+
+	// Server-side baseline: warm single-user REPORT frames, each worker a
+	// distinct user pinned to its own warm cell (no re-anchors, no LP
+	// solves — the steady state PR 6 measured).
+	regStream, targets := benchSetup(t)
+	_, addr := startStreamB(t, regStream)
+	sc := stream.NewClient(addr, stream.ClientConfig{
+		Timeout: 30 * time.Second, MaxIdleConns: workers,
+	})
+	defer sc.Close()
+	streamRate := closedLoop(t, workers, window, func(w, i int) error {
+		tg := targets[w%len(targets)]
+		_, err := sc.Report(stream.Request{
+			Region: tg.region, Cell: tg.cell, UID: int64(w),
+			Policy: pol, Seed: int64(w), Count: benchReportCount,
+		})
+		return err
+	})
+	streamDraws := streamRate * benchReportCount
+
+	// Lease side: identical per-worker workload, but draws happen in the
+	// worker against its leased alias tables; the wire only carries a
+	// LEASE exchange every benchLeaseCap draws.
+	regLease, _ := benchSetup(t)
+	_, addrL := startStreamB(t, regLease)
+	scL := stream.NewClient(addrL, stream.ClientConfig{
+		Timeout: 30 * time.Second, MaxIdleConns: workers,
+	})
+	defer scL.Close()
+	trees := make(map[string]*loctree.Tree)
+	for _, name := range []string{"bench-a", "bench-b", "bench-c"} {
+		tree, _ := leaves(t, regLease, name)
+		trees[name] = tree
+	}
+	type workerLease struct {
+		lease *clientdraw.Lease
+		leaf  loctree.NodeID
+		buf   []loctree.NodeID
+	}
+	states := make([]workerLease, workers) // states[w] touched only by worker w
+	leaseRate := closedLoop(t, workers, window, func(w, i int) error {
+		st := &states[w]
+		tg := targets[w%len(targets)]
+		if st.lease == nil || st.lease.Remaining() < benchReportCount {
+			var token []byte
+			if st.lease != nil {
+				token = st.lease.Token()
+			}
+			g, err := scL.Lease(stream.Request{
+				Region: tg.region, Cell: tg.cell, UID: int64(w),
+				Policy: pol, Seed: int64(w),
+			}, benchLeaseCap, token)
+			if err != nil {
+				return err
+			}
+			tree := trees[tg.region]
+			if st.lease != nil {
+				// Handover renewal: O(forfeit gap), not O(position).
+				st.lease, err = st.lease.Renew(g.Bundle, g.Token)
+			} else {
+				st.lease, err = clientdraw.Open(tree, g.Bundle, g.Token)
+			}
+			if err != nil {
+				return err
+			}
+			st.leaf = loctree.NodeID{}
+			for _, leaf := range tree.LevelNodes(0) {
+				if leaf.Coord.Q == tg.cell[0] && leaf.Coord.R == tg.cell[1] {
+					st.leaf = leaf
+				}
+			}
+			st.buf = make([]loctree.NodeID, benchReportCount)
+		}
+		return st.lease.DrawCellNInto(st.leaf, st.buf)
+	})
+	leaseDraws := leaseRate * benchReportCount
+
+	speedup := leaseDraws / streamDraws
+	ls := regLease.LeaseStats()
+	rep := benchPR8Report{
+		StreamDrawsPerSec: math.Round(streamDraws),
+		LeaseDrawsPerSec:  math.Round(leaseDraws),
+		Speedup:           math.Round(speedup*10) / 10,
+		Concurrency:       workers,
+		ReportCount:       benchReportCount,
+		LeaseDraws:        benchLeaseCap,
+		LeaseRoundTrips:   ls.Issued,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("BENCH_pr8: %s\n", data)
+	if speedup < 5 {
+		t.Fatalf("leased client-side draws sustained only %.1fx the stream rate (acceptance: >= 5x)", speedup)
+	}
+}

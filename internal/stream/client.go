@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"corgi/internal/registry"
 )
 
 // ErrClientClosed marks calls on a closed client.
@@ -333,6 +335,41 @@ func (c *Client) Report(req Request) (*Response, error) {
 		return nil, err
 	}
 	return resp, nil
+}
+
+// Lease requests (or renews) a client-side draw lease over the stream,
+// mirroring proto.Client.Lease: the request's Count field is ignored,
+// draws is the cap to pre-pay, and a non-nil token renews a previous
+// lease. Rejections come back as *StatusError with the same statuses the
+// HTTP route answers (429 with eps headroom on budget exhaustion, 403 on
+// a bad token).
+func (c *Client) Lease(req Request, draws int, token []byte) (*registry.LeaseGrant, error) {
+	if req.Region == "" {
+		req.Region = c.cfg.Region
+	}
+	var grant *registry.LeaseGrant
+	err := c.withConn(func(cc *clientConn) error {
+		cc.nextID++
+		reqID := cc.nextID
+		bp := getFrame(frameLease)
+		*bp = appendU32(*bp, reqID)
+		*bp = appendLeaseReq(*bp, &req, draws, token)
+		payload, err := c.exchange(cc, bp, reqID, frameLeaseGrant)
+		if err != nil {
+			return err
+		}
+		d := decoder{b: payload}
+		g, err := d.decodeLeaseGrant()
+		if err == nil {
+			err = d.done("LEASE_GRANT")
+		}
+		grant = g
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return grant, nil
 }
 
 // ReportBatch draws for many requests in one REPORTS round trip,

@@ -1,0 +1,478 @@
+// Lease-pipeline end-to-end tests: the client-side draw path (POST
+// /v1/lease and LEASE frames feeding internal/clientdraw) against the
+// three server-side paths, plus the budget and token enforcement the
+// offload depends on. External package for the same reason as
+// stream_test.go: both wires against live servers.
+package stream_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"corgi/internal/budget"
+	"corgi/internal/clientdraw"
+	"corgi/internal/loctree"
+	"corgi/internal/policy"
+	"corgi/internal/proto"
+	"corgi/internal/registry"
+	"corgi/internal/stream"
+)
+
+// TestLeaseTrajectoryEquivalence is the offload acceptance property: a
+// seeded trajectory with a re-anchoring subtree crossing, drawn
+// server-side in-process, yields the byte-identical draw sequence when
+// the client draws it locally from leases acquired over HTTP and over
+// the stream — including across renewals, whose caps are sized so every
+// leased draw is consumed (unused draws are forfeited by design, so a
+// client that wants continuity sizes caps exactly).
+func TestLeaseTrajectoryEquivalence(t *testing.T) {
+	const (
+		seed  = int64(1337)
+		uid   = int64(3)
+		count = 4
+	)
+	pol := policy.Policy{PrivacyLevel: 1}
+
+	type draw struct {
+		q, r     int
+		lat, lng float64
+	}
+
+	// Moves 0 and 1 sit at leafA, move 2 crosses to leafB (re-anchor),
+	// move 3 crosses back. The initial lease pre-pays moves 0+1 in one
+	// 8-draw cap; each crossing renews with an exact 4-draw cap.
+	worldOf := func(reg *registry.Registry) (*loctree.Tree, loctree.NodeID, loctree.NodeID) {
+		tree, _ := leaves(t, reg, "ra")
+		leafA := tree.LeavesUnder(tree.LevelNodes(1)[0])[0]
+		leafB := tree.LeavesUnder(tree.LevelNodes(1)[1])[0]
+		return tree, leafA, leafB
+	}
+
+	// Server-side reference: the registry pipeline directly.
+	var inproc []draw
+	{
+		reg := newRegistry(t, registry.Options{}, "ra")
+		_, leafA, leafB := worldOf(reg)
+		for i, leaf := range []loctree.NodeID{leafA, leafA, leafB, leafA} {
+			res, err := reg.Report(context.Background(), registry.ReportRequest{
+				Region: "ra", Cell: leaf.Coord, UID: uid,
+				Policy: pol, Seed: seed, Count: count,
+			})
+			if err != nil {
+				t.Fatalf("in-proc move %d: %v", i, err)
+			}
+			for j, n := range res.Reports {
+				c := res.Centers[j]
+				inproc = append(inproc, draw{n.Coord.Q, n.Coord.R, c.Lat, c.Lng})
+			}
+		}
+	}
+
+	// drawLocal replays the trajectory from leases acquired via acquire:
+	// initial 8-draw lease at leafA, then 4-draw renewals at leafB and
+	// leafA. Every grant's RNG position must land exactly where the
+	// in-process stream stood: 0, 8, 12. useRenew picks the renewal
+	// constructor — Renew's RNG handover and Open's burn-from-seed must
+	// produce the same stream.
+	drawLocal := func(tree *loctree.Tree, leafA, leafB loctree.NodeID, useRenew bool,
+		acquire func(leaf loctree.NodeID, draws int, token []byte) (*registry.LeaseGrant, error)) []draw {
+
+		var out []draw
+		consume := func(l *clientdraw.Lease, leaf loctree.NodeID, n int) {
+			t.Helper()
+			nodes, err := l.DrawCellN(leaf, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, nd := range nodes {
+				c := tree.Center(nd)
+				out = append(out, draw{nd.Coord.Q, nd.Coord.R, c.Lat, c.Lng})
+			}
+		}
+		open := func(prev *clientdraw.Lease, g *registry.LeaseGrant, wantPos uint64, wantRenewed bool) *clientdraw.Lease {
+			t.Helper()
+			if g.RNGPos != wantPos || g.Renewed != wantRenewed {
+				t.Fatalf("grant at pos %d (renewed %v), want %d (%v)",
+					g.RNGPos, g.Renewed, wantPos, wantRenewed)
+			}
+			var l *clientdraw.Lease
+			var err error
+			if prev != nil && useRenew {
+				l, err = prev.Renew(g.Bundle, g.Token)
+			} else {
+				l, err = clientdraw.Open(tree, g.Bundle, g.Token)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev != nil && prev.Remaining() != 0 {
+				t.Fatalf("retired lease still reports %d draws", prev.Remaining())
+			}
+			return l
+		}
+
+		g, err := acquire(leafA, 2*count, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := open(nil, g, 0, false)
+		consume(l, leafA, count) // move 0
+		consume(l, leafA, count) // move 1
+		if l.Remaining() != 0 {
+			t.Fatalf("lease has %d draws left after exact consumption", l.Remaining())
+		}
+		if _, err := l.DrawCell(leafA); !errors.Is(err, clientdraw.ErrLeaseExhausted) {
+			t.Fatalf("draw past cap: %v, want ErrLeaseExhausted", err)
+		}
+
+		g, err = acquire(leafB, count, l.Token()) // move 2: crossing
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Reanchored {
+			t.Fatal("renewal across subtrees did not re-anchor")
+		}
+		l = open(l, g, 2*count, true)
+		consume(l, leafB, count)
+
+		g, err = acquire(leafA, count, l.Token()) // move 3: crossing back
+		if err != nil {
+			t.Fatal(err)
+		}
+		l = open(l, g, 3*count, true)
+		consume(l, leafA, count)
+		return out
+	}
+
+	// Lease over HTTP+JSON: POST /v1/lease, draws on-device.
+	var overHTTP []draw
+	{
+		reg := newRegistry(t, registry.Options{}, "ra")
+		tree, leafA, leafB := worldOf(reg)
+		h, err := proto.NewMultiHandler(reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hsrv := httptest.NewServer(h.Mux())
+		t.Cleanup(hsrv.Close)
+		hc := proto.NewClient(hsrv.URL)
+		overHTTP = drawLocal(tree, leafA, leafB, false,
+			func(leaf loctree.NodeID, draws int, token []byte) (*registry.LeaseGrant, error) {
+				lr, err := hc.Lease(proto.LeaseRequest{
+					Region: "ra", Cell: [2]int{leaf.Coord.Q, leaf.Coord.R}, UID: uid,
+					Policy: pol, Seed: seed, Draws: draws, Token: token,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return &registry.LeaseGrant{
+					Reanchored: lr.Reanchored, Renewed: lr.Renewed,
+					DrawCap: lr.DrawCap, RNGPos: lr.RNGPos,
+					Token: lr.Token, Bundle: lr.Bundle,
+				}, nil
+			})
+	}
+
+	// Lease over the stream: LEASE/LEASE_GRANT frames on one connection.
+	var overStream []draw
+	{
+		reg := newRegistry(t, registry.Options{}, "ra")
+		tree, leafA, leafB := worldOf(reg)
+		_, addr := startStream(t, reg, stream.Config{})
+		sc := stream.NewClient(addr, stream.ClientConfig{Timeout: 10 * time.Second})
+		defer sc.Close()
+		overStream = drawLocal(tree, leafA, leafB, true,
+			func(leaf loctree.NodeID, draws int, token []byte) (*registry.LeaseGrant, error) {
+				return sc.Lease(stream.Request{
+					Region: "ra", Cell: [2]int{leaf.Coord.Q, leaf.Coord.R}, UID: uid,
+					Policy: pol, Seed: seed,
+				}, draws, token)
+			})
+	}
+
+	if len(inproc) != 4*count || len(overHTTP) != len(inproc) || len(overStream) != len(inproc) {
+		t.Fatalf("draw counts: in-proc %d, lease/http %d, lease/stream %d",
+			len(inproc), len(overHTTP), len(overStream))
+	}
+	for i := range inproc {
+		// Exact equality, centers included: the bundle carries full float64
+		// weight bits and the client recomputes centers from the same tree,
+		// so even one ulp of drift is a real bug.
+		if overHTTP[i] != inproc[i] {
+			t.Fatalf("draw %d: lease/http %+v != in-proc %+v", i, overHTTP[i], inproc[i])
+		}
+		if overStream[i] != inproc[i] {
+			t.Fatalf("draw %d: lease/stream %+v != in-proc %+v", i, overStream[i], inproc[i])
+		}
+	}
+}
+
+// TestLeaseBudgetExhaustion pins the zero-over-spend property: a lease
+// charges its whole cap up front, and a renewal the window cannot cover
+// answers 429 with the user's live headroom — on both wires — without
+// spending anything.
+func TestLeaseBudgetExhaustion(t *testing.T) {
+	const eps = 15.0 // registry default epsilon for specs that leave it zero
+	opts := registry.Options{Budget: budget.Config{LimitEps: 10 * eps, Window: time.Hour}}
+	pol := policy.Policy{PrivacyLevel: 1}
+
+	// HTTP wire.
+	regH := newRegistry(t, opts, "ra")
+	_, leafNodes := leaves(t, regH, "ra")
+	cell := [2]int{leafNodes[0].Coord.Q, leafNodes[0].Coord.R}
+	h, err := proto.NewMultiHandler(regH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsrv := httptest.NewServer(h.Mux())
+	t.Cleanup(hsrv.Close)
+	hc := proto.NewClient(hsrv.URL)
+
+	lr, err := hc.Lease(proto.LeaseRequest{
+		Region: "ra", Cell: cell, UID: 5, Policy: pol, Seed: 1, Draws: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lr.Budgeted || lr.EpsSpent != 8*eps || lr.EpsRemaining != 2*eps {
+		t.Fatalf("issue: budgeted=%v spent=%v remaining=%v", lr.Budgeted, lr.EpsSpent, lr.EpsRemaining)
+	}
+	// 4 more draws cost 60 against 30 of headroom: refused, headroom intact.
+	_, err = hc.Lease(proto.LeaseRequest{
+		Region: "ra", Cell: cell, UID: 5, Policy: pol, Seed: 1, Draws: 4, Token: lr.Token,
+	})
+	var le *proto.LeaseError
+	if !errors.As(err, &le) || le.Status != http.StatusTooManyRequests {
+		t.Fatalf("over-cap renewal: %v", err)
+	}
+	if !le.HasEpsRemaining || le.EpsRemaining != 2*eps {
+		t.Fatalf("429 headroom: %+v", le)
+	}
+	// A renewal the headroom does cover still succeeds: the refusal spent
+	// nothing.
+	if lr, err = hc.Lease(proto.LeaseRequest{
+		Region: "ra", Cell: cell, UID: 5, Policy: pol, Seed: 1, Draws: 2, Token: lr.Token,
+	}); err != nil {
+		t.Fatalf("exact-headroom renewal: %v", err)
+	}
+	if lr.EpsRemaining != 0 {
+		t.Fatalf("headroom after exact renewal: %v", lr.EpsRemaining)
+	}
+	// Issued counts every grant (renewals included); the refused renewal
+	// counted only as a budget denial.
+	if st := regH.LeaseStats(); st.DeniedBudget != 1 || st.Issued != 2 || st.Renewed != 1 || st.DrawsGranted != 10 {
+		t.Fatalf("lease stats: %+v", st)
+	}
+
+	// Stream wire: same refusal as a *StatusError with the headroom field.
+	regS := newRegistry(t, opts, "ra")
+	_, addr := startStream(t, regS, stream.Config{})
+	sc := stream.NewClient(addr, stream.ClientConfig{Timeout: 10 * time.Second})
+	defer sc.Close()
+	req := stream.Request{Region: "ra", Cell: cell, UID: 5, Policy: pol, Seed: 1}
+	g, err := sc.Lease(req, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Budgeted || g.EpsSpent != 8*eps || g.EpsRemaining != 2*eps {
+		t.Fatalf("stream issue: %+v", g)
+	}
+	_, err = sc.Lease(req, 4, g.Token)
+	var se *stream.StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+		t.Fatalf("stream over-cap renewal: %v", err)
+	}
+	if !se.HasEpsRemaining || se.EpsRemaining != 2*eps {
+		t.Fatalf("stream 429 headroom: %+v", se)
+	}
+}
+
+// TestLeaseTokenRejections pins the key-gating: a tampered token, a
+// genuinely-signed-but-expired token, and a token presented by the wrong
+// user all answer 403 on both wires, and the registry counts them.
+func TestLeaseTokenRejections(t *testing.T) {
+	secret := bytes.Repeat([]byte{0x5a}, 32)
+	reg := newRegistry(t, registry.Options{LeaseSecret: secret}, "ra")
+	_, leafNodes := leaves(t, reg, "ra")
+	cell := [2]int{leafNodes[0].Coord.Q, leafNodes[0].Coord.R}
+	pol := policy.Policy{PrivacyLevel: 1}
+
+	h, err := proto.NewMultiHandler(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsrv := httptest.NewServer(h.Mux())
+	t.Cleanup(hsrv.Close)
+	hc := proto.NewClient(hsrv.URL)
+	_, addr := startStream(t, reg, stream.Config{})
+	sc := stream.NewClient(addr, stream.ClientConfig{Timeout: 10 * time.Second})
+	defer sc.Close()
+
+	lr, err := hc.Lease(proto.LeaseRequest{
+		Region: "ra", Cell: cell, UID: 9, Policy: pol, Seed: 2, Draws: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantHTTP403 := func(req proto.LeaseRequest) {
+		t.Helper()
+		_, err := hc.Lease(req)
+		var le *proto.LeaseError
+		if !errors.As(err, &le) || le.Status != http.StatusForbidden {
+			t.Fatalf("want 403 LeaseError, got %v", err)
+		}
+	}
+
+	// Tampered: one flipped byte in the signed payload.
+	forged := append([]byte(nil), lr.Token...)
+	forged[8] ^= 0x01
+	wantHTTP403(proto.LeaseRequest{
+		Region: "ra", Cell: cell, UID: 9, Policy: pol, Seed: 2, Draws: 2, Token: forged,
+	})
+	_, err = sc.Lease(stream.Request{
+		Region: "ra", Cell: cell, UID: 9, Policy: pol, Seed: 2,
+	}, 2, forged)
+	var se *stream.StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusForbidden {
+		t.Fatalf("stream forged token: %v", err)
+	}
+
+	// Expired: the exact claims of the real token, correctly signed under
+	// the server's own secret, but past its expiry.
+	tok, err := budget.DecodeLeaseToken(lr.Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr, err := budget.NewKeyring(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok.ExpiresAt = time.Now().Add(-time.Minute).UnixMilli()
+	wantHTTP403(proto.LeaseRequest{
+		Region: "ra", Cell: cell, UID: 9, Policy: pol, Seed: 2, Draws: 2, Token: kr.Sign(tok),
+	})
+
+	// Wrong presenter: a valid token under a different request UID.
+	wantHTTP403(proto.LeaseRequest{
+		Region: "ra", Cell: cell, UID: 10, Policy: pol, Seed: 2, Draws: 2, Token: lr.Token,
+	})
+
+	if st := reg.LeaseStats(); st.DeniedToken != 4 {
+		t.Fatalf("denied_token = %d, want 4: %+v", st.DeniedToken, st)
+	}
+
+	// The denials never touched the session: the original lease still
+	// renews and continues at the position it granted.
+	lr2, err := hc.Lease(proto.LeaseRequest{
+		Region: "ra", Cell: cell, UID: 9, Policy: pol, Seed: 2, Draws: 2, Token: lr.Token,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lr2.Renewed || lr2.RNGPos != 2 {
+		t.Fatalf("renewal after denials: renewed=%v pos=%d", lr2.Renewed, lr2.RNGPos)
+	}
+}
+
+// TestMaxReportCountLimit pins the shared draw-count ceiling: every
+// transport path — report, batch item, and lease — refuses a count of
+// registry.DefaultMaxReportCount+1 with the same 422 classification.
+func TestMaxReportCountLimit(t *testing.T) {
+	over := registry.DefaultMaxReportCount + 1
+	pol := policy.Policy{PrivacyLevel: 1}
+
+	reg := newRegistry(t, registry.Options{}, "ra")
+	_, leafNodes := leaves(t, reg, "ra")
+	cell := [2]int{leafNodes[0].Coord.Q, leafNodes[0].Coord.R}
+	h, err := proto.NewMultiHandler(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsrv := httptest.NewServer(h.Mux())
+	t.Cleanup(hsrv.Close)
+	hc := proto.NewClient(hsrv.URL)
+	_, addr := startStream(t, reg, stream.Config{})
+	sc := stream.NewClient(addr, stream.ClientConfig{Timeout: 10 * time.Second})
+	defer sc.Close()
+
+	statusOf := func(err error) int {
+		t.Helper()
+		var se *stream.StatusError
+		if errors.As(err, &se) {
+			return se.Status
+		}
+		var le *proto.LeaseError
+		if errors.As(err, &le) {
+			return le.Status
+		}
+		t.Fatalf("unclassified error: %v", err)
+		return 0
+	}
+
+	cases := []struct {
+		name  string
+		issue func() int
+	}{
+		{"http report", func() int {
+			body, _ := json.Marshal(proto.ReportRequest{
+				Region: "ra", Cell: cell, Policy: pol, Count: over,
+			})
+			resp, err := http.Post(hsrv.URL+"/v1/report", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			return resp.StatusCode
+		}},
+		{"http batch item", func() int {
+			br, err := hc.ReportBatch([]proto.ReportRequest{
+				{Region: "ra", Cell: cell, Policy: pol, Count: over},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return br.Items[0].Status
+		}},
+		{"http lease", func() int {
+			_, err := hc.Lease(proto.LeaseRequest{
+				Region: "ra", Cell: cell, Policy: pol, Draws: over,
+			})
+			return statusOf(err)
+		}},
+		{"stream report", func() int {
+			_, err := sc.Report(stream.Request{Region: "ra", Cell: cell, Policy: pol, Count: over})
+			return statusOf(err)
+		}},
+		{"stream batch item", func() int {
+			items, err := sc.ReportBatch([]stream.Request{
+				{Region: "ra", Cell: cell, Policy: pol, Count: over},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return items[0].Status
+		}},
+		{"stream lease", func() int {
+			_, err := sc.Lease(stream.Request{Region: "ra", Cell: cell, Policy: pol}, over, nil)
+			return statusOf(err)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.issue(); got != http.StatusUnprocessableEntity {
+				t.Fatalf("count %d answered %d, want 422", over, got)
+			}
+		})
+	}
+	// The limit itself is the shared constant, not a per-transport copy.
+	if proto.DefaultMaxReportCount != registry.DefaultMaxReportCount {
+		t.Fatal("transport limit diverged from registry limit")
+	}
+}

@@ -25,11 +25,12 @@ const DefaultHandshakeTimeout = 10 * time.Second
 // Config tunes a stream Server. The zero value matches the HTTP handler's
 // defaults, so the two transports enforce the same request limits.
 type Config struct {
-	// MaxBatch caps the items of one REPORTS frame (default 64, matching
-	// proto.DefaultMaxBatch).
+	// MaxBatch caps the items of one REPORTS frame (default
+	// registry.DefaultMaxBatch, the limit every transport shares).
 	MaxBatch int
-	// MaxReportCount caps the draws of one report request (default 1000,
-	// matching proto.DefaultMaxReportCount).
+	// MaxReportCount caps the draws of one report request — and the draw
+	// cap of one LEASE — (default registry.DefaultMaxReportCount, shared
+	// with the HTTP routes).
 	MaxReportCount int
 	// Timeout bounds each frame's report work (the whole batch for
 	// REPORTS); zero means no per-frame deadline.
@@ -42,10 +43,10 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
-		c.MaxBatch = 64
+		c.MaxBatch = registry.DefaultMaxBatch
 	}
 	if c.MaxReportCount <= 0 {
-		c.MaxReportCount = 1000
+		c.MaxReportCount = registry.DefaultMaxReportCount
 	}
 	if c.MaxFrameBytes <= 0 {
 		c.MaxFrameBytes = DefaultMaxFrameBytes
@@ -74,6 +75,9 @@ type Stats struct {
 	Reports    uint64 `json:"reports"`
 	Batches    uint64 `json:"batches"`
 	BatchItems uint64 `json:"batch_items"`
+	// Leases counts granted LEASE frames (the registry's lease counters
+	// track issuance across transports; this is the stream's share).
+	Leases uint64 `json:"leases"`
 	// ErrorFrames counts ERROR frames sent (application rejections and
 	// protocol faults alike); Oversized counts frames refused for size.
 	ErrorFrames uint64 `json:"error_frames"`
@@ -112,6 +116,7 @@ type Server struct {
 	reports     atomic.Uint64
 	batches     atomic.Uint64
 	batchItems  atomic.Uint64
+	leases      atomic.Uint64
 	errorFrames atomic.Uint64
 	oversized   atomic.Uint64
 	goodbyes    atomic.Uint64
@@ -266,6 +271,8 @@ func (s *Server) serveConn(sc *serverConn) {
 			s.handleReport(sc, payload)
 		case frameReports:
 			s.handleReports(sc, payload)
+		case frameLease:
+			s.handleLease(sc, payload)
 		case frameGoodbye:
 			return
 		default:
@@ -377,6 +384,51 @@ func (s *Server) handleReport(sc *serverConn, payload []byte) {
 	bp := getFrame(frameReportOK)
 	*bp = appendU32(*bp, reqID)
 	*bp = appendResult(*bp, out.res)
+	out.res.Release()
+	sc.writeFrame(bp)
+}
+
+// handleLease answers one LEASE frame from the shared registry lease
+// pipeline, applying the same draw-cap limit as the report paths.
+func (s *Server) handleLease(sc *serverConn, payload []byte) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	d := decoder{b: payload}
+	reqID := d.u32()
+	req, draws, token, err := d.decodeLeaseReq(s.intern)
+	if err == nil {
+		err = d.done("LEASE")
+	}
+	if err != nil {
+		s.sendError(sc, reqID, 400, err.Error(), 0, false)
+		return
+	}
+	if draws > s.cfg.MaxReportCount {
+		s.sendError(sc, reqID, 422,
+			fmt.Sprintf("count %d exceeds limit %d", draws, s.cfg.MaxReportCount), 0, false)
+		return
+	}
+	ctx, cancel := s.frameCtx()
+	grant, err := s.reg.Lease(ctx, registry.LeaseRequest{
+		Region: req.Region,
+		Cell:   req.reqCell(),
+		UID:    req.UID,
+		Policy: req.Policy,
+		Seed:   req.Seed,
+		Draws:  draws,
+		Token:  token,
+	})
+	cancel()
+	if err != nil {
+		status, msg := registry.ReportErrStatus(err)
+		epsRem, hasEps := registry.BudgetRemaining(err)
+		s.sendError(sc, reqID, status, msg, epsRem, hasEps)
+		return
+	}
+	s.leases.Add(1)
+	bp := getFrame(frameLeaseGrant)
+	*bp = appendU32(*bp, reqID)
+	*bp = appendLeaseGrant(*bp, grant)
 	sc.writeFrame(bp)
 }
 
@@ -437,6 +489,7 @@ func (s *Server) handleReports(sc *serverConn, payload []byte) {
 		if outs[i].status == statusOK {
 			*bp = appendU16(*bp, uint16(statusOK))
 			*bp = appendResult(*bp, outs[i].res)
+			outs[i].res.Release()
 		} else {
 			*bp = appendItemError(*bp, outs[i].status, outs[i].msg, outs[i].epsRem, outs[i].hasEps)
 		}
@@ -531,6 +584,7 @@ func (s *Server) Stats() Stats {
 		Reports:      s.reports.Load(),
 		Batches:      s.batches.Load(),
 		BatchItems:   s.batchItems.Load(),
+		Leases:       s.leases.Load(),
 		ErrorFrames:  s.errorFrames.Load(),
 		Oversized:    s.oversized.Load(),
 		GoodbyesSent: s.goodbyes.Load(),

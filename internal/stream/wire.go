@@ -24,6 +24,8 @@
 //	REPORTS_OK := uint32 reqID | uvarint n | n * item
 //	ERROR   := uint32 reqID | uint16 status | uint8 flags | [float64 epsRemaining] | string msg
 //	GOODBYE := string reason
+//	LEASE   := uint32 reqID | request | uvarint draws | uvarint tokenLen | token
+//	LEASE_GRANT := uint32 reqID | grant
 //
 // where request serializes proto.ReportRequest's fields (region, cell,
 // uid, seed, count, policy triple) with varints and length-prefixed
@@ -33,6 +35,14 @@
 // drawn location costs 16 bytes flat. reqID 0 in an ERROR frame marks a
 // connection-level fault (handshake, framing, oversized frame); the
 // connection closes after it.
+//
+// LEASE asks for a client-side draw lease (the stream analogue of POST
+// /v1/lease): the embedded request's count field is ignored, draws is the
+// cap to pre-pay, and token (possibly empty) renews a previous lease. The
+// grant body carries the customization facts plus the signed token and
+// the opaque lease bundle — the bundle's float64 weights ride as exact
+// bits inside internal/codec's lease encoding, never re-quantized, which
+// is what keeps device-local draws byte-identical to server draws.
 package stream
 
 import (
@@ -63,14 +73,16 @@ const (
 
 // Frame types.
 const (
-	frameHello     = 1
-	frameWelcome   = 2
-	frameReport    = 3
-	frameReports   = 4
-	frameReportOK  = 5
-	frameReportsOK = 6
-	frameError     = 7
-	frameGoodbye   = 8
+	frameHello      = 1
+	frameWelcome    = 2
+	frameReport     = 3
+	frameReports    = 4
+	frameReportOK   = 5
+	frameReportsOK  = 6
+	frameError      = 7
+	frameGoodbye    = 8
+	frameLease      = 9
+	frameLeaseGrant = 10
 )
 
 // ERROR frame flag bits.
@@ -477,3 +489,96 @@ const statusOK = 200
 
 // reqCell converts the wire cell to the registry's coordinate type.
 func (r *Request) reqCell() hexgrid.Coord { return hexgrid.Coord{Q: r.Cell[0], R: r.Cell[1]} }
+
+// grantFlagRenewed extends the result flag bits for LEASE_GRANT payloads:
+// the lease was issued against a valid renewal token.
+const grantFlagRenewed = 8
+
+// appendLeaseReq serializes one LEASE body after the reqID: the embedded
+// report request (its count field unused), the draw cap to pre-pay, and
+// the optional renewal token.
+func appendLeaseReq(b []byte, req *Request, draws int, token []byte) []byte {
+	b = appendRequest(b, req)
+	b = binary.AppendUvarint(b, uint64(draws))
+	b = binary.AppendUvarint(b, uint64(len(token)))
+	return append(b, token...)
+}
+
+// decodeLeaseReq reads one LEASE body. The returned token aliases the
+// frame buffer (like every strBytes read) and is only read synchronously
+// by the handler before the next frame arrives.
+func (d *decoder) decodeLeaseReq(intern func([]byte) string) (Request, int, []byte, error) {
+	req, err := d.decodeRequest(intern)
+	if err != nil {
+		return req, 0, nil, err
+	}
+	draws := int(d.uvarint())
+	token := d.strBytes()
+	return req, draws, token, d.err
+}
+
+// appendLeaseGrant serializes a registry lease grant straight from the
+// pipeline's own type, the same zero-intermediate pattern appendResult
+// uses. The bundle bytes are already codec-encoded exact float64 weights;
+// they ride opaque.
+func appendLeaseGrant(b []byte, g *registry.LeaseGrant) []byte {
+	b = appendString(b, g.Region)
+	b = binary.AppendVarint(b, int64(g.PrecisionLevel))
+	b = binary.AppendVarint(b, int64(g.SubtreeRoot.Level))
+	b = binary.AppendVarint(b, int64(g.SubtreeRoot.Coord.Q))
+	b = binary.AppendVarint(b, int64(g.SubtreeRoot.Coord.R))
+	b = binary.AppendVarint(b, int64(g.Pruned))
+	var flags byte
+	if g.Reanchored {
+		flags |= resFlagReanchored
+	}
+	if g.Budgeted {
+		flags |= resFlagBudgeted
+	}
+	if g.Degraded {
+		flags |= resFlagDegraded
+	}
+	if g.Renewed {
+		flags |= grantFlagRenewed
+	}
+	b = append(b, flags)
+	if g.Budgeted {
+		b = appendF64(b, g.EpsSpent)
+		b = appendF64(b, g.EpsRemaining)
+	}
+	b = binary.AppendUvarint(b, uint64(g.DrawCap))
+	b = binary.AppendUvarint(b, g.RNGPos)
+	b = binary.AppendVarint(b, g.ExpiresAt)
+	b = binary.AppendUvarint(b, uint64(len(g.Token)))
+	b = append(b, g.Token...)
+	b = binary.AppendUvarint(b, uint64(len(g.Bundle)))
+	return append(b, g.Bundle...)
+}
+
+// decodeLeaseGrant reads one LEASE_GRANT body into the registry's grant
+// type. Token and bundle are copied out of the frame buffer — the caller
+// keeps them for the lease's whole lifetime.
+func (d *decoder) decodeLeaseGrant() (*registry.LeaseGrant, error) {
+	g := &registry.LeaseGrant{}
+	g.Region = d.str()
+	g.PrecisionLevel = int(d.varint())
+	g.SubtreeRoot.Level = int(d.varint())
+	g.SubtreeRoot.Coord.Q = int(d.varint())
+	g.SubtreeRoot.Coord.R = int(d.varint())
+	g.Pruned = int(d.varint())
+	flags := d.u8()
+	g.Reanchored = flags&resFlagReanchored != 0
+	g.Budgeted = flags&resFlagBudgeted != 0
+	g.Degraded = flags&resFlagDegraded != 0
+	g.Renewed = flags&grantFlagRenewed != 0
+	if g.Budgeted {
+		g.EpsSpent = d.f64()
+		g.EpsRemaining = d.f64()
+	}
+	g.DrawCap = int(d.uvarint())
+	g.RNGPos = d.uvarint()
+	g.ExpiresAt = d.varint()
+	g.Token = append([]byte(nil), d.strBytes()...)
+	g.Bundle = append([]byte(nil), d.strBytes()...)
+	return g, d.err
+}
