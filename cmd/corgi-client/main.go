@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"corgi/internal/clientdraw"
+	"corgi/internal/cluster"
 	"corgi/internal/core"
 	"corgi/internal/geo"
 	"corgi/internal/gowalla"
@@ -159,6 +160,55 @@ func fetchForestCached(c *proto.Client, tree *loctree.Tree, level, delta int, cf
 	return res.Forest, nil
 }
 
+// dialCluster resolves -peers: it builds the same consistent-hash ring
+// the servers run (member names hash identically when the flag value
+// matches their -cluster-peers), walks this uid's failover sequence owner
+// first, and binds to the first node that answers a tree fetch. A node
+// that is down is skipped with a log line; the one that answers is
+// surfaced so the user knows where their session lives. Wrong-node
+// fallback is still correct — the server forwards one hop — it just adds
+// that hop's latency.
+func dialCluster(spec, region string, uid int64, v1 bool) (*proto.Client, string, *loctree.Tree, *proto.TreeResponse, error) {
+	peers, err := cluster.ParsePeers(spec)
+	if err != nil {
+		return nil, "", nil, nil, err
+	}
+	byName := make(map[string]cluster.Peer, len(peers))
+	names := make([]string, len(peers))
+	for i, p := range peers {
+		if p.HTTPURL == "" {
+			// A bare entry names an HTTP endpoint directly.
+			p.HTTPURL = "http://" + p.StreamAddr
+		}
+		byName[p.Name] = p
+		names[i] = p.Name
+	}
+	ring, err := cluster.NewRing(names, 0, 0)
+	if err != nil {
+		return nil, "", nil, nil, err
+	}
+	seq := ring.Sequence(uid)
+	var lastErr error
+	for i, name := range seq {
+		p := byName[name]
+		c := proto.NewRegionClient(p.HTTPURL, region)
+		c.ForceV1 = v1
+		tree, info, err := c.FetchTree()
+		if err != nil {
+			lastErr = err
+			log.Printf("cluster: node %s (%s) unreachable, trying next ring node: %v", name, p.HTTPURL, err)
+			continue
+		}
+		role := "owner"
+		if i > 0 {
+			role = fmt.Sprintf("failover #%d for owner %s", i, seq[0])
+		}
+		log.Printf("cluster: node %s (%s) answered — %s for uid %d", name, p.HTTPURL, role, uid)
+		return c, p.HTTPURL, tree, info, nil
+	}
+	return nil, "", nil, nil, fmt.Errorf("all %d cluster nodes unreachable, last error: %w", len(seq), lastErr)
+}
+
 func main() {
 	server := flag.String("server", "http://127.0.0.1:8080", "corgi-server base URL")
 	region := flag.String("region", "", "region name on a multi-region server (empty: server default)")
@@ -174,17 +224,33 @@ func main() {
 	v1 := flag.Bool("v1", false, "request the dense v1 forest encoding instead of compact v2")
 	noCache := flag.Bool("no-cache", false, "disable the on-disk forest cache")
 	cacheDir := flag.String("cache-dir", "", "forest cache directory (default: user cache dir)")
+	peersFlag := flag.String("peers", "",
+		"cluster member list, comma-separated addr[=httpURL] entries (pass the servers' -cluster-peers value for exact owner affinity): the client contacts this uid's owner node first and fails over to the next ring node when one is down (overrides -server)")
 	var prefs prefList
 	flag.Var(&prefs, "pref", "preference predicate, e.g. 'home != true' (repeatable)")
 	flag.Parse()
 
-	c := proto.NewRegionClient(*server, *region)
-	c.ForceV1 = *v1
-	tree, info, err := c.FetchTree()
-	if err != nil {
-		// The server's 404 for an unknown region already lists the
-		// available names; surface it verbatim.
-		log.Fatalf("fetching tree: %v", err)
+	var (
+		c    *proto.Client
+		tree *loctree.Tree
+		info *proto.TreeResponse
+		err  error
+	)
+	serverURL := *server
+	if *peersFlag != "" {
+		c, serverURL, tree, info, err = dialCluster(*peersFlag, *region, *uid, *v1)
+		if err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+	} else {
+		c = proto.NewRegionClient(*server, *region)
+		c.ForceV1 = *v1
+		tree, info, err = c.FetchTree()
+		if err != nil {
+			// The server's 404 for an unknown region already lists the
+			// available names; surface it verbatim.
+			log.Fatalf("fetching tree: %v", err)
+		}
 	}
 	which := *region
 	if which == "" {
@@ -311,7 +377,7 @@ func main() {
 	forest, err := fetchForestCached(c, tree, pol.PrivacyLevel, delta, forestCacheConfig{
 		disabled: *noCache,
 		dir:      *cacheDir,
-		server:   *server,
+		server:   serverURL,
 		region:   *region,
 		v1:       *v1,
 	})

@@ -1,0 +1,111 @@
+package main
+
+// Cluster-mode target routing: -cluster gives the loadgen the same member
+// list the servers run with, and each request routes to its user's owner
+// node over the identical consistent-hash ring — the client half of
+// session affinity. A request that lands on the wrong node still succeeds
+// (the server forwards one hop), so the ring here is an optimization the
+// per-node counters make visible, not a correctness requirement.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"corgi/internal/cluster"
+	"corgi/internal/stream"
+)
+
+// clusterTargets picks the target node per request uid and counts the
+// per-node distribution for the report.
+type clusterTargets struct {
+	ring    *cluster.Ring
+	peers   map[string]cluster.Peer
+	streams map[string]*stream.Client
+
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// newClusterTargets parses the member list and, for the stream transport,
+// opens one pooled client per node.
+func newClusterTargets(spec, transport string, concurrency int) (*clusterTargets, error) {
+	peers, err := cluster.ParsePeers(spec)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(peers))
+	for i, p := range peers {
+		names[i] = p.Name
+	}
+	ring, err := cluster.NewRing(names, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	ct := &clusterTargets{
+		ring:    ring,
+		peers:   make(map[string]cluster.Peer, len(peers)),
+		streams: make(map[string]*stream.Client, len(peers)),
+		counts:  make(map[string]int64, len(peers)),
+	}
+	for _, p := range peers {
+		ct.peers[p.Name] = p
+		switch transport {
+		case "http":
+			if p.HTTPURL == "" {
+				return nil, fmt.Errorf("cluster: peer %s needs an =httpURL entry with -transport http", p.Name)
+			}
+		case "stream":
+			ct.streams[p.Name] = stream.NewClient(p.StreamAddr, stream.ClientConfig{
+				Timeout:      10 * time.Minute,
+				MaxIdleConns: concurrency,
+			})
+		}
+	}
+	return ct, nil
+}
+
+// node resolves a uid's owner and counts the hit.
+func (ct *clusterTargets) node(uid int64) string {
+	n := ct.ring.Owner(uid)
+	ct.mu.Lock()
+	ct.counts[n]++
+	ct.mu.Unlock()
+	return n
+}
+
+// httpFor returns the owner node's HTTP base URL for a uid.
+func (ct *clusterTargets) httpFor(uid int64) string { return ct.peers[ct.node(uid)].HTTPURL }
+
+// streamFor returns the owner node's pooled stream client for a uid.
+func (ct *clusterTargets) streamFor(uid int64) *stream.Client { return ct.streams[ct.node(uid)] }
+
+// nodeCounts snapshots the per-node request distribution.
+func (ct *clusterTargets) nodeCounts() map[string]int64 {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	out := make(map[string]int64, len(ct.counts))
+	for k, v := range ct.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// streamStats sums dial/retry/byte counters across the per-node clients.
+func (ct *clusterTargets) streamStats() stream.ClientStats {
+	var total stream.ClientStats
+	for _, c := range ct.streams {
+		s := c.Stats()
+		total.Dials += s.Dials
+		total.Retries += s.Retries
+		total.BytesIn += s.BytesIn
+		total.BytesOut += s.BytesOut
+	}
+	return total
+}
+
+func (ct *clusterTargets) Close() {
+	for _, c := range ct.streams {
+		c.Close()
+	}
+}

@@ -218,6 +218,8 @@ func main() {
 	transport := flag.String("transport", "http", "report/mobility transport: http (JSON round trips), stream (corgi-stream binary frames), or lease (client-side draws against POST /v1/lease)")
 	streamAddr := flag.String("stream-addr", "", "corgi-stream address, host:port (required with -transport stream)")
 	leaseDraws := flag.Int("lease-draws", 256, "draw cap pre-paid per lease (-transport lease)")
+	clusterSpec := flag.String("cluster", "",
+		"cluster member list, comma-separated streamAddr[=httpURL] entries matching the servers' -cluster-peers: each request routes to its uid's owner node over the same consistent-hash ring (report/mobility workloads, no -batch)")
 	wire := flag.String("wire", "v2", "forest encoding to request: v1 or v2")
 	seed := flag.Int64("seed", 1, "mix/shuffle seed")
 	out := flag.String("out", "", "write the JSON report here (empty: stdout)")
@@ -245,8 +247,19 @@ func main() {
 		if *workload == "forest" {
 			log.Fatalf("-transport stream serves the report pipeline; use -workload report or mobility")
 		}
-		if *streamAddr == "" {
-			log.Fatalf("-transport stream needs -stream-addr (the server's corgi-stream listener; trace building still uses the HTTP -server)")
+		if *streamAddr == "" && *clusterSpec == "" {
+			log.Fatalf("-transport stream needs -stream-addr (the server's corgi-stream listener; trace building still uses the HTTP -server) or -cluster")
+		}
+	}
+	if *clusterSpec != "" {
+		if *workload == "forest" {
+			log.Fatalf("-cluster routes the report pipeline; use -workload report or mobility")
+		}
+		if *batch > 0 {
+			log.Fatalf("-batch is not supported with -cluster (batches span users, per-uid routing is per-request)")
+		}
+		if *transport == "lease" {
+			log.Fatalf("-transport lease is not supported with -cluster yet")
 		}
 	}
 	if *transport == "lease" {
@@ -297,10 +310,20 @@ func main() {
 	}
 	log.Printf("trace: %d %s entries (%s) over regions [%s]", len(trace), *workload, traceSource, strings.Join(regions, ", "))
 
+	// Cluster mode: one ring over the member list, per-uid owner routing.
+	var ct *clusterTargets
+	if *clusterSpec != "" {
+		if ct, err = newClusterTargets(*clusterSpec, *transport, *concurrency); err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		defer ct.Close()
+	}
+
 	// The stream client pools persistent connections; every worker shares
-	// it, and each in-flight exchange checks out its own connection.
+	// it, and each in-flight exchange checks out its own connection. In
+	// cluster mode the per-node clients live in clusterTargets instead.
 	var streamClient *stream.Client
-	if *transport == "stream" {
+	if *transport == "stream" && ct == nil {
 		streamClient = stream.NewClient(*streamAddr, stream.ClientConfig{
 			Timeout:      10 * time.Minute,
 			MaxIdleConns: *concurrency,
@@ -355,6 +378,11 @@ func main() {
 			w.record(doReportLease(leaseMgr, entry, *precisionFlag, *reportCount, &cold))
 		case streamClient != nil && *batch > 0:
 			w.record(doReportBatchStream(streamClient, trace, idx, *batch, *precisionFlag, *reportCount, &cold))
+		case ct != nil && *transport == "stream":
+			// Cluster mode: the exchange goes to the uid's owner node over
+			// that node's pooled stream client.
+			entry := trace[int(idx)%len(trace)]
+			w.record(doReportStream(ct.streamFor(entry.UID), entry, *precisionFlag, *reportCount, &cold))
 		case streamClient != nil:
 			// The stream response always carries the reanchored flag, so one
 			// path serves both the report and mobility workloads.
@@ -362,12 +390,20 @@ func main() {
 			w.record(doReportStream(streamClient, entry, *precisionFlag, *reportCount, &cold))
 		case *workload == "mobility":
 			entry := trace[int(idx)%len(trace)]
-			w.record(doMobilityReport(client, *server, entry, *precisionFlag, *reportCount, &cold))
+			srv := *server
+			if ct != nil {
+				srv = ct.httpFor(entry.UID)
+			}
+			w.record(doMobilityReport(client, srv, entry, *precisionFlag, *reportCount, &cold))
 		case *workload == "report" && *batch > 0:
 			w.record(doReportBatch(client, *server, trace, idx, *batch, *precisionFlag, *reportCount, &cold))
 		case *workload == "report":
 			entry := trace[int(idx)%len(trace)]
-			w.record(doReport(client, *server, entry, *precisionFlag, *reportCount, &cold))
+			srv := *server
+			if ct != nil {
+				srv = ct.httpFor(entry.UID)
+			}
+			w.record(doReport(client, srv, entry, *precisionFlag, *reportCount, &cold))
 		case *batch > 0:
 			w.record(doBatch(client, *server, trace, idx, *batch, *wire, &cold))
 		default:
@@ -448,6 +484,15 @@ func main() {
 		report.BytesReceived = int64(cs.BytesIn)
 		report.StreamDials = int64(cs.Dials)
 		report.StreamRetries = int64(cs.Retries)
+	}
+	if ct != nil {
+		report.PerNode = ct.nodeCounts()
+		if *transport == "stream" {
+			cs := ct.streamStats()
+			report.BytesReceived = int64(cs.BytesIn)
+			report.StreamDials = int64(cs.Dials)
+			report.StreamRetries = int64(cs.Retries)
+		}
 	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")
@@ -1698,6 +1743,9 @@ type report struct {
 	Histogram       []histBucket            `json:"latency_histogram"`
 	StatusCounts    map[string]int64        `json:"status_counts"`
 	PerRegion       map[string]regionReport `json:"per_region"`
+	// PerNode is the -cluster request distribution: how many requests the
+	// ring routed to each member node.
+	PerNode map[string]int64 `json:"per_node,omitempty"`
 }
 
 func summarize(workers []*worker, elapsed time.Duration, cfg config) *report {

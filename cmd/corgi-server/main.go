@@ -94,6 +94,7 @@ import (
 	"time"
 
 	"corgi/internal/budget"
+	"corgi/internal/cluster"
 	"corgi/internal/core"
 	"corgi/internal/proto"
 	"corgi/internal/registry"
@@ -134,6 +135,10 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 5*time.Minute, "per-request generation timeout (0: none)")
 	degradedServing := flag.Bool("degraded-serving", false,
 		"serve cold report requests immediately from a planar-Laplace fallback (same epsilon bound, lower utility) while the LP solve runs in the background")
+	clusterPeers := flag.String("cluster-peers", "",
+		"full cluster member list, comma-separated streamAddr[=httpURL] entries (identical on every node); empty: single-node mode")
+	clusterSelf := flag.String("cluster-self", "",
+		"this node's own entry in -cluster-peers (its stream address); required with -cluster-peers")
 	flag.Parse()
 
 	if *listRegions {
@@ -227,6 +232,38 @@ func main() {
 		}
 		h.Stream = streamSrv
 	}
+	// The snapshot route serves raw store files to cluster peers; it is
+	// harmless (read-only, checksummed payloads) in single-node mode too.
+	h.Store = st
+
+	// Cluster mode: every node embeds the consistent-hash router. Requests
+	// for users this node owns serve locally; everything else forwards one
+	// hop to the owner (stream first, HTTP fallback), carrying the epsilon
+	// budget handoff so a rebalance or failover never re-opens a window.
+	var router *cluster.Router
+	if *clusterPeers != "" {
+		if *clusterSelf == "" {
+			log.Fatalf("cluster: -cluster-self is required with -cluster-peers")
+		}
+		members, err := cluster.ParsePeers(*clusterPeers)
+		if err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		router, err = cluster.NewRouter(reg, *clusterSelf, members, cluster.RouterConfig{})
+		if err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		h.Handler = router
+		h.Cluster = router
+		if streamSrv != nil {
+			streamSrv.SetHandler(router)
+		}
+		if st != nil {
+			st.SetPeerFetch(router.FetchSnapshot)
+		}
+		log.Printf("cluster mode: %d members, self %s, owning %.1f%% of the keyspace",
+			len(members), *clusterSelf, router.Ring().Shares()[*clusterSelf]*100)
+	}
 
 	httpSrv := &http.Server{
 		Addr:         *addr,
@@ -271,6 +308,9 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if router != nil {
+		router.Close()
 	}
 	if st != nil {
 		// Freshly solved forests persist asynchronously; make them durable

@@ -114,6 +114,16 @@ type Stats struct {
 	// EvictedUsers counts users dropped by the LRU bound (their remaining
 	// window spend is forgotten).
 	EvictedUsers uint64 `json:"evicted_users"`
+	// Cluster handoff counters (see handoff.go): exports move local spend
+	// to a forwarded report, imports merge a peer's spend in, rollbacks
+	// restore failed exports, and dupes are redeliveries the (source, seq)
+	// watermark rejected. EpsExported/EpsImported total the epsilon moved.
+	HandoffsExported   uint64  `json:"handoffs_exported,omitempty"`
+	HandoffsImported   uint64  `json:"handoffs_imported,omitempty"`
+	HandoffsRolledBack uint64  `json:"handoffs_rolled_back,omitempty"`
+	HandoffDupes       uint64  `json:"handoff_dupes,omitempty"`
+	EpsExported        float64 `json:"eps_exported,omitempty"`
+	EpsImported        float64 `json:"eps_imported,omitempty"`
 }
 
 // Merge accumulates o into s for fleet-wide aggregation. Configuration
@@ -132,6 +142,12 @@ func (s *Stats) Merge(o Stats) {
 	s.Rejections += o.Rejections
 	s.EpsGranted += o.EpsGranted
 	s.EvictedUsers += o.EvictedUsers
+	s.HandoffsExported += o.HandoffsExported
+	s.HandoffsImported += o.HandoffsImported
+	s.HandoffsRolledBack += o.HandoffsRolledBack
+	s.HandoffDupes += o.HandoffDupes
+	s.EpsExported += o.EpsExported
+	s.EpsImported += o.EpsImported
 }
 
 // spend is one (coalesced) epsilon expenditure.
@@ -140,11 +156,20 @@ type spend struct {
 	eps float64
 }
 
-// userWindow is one user's live spend events, oldest first.
+// userWindow is one user's live spend events, oldest first. The three
+// cluster fields carry the handoff protocol's state (see handoff.go):
+// exportSeq numbers this node's exports for the user, pending holds
+// exported-but-unacknowledged events so a failed forward can roll back,
+// and applied is the per-source import watermark that deduplicates
+// redelivered handoffs.
 type userWindow struct {
 	uid    int64
 	events []spend
 	total  float64
+
+	exportSeq uint64
+	pending   map[uint64][]spend
+	applied   map[string]uint64
 }
 
 // expire drops events that left the window as of now and returns the live
@@ -178,6 +203,13 @@ type Accountant struct {
 	rejections uint64
 	granted    float64
 	evicted    uint64
+
+	handoffsExported   uint64
+	handoffsImported   uint64
+	handoffsRolledBack uint64
+	handoffDupes       uint64
+	epsExported        float64
+	epsImported        float64
 }
 
 // NewAccountant builds a sliding-window accountant. LimitEps must be
@@ -307,5 +339,12 @@ func (a *Accountant) Stats() Stats {
 		Rejections:   a.rejections,
 		EpsGranted:   a.granted,
 		EvictedUsers: a.evicted,
+
+		HandoffsExported:   a.handoffsExported,
+		HandoffsImported:   a.handoffsImported,
+		HandoffsRolledBack: a.handoffsRolledBack,
+		HandoffDupes:       a.handoffDupes,
+		EpsExported:        a.epsExported,
+		EpsImported:        a.epsImported,
 	}
 }

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func ringMembers(names ...string) []string { return names }
+
+// TestRingDeterminism: member order must not matter — every node builds
+// its ring from its own flag parse, and agreement on ownership is the
+// whole coordination protocol.
+func TestRingDeterminism(t *testing.T) {
+	a, err := NewRing(ringMembers("n1:1", "n2:1", "n3:1"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(ringMembers("n3:1", "n1:1", "n2:1"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for uid := int64(0); uid < 5000; uid++ {
+		if a.Owner(uid) != b.Owner(uid) {
+			t.Fatalf("uid %d: owner %q vs %q under member-order permutation", uid, a.Owner(uid), b.Owner(uid))
+		}
+	}
+}
+
+func TestRingRejectsBadMembers(t *testing.T) {
+	if _, err := NewRing(nil, 0, 0); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := NewRing(ringMembers("a", "a"), 0, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := NewRing(ringMembers("a", ""), 0, 0); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+}
+
+// TestRingBoundedLoad: with the bounded-load rebuild, no member's
+// keyspace share may exceed maxLoad/N, and an empirical uid assignment
+// should stay close to those shares.
+func TestRingBoundedLoad(t *testing.T) {
+	members := ringMembers("node-a:9001", "node-b:9001", "node-c:9001")
+	r, err := NewRing(members, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := DefaultMaxLoadFactor / float64(len(members))
+	for m, share := range r.Shares() {
+		if share > bound+1e-12 {
+			t.Fatalf("member %s keyspace share %.4f exceeds bounded-load cap %.4f (vnodes %d)", m, share, bound, r.Vnodes())
+		}
+	}
+
+	const n = 30000
+	counts := map[string]int{}
+	for uid := int64(0); uid < n; uid++ {
+		counts[r.Owner(uid)]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / n
+		if frac > bound*1.1 {
+			t.Fatalf("member %s empirically owns %.4f of %d uids, above cap %.4f", m, frac, n, bound)
+		}
+		if counts[m] == 0 {
+			t.Fatalf("member %s owns no uids", m)
+		}
+	}
+}
+
+// TestRingSequence: the failover sequence starts at the owner, visits
+// every member exactly once, and is deterministic.
+func TestRingSequence(t *testing.T) {
+	members := ringMembers("a:1", "b:1", "c:1", "d:1")
+	r, err := NewRing(members, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for uid := int64(0); uid < 200; uid++ {
+		seq := r.Sequence(uid)
+		if len(seq) != len(members) {
+			t.Fatalf("uid %d: sequence %v misses members", uid, seq)
+		}
+		if seq[0] != r.Owner(uid) {
+			t.Fatalf("uid %d: sequence starts at %s, owner is %s", uid, seq[0], r.Owner(uid))
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("uid %d: member %s appears twice in %v", uid, m, seq)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingRebalanceBound is the scale-out contract (satellite: ring
+// rebalance): adding a node moves only about 1/N of the users, and every
+// moved user lands on the new node — nobody shuffles between surviving
+// nodes, so a rebalance invalidates the minimum number of sessions.
+func TestRingRebalanceBound(t *testing.T) {
+	old3, err := NewRing(ringMembers("a:1", "b:1", "c:1"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	new4, err := NewRing(ringMembers("a:1", "b:1", "c:1", "d:1"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	moved := 0
+	for uid := int64(0); uid < n; uid++ {
+		was, is := old3.Owner(uid), new4.Owner(uid)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "d:1" {
+			t.Fatalf("uid %d moved %s -> %s: rebalance moved a user between surviving nodes", uid, was, is)
+		}
+	}
+	// The new node's keyspace share is bounded by maxLoad/N; allow 10%
+	// sampling slack on 20k uids.
+	bound := DefaultMaxLoadFactor / 4 * 1.1
+	if frac := float64(moved) / n; frac > bound {
+		t.Fatalf("adding one node moved %.4f of users, want <= %.4f (~1/N)", frac, bound)
+	}
+	if moved == 0 {
+		t.Fatal("adding a node moved no users at all")
+	}
+
+	// Removing a node: only its users move (onto survivors).
+	for uid := int64(0); uid < n; uid++ {
+		was, is := new4.Owner(uid), old3.Owner(uid)
+		if was != is && was != "d:1" {
+			t.Fatalf("uid %d moved %s -> %s on node removal: was not on the removed node", uid, was, is)
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("127.0.0.1:9001=http://127.0.0.1:8001/, 127.0.0.1:9002,127.0.0.1:9003=127.0.0.1:8003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 {
+		t.Fatalf("parsed %d peers", len(peers))
+	}
+	if peers[0].Name != "127.0.0.1:9001" || peers[0].HTTPURL != "http://127.0.0.1:8001" {
+		t.Fatalf("peer 0: %+v", peers[0])
+	}
+	if peers[1].HTTPURL != "" {
+		t.Fatalf("peer 1 should have no HTTP URL: %+v", peers[1])
+	}
+	if peers[2].HTTPURL != "http://127.0.0.1:8003" {
+		t.Fatalf("peer 2 scheme not defaulted: %+v", peers[2])
+	}
+	if _, err := ParsePeers("a,a"); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+	if _, err := ParsePeers(" , "); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"time"
 
 	"corgi/internal/budget"
+	"corgi/internal/cluster"
 	"corgi/internal/core"
 	"corgi/internal/registry"
 	"corgi/internal/session"
+	"corgi/internal/store"
 	"corgi/internal/stream"
 )
 
@@ -90,6 +92,10 @@ type MultiStatsResponse struct {
 	Budget        map[string]budget.Stats  `json:"budget,omitempty"`
 	BudgetTotal   *budget.Stats            `json:"budget_total,omitempty"`
 	Stream        *stream.Stats            `json:"stream,omitempty"`
+	// Cluster reports the consistent-hash router's counters (owner-served
+	// vs forwarded traffic, failovers, budget handoffs, peer store
+	// fetches); only present when the node runs in cluster mode.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 	// Lease reports the draw-lease counters (issued/renewed/denied and
 	// pre-paid draws), registry-wide.
 	Lease registry.LeaseStats `json:"lease"`
@@ -128,6 +134,19 @@ type MultiHandler struct {
 	// Stream, when set, merges the binary stream transport's counters
 	// into GET /v1/stats so both transports report through one endpoint.
 	Stream *stream.Server
+	// Handler, when set, replaces the registry as the report/lease
+	// pipeline entry — cluster mode points it at the router so HTTP
+	// requests for non-owned users forward to their owner node. Nil serves
+	// every request locally.
+	Handler registry.ReportHandler
+	// Cluster, when set, adds the router's counter section to
+	// GET /v1/stats.
+	Cluster *cluster.Router
+	// Store, when set, exposes GET /v1/store/snapshot — raw snapshot
+	// bytes (checksummed CRGF files) for peer hydration. The fetching
+	// node re-validates the checksum, so a stale or corrupt byte stream
+	// degrades to a local solve, never a bad forest.
+	Store *store.Store
 }
 
 // NewMultiHandler wires a region registry into an http.Handler.
@@ -136,6 +155,15 @@ func NewMultiHandler(reg *registry.Registry) (*MultiHandler, error) {
 		return nil, fmt.Errorf("proto: nil registry")
 	}
 	return &MultiHandler{reg: reg}, nil
+}
+
+// handler returns the report/lease pipeline entry: the cluster router
+// when one is attached, the local registry otherwise.
+func (h *MultiHandler) handler() registry.ReportHandler {
+	if h.Handler != nil {
+		return h.Handler
+	}
+	return h.reg
 }
 
 // Mux returns the routed handler.
@@ -160,7 +188,46 @@ func (h *MultiHandler) Mux() *http.ServeMux {
 	mux.HandleFunc("/v1/report", h.handleReport)
 	mux.HandleFunc("/v1/reports", h.handleReports)
 	mux.HandleFunc("/v1/lease", h.handleLease)
+	mux.HandleFunc("/v1/store/snapshot", h.handleStoreSnapshot)
 	return mux
+}
+
+// handleStoreSnapshot serves GET /v1/store/snapshot?spec=H&level=L&delta=D:
+// the raw CRGF snapshot file for one forest key, so cluster peers can
+// hydrate from a node that already solved instead of re-running the LP.
+// The payload is the on-disk checksummed format; the peer validates it
+// with the same decode pipeline as a local read.
+func (h *MultiHandler) handleStoreSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if h.Store == nil {
+		http.Error(w, "snapshot store not enabled", http.StatusNotFound)
+		return
+	}
+	level, err := queryInt(r, "level", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	delta, err := queryInt(r, "delta", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	k := store.Key{SpecHash: r.URL.Query().Get("spec"), Level: level, Delta: delta}
+	raw, err := h.Store.LoadRaw(k)
+	if err != nil {
+		if store.IsNotFound(err) {
+			http.Error(w, "snapshot not found", http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(raw)
 }
 
 func (h *MultiHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -253,6 +320,10 @@ func (h *MultiHandler) handleStats(w http.ResponseWriter, r *http.Request) {
 	if h.Stream != nil {
 		ss := h.Stream.Stats()
 		resp.Stream = &ss
+	}
+	if h.Cluster != nil {
+		cs := h.Cluster.Stats()
+		resp.Cluster = &cs
 	}
 	resp.Lease = h.reg.LeaseStats()
 	writeJSON(w, resp)

@@ -57,6 +57,11 @@ type LeaseRequest struct {
 	// session was evicted. Forged, tampered, or expired tokens are
 	// rejected with ErrBadLeaseToken.
 	Token []byte
+	// Forwarded and Handoff mirror ReportRequest: a peer's cluster router
+	// relayed this lease ask to the uid's owner, optionally carrying the
+	// relayer's live budget spend to merge before charging.
+	Forwarded bool
+	Handoff   *budget.Handoff
 }
 
 // LeaseGrant is an issued lease: the signed token, the encoded bundle the
@@ -129,6 +134,12 @@ func (r *Registry) Lease(ctx context.Context, req LeaseRequest) (*LeaseGrant, er
 	sh, err := r.Shard(ctx, req.Region)
 	if err != nil {
 		return nil, err
+	}
+	// Same placement as Report: merge a forwarded handoff before any
+	// validation or charge, so the relayer can commit its export on any
+	// response past region resolution.
+	if req.Handoff != nil && sh.Budget != nil {
+		sh.Budget.ImportHandoff(req.UID, req.Handoff)
 	}
 	tree := sh.Server.Tree()
 	leaf := loctree.NodeID{Level: 0, Coord: req.Cell}

@@ -323,6 +323,18 @@ func (sh *Shard) Attrs(uid int, refLoc geo.LatLng, leaves []loctree.NodeID) (map
 // configured with; the wrapped message lists the available names.
 var ErrUnknownRegion = errors.New("unknown region")
 
+// ReportHandler is the serving surface the transports (internal/proto,
+// internal/stream) call instead of the registry directly. *Registry
+// implements it by serving locally; the cluster router (internal/cluster)
+// implements it by forwarding non-owned users to their owner node and
+// delegating owned ones to the embedded registry — so clustering slots in
+// without either transport knowing whether it runs on a 1-node or N-node
+// deployment.
+type ReportHandler interface {
+	Report(ctx context.Context, req ReportRequest) (*ReportResult, error)
+	Lease(ctx context.Context, req LeaseRequest) (*LeaseGrant, error)
+}
+
 // bootCall is one in-progress region bootstrap that concurrent first
 // requests join instead of bootstrapping again.
 type bootCall struct {
@@ -431,6 +443,21 @@ func (r *Registry) Ready(name string) bool {
 	defer r.mu.Unlock()
 	_, ok := r.shards[name]
 	return ok
+}
+
+// ShardIfReady returns a region's shard only if it has already
+// bootstrapped — never triggering a bootstrap. The cluster router uses it
+// to export budget handoffs: a region this node never served has no local
+// spend to hand off, so there is nothing to bootstrap for. An empty name
+// resolves to the default region, mirroring Shard.
+func (r *Registry) ShardIfReady(name string) (*Shard, bool) {
+	if name == "" {
+		name = r.DefaultRegion()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh, ok := r.shards[name]
+	return sh, ok
 }
 
 // Bootstraps counts completed shard bootstraps (lazy-init observability:

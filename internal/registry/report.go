@@ -37,6 +37,14 @@ var ErrBudgetExhausted = budget.ErrBudgetExhausted
 // a forged or expired lease token 403, interrupted work 5xx, and anything
 // else a server fault.
 func ReportErrStatus(err error) (int, string) {
+	// A forwarded request's failure arrives as the transport error the
+	// owner node answered with (stream.StatusError or the HTTP fallback's
+	// equivalent); both carry the owner's classification, which must pass
+	// through unchanged so a 429 on the owner is a 429 to the client.
+	var hs interface{ HTTPStatus() int }
+	if errors.As(err, &hs) {
+		return hs.HTTPStatus(), err.Error()
+	}
 	switch {
 	case errors.Is(err, ErrUnknownRegion):
 		return http.StatusNotFound, err.Error()
@@ -66,6 +74,13 @@ func BudgetRemaining(err error) (float64, bool) {
 	if errors.As(err, &ex) {
 		return ex.Remaining, true
 	}
+	// Forwarded 429s carry the owner's headroom on the transport error
+	// (stream.StatusError's eps_remaining field) rather than as an
+	// ExhaustedError.
+	var br interface{ BudgetRemaining() (float64, bool) }
+	if errors.As(err, &br) {
+		return br.BudgetRemaining()
+	}
 	return 0, false
 }
 
@@ -92,6 +107,16 @@ type ReportRequest struct {
 	Seed int64
 	// Count is how many reports to draw (min 1).
 	Count int
+	// Forwarded marks a request relayed by a peer node's cluster router:
+	// the receiving node serves it locally (it is — or is standing in for —
+	// the uid's owner) instead of re-forwarding, which is what makes the
+	// routing loop-free.
+	Forwarded bool
+	// Handoff, on a forwarded request, carries the relaying node's live
+	// window spend for this user; the owner merges it before charging so a
+	// rebalanced or failed-over user cannot over-spend (see
+	// internal/budget/handoff.go).
+	Handoff *budget.Handoff
 }
 
 // ReportResult carries the drawn reports and the customization facts a
@@ -214,6 +239,14 @@ func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult
 	sh, err := r.Shard(ctx, req.Region)
 	if err != nil {
 		return nil, err
+	}
+	// Merge a forwarded budget handoff before validation and charging:
+	// once the request is past region resolution the relaying node may
+	// commit its export, so the spend must be counted here even if the
+	// request itself is then rejected. Duplicate deliveries dedupe inside
+	// ImportHandoff.
+	if req.Handoff != nil && sh.Budget != nil {
+		sh.Budget.ImportHandoff(req.UID, req.Handoff)
 	}
 	tree := sh.Server.Tree()
 	leaf := loctree.NodeID{Level: 0, Coord: req.Cell}

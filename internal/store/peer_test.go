@@ -1,0 +1,131 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+// peerPair builds a source store holding one snapshot and an empty local
+// store, returning both plus the snapshot's key.
+func peerPair(t *testing.T) (src, local *Store, k Key) {
+	t.Helper()
+	var err error
+	if src, err = Open(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if local, err = Open(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	k = Key{SpecHash: testHash, Level: 1, Delta: 2}
+	snap := &Snapshot{
+		SpecHash:     testHash,
+		PrivacyLevel: 1,
+		Delta:        2,
+		Entries: []EntrySnapshot{{
+			RootQ: 1, RootR: -1,
+			Leaves: [][2]int{{0, 0}, {1, 0}},
+			Dim:    2,
+			Data:   []byte{1, 2, 3},
+		}},
+	}
+	if err := src.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	return src, local, k
+}
+
+// TestPeerFetchHydrates: a local miss hydrates from a peer's raw bytes,
+// persists the validated file, and subsequent loads are local — the
+// cluster pays each solve once.
+func TestPeerFetchHydrates(t *testing.T) {
+	src, local, k := peerPair(t)
+	local.SetPeerFetch(func(key Key) ([]byte, error) { return src.LoadRaw(key) })
+
+	got, err := local.Load(k)
+	if err != nil {
+		t.Fatalf("peer-hydrated load: %v", err)
+	}
+	if got.SpecHash != testHash || len(got.Entries) != 1 {
+		t.Fatalf("hydrated snapshot mangled: %+v", got)
+	}
+	st := local.Stats()
+	if st.PeerHits != 1 || st.PeerCorrupt != 0 {
+		t.Fatalf("stats after hydrate: %+v", st)
+	}
+	if src.Stats().PeerServes != 1 {
+		t.Fatalf("source did not count the serve: %+v", src.Stats())
+	}
+	// Persisted: the next load succeeds with the hook gone.
+	local.SetPeerFetch(nil)
+	if _, err := local.Load(k); err != nil {
+		t.Fatalf("reload after hydration: %v", err)
+	}
+	if st := local.Stats(); st.PeerHits != 1 {
+		t.Fatalf("second load went back to the peer: %+v", st)
+	}
+}
+
+// TestPeerFetchRejectsCorrupt is the satellite contract: a corrupt or
+// truncated peer snapshot fails the checksum, is counted, is NOT
+// persisted, and the miss falls through (to a local solve, in the serving
+// stack) as a plain ErrNotFound.
+func TestPeerFetchRejectsCorrupt(t *testing.T) {
+	src, local, k := peerPair(t)
+	raw, err := src.LoadRaw(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string][]byte{
+		"flipped byte": append(append([]byte(nil), raw[:len(raw)-3]...), raw[len(raw)-3]^0xff, raw[len(raw)-2], raw[len(raw)-1]),
+		"truncated":    raw[:len(raw)/2],
+		"empty":        {},
+	}
+	for name, bad := range corruptions {
+		payload := bad
+		local.SetPeerFetch(func(Key) ([]byte, error) { return payload, nil })
+		if _, err := local.Load(k); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("%s peer payload: got %v, want ErrNotFound fall-through", name, err)
+		}
+	}
+	st := local.Stats()
+	if st.PeerCorrupt != uint64(len(corruptions)) {
+		t.Fatalf("corrupt peer responses counted %d, want %d", st.PeerCorrupt, len(corruptions))
+	}
+	if st.PeerHits != 0 {
+		t.Fatalf("corrupt payload counted as a hit: %+v", st)
+	}
+	// Nothing was persisted: with the hook removed the snapshot is still
+	// absent locally.
+	local.SetPeerFetch(nil)
+	if _, err := local.Load(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt payload was persisted: %v", err)
+	}
+	if _, err := local.LoadRaw(k); !errors.Is(err, ErrNotFound) {
+		t.Fatal("corrupt payload reached the snapshot directory")
+	}
+}
+
+// TestPeerFetchRejectsWrongKey: a checksum-valid snapshot for a different
+// key (a confused or malicious peer) is rejected by the key cross-check.
+func TestPeerFetchRejectsWrongKey(t *testing.T) {
+	src, local, k := peerPair(t)
+	other := &Snapshot{
+		SpecHash:     testHash,
+		PrivacyLevel: 2, // valid snapshot, wrong level
+		Delta:        2,
+		Entries:      []EntrySnapshot{{RootQ: 0, RootR: 0, Leaves: [][2]int{{0, 0}}, Dim: 1, Data: []byte{9}}},
+	}
+	if err := src.Save(other); err != nil {
+		t.Fatal(err)
+	}
+	local.SetPeerFetch(func(Key) ([]byte, error) {
+		return src.LoadRaw(Key{SpecHash: testHash, Level: 2, Delta: 2})
+	})
+	if _, err := local.Load(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("wrong-key peer payload: got %v, want ErrNotFound", err)
+	}
+	if st := local.Stats(); st.PeerCorrupt != 1 {
+		t.Fatalf("wrong-key response not counted corrupt: %+v", st)
+	}
+}

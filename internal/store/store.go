@@ -111,6 +111,10 @@ type Stats struct {
 	Loads, LoadMisses, LoadCorrupt uint64
 	// Writes counts successful Save calls.
 	Writes uint64
+	// PeerHits counts misses hydrated from a cluster peer; PeerCorrupt
+	// peer responses rejected by checksum (fell through to local solve);
+	// PeerServes raw snapshot reads served TO peers.
+	PeerHits, PeerCorrupt, PeerServes uint64
 }
 
 // Store is a forest snapshot directory. All methods are safe for
@@ -120,6 +124,11 @@ type Store struct {
 	dir string
 
 	loads, loadMisses, loadCorrupt, writes atomic.Uint64
+
+	// peerFetchState is the cluster shared-tier hook: a Load miss can
+	// hydrate from a peer node's store before falling through to a local
+	// solve (see peer.go).
+	peerFetchState
 }
 
 // Open creates the directory if needed and returns a store over it.
@@ -143,6 +152,9 @@ func (s *Store) Stats() Stats {
 		LoadMisses:  s.loadMisses.Load(),
 		LoadCorrupt: s.loadCorrupt.Load(),
 		Writes:      s.writes.Load(),
+		PeerHits:    s.peerHits.Load(),
+		PeerCorrupt: s.peerCorrupt.Load(),
+		PeerServes:  s.peerServes.Load(),
 	}
 }
 
@@ -175,6 +187,13 @@ func (s *Store) Load(k Key) (*Snapshot, error) {
 	if err != nil {
 		if os.IsNotExist(err) {
 			s.loadMisses.Add(1)
+			// Shared tier: a peer node may already have paid this solve.
+			// peerLoad validates (same checksum pipeline as a local read)
+			// and persists; any failure is just ErrNotFound to the caller.
+			if snap, perr := s.peerLoad(k); perr == nil {
+				s.loads.Add(1)
+				return snap, nil
+			}
 			return nil, ErrNotFound
 		}
 		return nil, fmt.Errorf("store: %w", err)

@@ -16,6 +16,13 @@ import (
 // ErrClientClosed marks calls on a closed client.
 var ErrClientClosed = errors.New("stream: client closed")
 
+// ErrNodeDown marks an exchange refused without dialing because the
+// target node's last dial failed and its reconnect backoff has not
+// expired. Callers (the cluster router) treat it like a dial failure —
+// try the next node — but it costs microseconds instead of a connect
+// timeout, which is what keeps failover fast while a node is down.
+var ErrNodeDown = errors.New("stream: node down (reconnect backoff)")
+
 // ErrDraining marks an exchange abandoned because the server said GOODBYE
 // and closed before the response arrived.
 var ErrDraining = errors.New("stream: server draining")
@@ -40,6 +47,18 @@ type ClientConfig struct {
 	// Region, when set, fills empty request regions, mirroring
 	// proto.NewRegionClient.
 	Region string
+	// ReconnectBackoff is the first wait after a failed dial (default
+	// 250ms); consecutive failures double it up to MaxReconnectBackoff
+	// (default 15s). After two consecutive dial failures, exchanges that
+	// would need a fresh dial fail fast with ErrNodeDown while the backoff
+	// runs; after it expires ONE probe dial runs (half-open) and its
+	// outcome resets or extends the backoff.
+	// Before this existed, a node that closed with GOODBYE kept eating a
+	// full dial timeout from every caller until it recovered — failover
+	// worked, but at seconds per request instead of microseconds — and a
+	// recovered node was only rediscovered by luck of timing.
+	ReconnectBackoff    time.Duration
+	MaxReconnectBackoff time.Duration
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -52,6 +71,12 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	if c.MaxIdleConns <= 0 {
 		c.MaxIdleConns = DefaultMaxIdleConns
 	}
+	if c.ReconnectBackoff <= 0 {
+		c.ReconnectBackoff = 250 * time.Millisecond
+	}
+	if c.MaxReconnectBackoff <= 0 {
+		c.MaxReconnectBackoff = 15 * time.Second
+	}
 	return c
 }
 
@@ -61,6 +86,10 @@ type ClientStats struct {
 	Retries  uint64 `json:"retries"`
 	BytesIn  uint64 `json:"bytes_in"`
 	BytesOut uint64 `json:"bytes_out"`
+	// FailFast counts exchanges refused with ErrNodeDown (no dial spent);
+	// Probes counts half-open recovery dials after a backoff expired.
+	FailFast uint64 `json:"fail_fast"`
+	Probes   uint64 `json:"probes"`
 }
 
 // Client speaks corgi-stream to one server address with connection
@@ -82,11 +111,19 @@ type Client struct {
 	mu     sync.Mutex
 	idle   []*clientConn // LIFO: most recently used first
 	closed bool
+	// Reconnect-backoff state (guarded by mu): consecutive dial failures,
+	// when the next dial may run, and whether a half-open probe is already
+	// in flight (other callers fail fast until it resolves).
+	dialFails    int
+	backoffUntil time.Time
+	probing      bool
 
 	dials    atomic.Uint64
 	retries  atomic.Uint64
 	bytesIn  atomic.Uint64
 	bytesOut atomic.Uint64
+	failFast atomic.Uint64
+	probes   atomic.Uint64
 }
 
 // clientConn is one negotiated connection.
@@ -176,9 +213,21 @@ func (c *Client) writeFrame(cc *clientConn, bp *[]byte) error {
 	return err
 }
 
+// failFastThreshold is how many consecutive dial failures open the
+// fail-fast breaker. One failure can be the node restarting under the
+// caller's feet (the very situation the retry-once policy exists for),
+// so a single miss never blocks the immediate next attempt; two misses
+// in a row mean the node is really down.
+const failFastThreshold = 2
+
 // getConn checks a connection out of the pool, dialing when empty.
 // reused reports whether the connection might be stale (and so a failed
-// exchange should retry on a fresh one).
+// exchange should retry on a fresh one). With the pool empty and the
+// node in reconnect backoff after failFastThreshold consecutive dial
+// failures, it fails fast with ErrNodeDown instead of burning a dial
+// timeout; the first caller after the backoff expires becomes the
+// half-open probe (probing gates concurrent callers out until its dial
+// resolves).
 func (c *Client) getConn() (cc *clientConn, reused bool, err error) {
 	c.mu.Lock()
 	if c.closed {
@@ -191,9 +240,47 @@ func (c *Client) getConn() (cc *clientConn, reused bool, err error) {
 		c.mu.Unlock()
 		return cc, true, nil
 	}
+	probe := false
+	if c.dialFails >= failFastThreshold {
+		if c.probing || time.Now().Before(c.backoffUntil) {
+			c.mu.Unlock()
+			c.failFast.Add(1)
+			return nil, false, ErrNodeDown
+		}
+		c.probing, probe = true, true
+	}
 	c.mu.Unlock()
+	if probe {
+		c.probes.Add(1)
+	}
 	cc, err = c.dial()
+	c.mu.Lock()
+	if probe {
+		c.probing = false
+	}
+	if err != nil {
+		c.dialFails++
+		backoff := c.cfg.ReconnectBackoff << (c.dialFails - 1)
+		if backoff > c.cfg.MaxReconnectBackoff || backoff <= 0 {
+			backoff = c.cfg.MaxReconnectBackoff
+		}
+		c.backoffUntil = time.Now().Add(backoff)
+	} else {
+		c.dialFails = 0
+		c.backoffUntil = time.Time{}
+	}
+	c.mu.Unlock()
 	return cc, false, err
+}
+
+// Healthy reports whether the node is dialable as far as the client
+// knows: true until a dial fails, false while the reconnect backoff
+// runs, true again once a probe dial succeeds. The cluster router reads
+// it for its stats, not for routing (routing order is the ring's).
+func (c *Client) Healthy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dialFails == 0
 }
 
 // putConn returns a healthy connection to the pool.
@@ -239,6 +326,8 @@ func (c *Client) Stats() ClientStats {
 		Retries:  c.retries.Load(),
 		BytesIn:  c.bytesIn.Load(),
 		BytesOut: c.bytesOut.Load(),
+		FailFast: c.failFast.Load(),
+		Probes:   c.probes.Load(),
 	}
 }
 

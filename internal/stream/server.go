@@ -94,6 +94,11 @@ type Server struct {
 	reg *registry.Registry
 	cfg Config
 
+	// handler answers report and lease asks; it defaults to the registry
+	// and is swapped for the cluster router on clustered nodes (SetHandler)
+	// so non-owned users forward instead of serving locally.
+	handler atomic.Pointer[registry.ReportHandler]
+
 	// interned maps region-name bytes to the registry's canonical spec
 	// names, so the per-frame decode of a known region allocates nothing.
 	interned map[string]string
@@ -141,7 +146,18 @@ func NewServer(reg *registry.Registry, cfg Config) (*Server, error) {
 		s.interned[name] = name
 	}
 	s.interned[""] = ""
+	var h registry.ReportHandler = reg
+	s.handler.Store(&h)
 	return s, nil
+}
+
+// SetHandler replaces the serving surface (default: the registry). The
+// cluster router installs itself here during wiring, before Serve.
+func (s *Server) SetHandler(h registry.ReportHandler) {
+	if h == nil {
+		h = s.reg
+	}
+	s.handler.Store(&h)
 }
 
 // intern returns the canonical string for a region name's bytes without
@@ -343,13 +359,15 @@ func (s *Server) resolve(ctx context.Context, req *Request) outcome {
 	if req.Count > s.cfg.MaxReportCount {
 		return outcome{status: 422, msg: fmt.Sprintf("count %d exceeds limit %d", req.Count, s.cfg.MaxReportCount)}
 	}
-	res, err := s.reg.Report(ctx, registry.ReportRequest{
-		Region: req.Region,
-		Cell:   req.reqCell(),
-		UID:    req.UID,
-		Policy: req.Policy,
-		Seed:   req.Seed,
-		Count:  req.Count,
+	res, err := (*s.handler.Load()).Report(ctx, registry.ReportRequest{
+		Region:    req.Region,
+		Cell:      req.reqCell(),
+		UID:       req.UID,
+		Policy:    req.Policy,
+		Seed:      req.Seed,
+		Count:     req.Count,
+		Forwarded: req.Forwarded,
+		Handoff:   req.Handoff,
 	})
 	if err != nil {
 		status, msg := registry.ReportErrStatus(err)
@@ -409,14 +427,16 @@ func (s *Server) handleLease(sc *serverConn, payload []byte) {
 		return
 	}
 	ctx, cancel := s.frameCtx()
-	grant, err := s.reg.Lease(ctx, registry.LeaseRequest{
-		Region: req.Region,
-		Cell:   req.reqCell(),
-		UID:    req.UID,
-		Policy: req.Policy,
-		Seed:   req.Seed,
-		Draws:  draws,
-		Token:  token,
+	grant, err := (*s.handler.Load()).Lease(ctx, registry.LeaseRequest{
+		Region:    req.Region,
+		Cell:      req.reqCell(),
+		UID:       req.UID,
+		Policy:    req.Policy,
+		Seed:      req.Seed,
+		Draws:     draws,
+		Token:     token,
+		Forwarded: req.Forwarded,
+		Handoff:   req.Handoff,
 	})
 	cancel()
 	if err != nil {

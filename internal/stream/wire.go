@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"math"
 
+	"corgi/internal/budget"
 	"corgi/internal/codec"
 	"corgi/internal/hexgrid"
 	"corgi/internal/policy"
@@ -62,7 +63,10 @@ const (
 	Magic = "CGS1"
 	// Version is the one protocol version this implementation speaks; HELLO
 	// carries a [min, max] range so future versions can negotiate down.
-	Version = 1
+	// Version 2 added the request trailer: a flags byte after the
+	// predicates (forwarded marker) and an optional piggybacked budget
+	// handoff for cluster forwarding.
+	Version = 2
 
 	// DefaultMaxFrameBytes bounds one frame's type+payload. A maximal
 	// batch (64 items x 1000 draws x 16 bytes/draw) fits with headroom.
@@ -106,6 +110,12 @@ type Request struct {
 	policy.Policy
 	Seed  int64
 	Count int
+	// Forwarded marks a cluster-relayed request (the receiver serves it
+	// locally instead of re-routing); Handoff optionally carries the
+	// relaying node's budget spend for this user. Both ride the version-2
+	// request trailer.
+	Forwarded bool
+	Handoff   *budget.Handoff
 }
 
 // ReportedLocation is one drawn report. Lat/Lng round-trip the wire as
@@ -162,6 +172,17 @@ type StatusError struct {
 // Error formats the server's status and message.
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("stream: server returned %d: %s", e.Status, e.Msg)
+}
+
+// HTTPStatus exposes the owner node's classification to
+// registry.ReportErrStatus, so a forwarding router re-answers a peer's
+// rejection with the peer's own status instead of a generic 500.
+func (e *StatusError) HTTPStatus() int { return e.Status }
+
+// BudgetRemaining exposes a forwarded 429's live headroom to
+// registry.BudgetRemaining.
+func (e *StatusError) BudgetRemaining() (float64, bool) {
+	return e.EpsRemaining, e.HasEpsRemaining
 }
 
 // quantLat/quantLng map degrees onto codec's [0,1] fixed-point domain and
@@ -328,8 +349,39 @@ func appendRequest(b []byte, req *Request) []byte {
 			}
 		}
 	}
+	// Version-2 trailer: cluster flags + optional budget handoff.
+	var flags byte
+	if req.Forwarded {
+		flags |= reqFlagForwarded
+	}
+	if req.Handoff != nil && len(req.Handoff.Events) > 0 {
+		flags |= reqFlagHandoff
+	}
+	b = append(b, flags)
+	if flags&reqFlagHandoff != 0 {
+		h := req.Handoff
+		b = appendString(b, h.Source)
+		b = binary.AppendUvarint(b, h.Seq)
+		b = binary.AppendUvarint(b, uint64(len(h.Events)))
+		for _, e := range h.Events {
+			b = binary.AppendVarint(b, e.AtUnixNano)
+			b = appendF64(b, e.Eps)
+		}
+	}
 	return b
 }
+
+// Request trailer flag bits (version 2).
+const (
+	reqFlagForwarded = 1
+	reqFlagHandoff   = 2
+)
+
+// maxHandoffEvents bounds a handoff's event count on decode. The
+// accountant buckets spend at Config.Resolution, so a real handoff holds
+// at most Window/Resolution events (3600 at the defaults); anything past
+// the bound is a malformed frame.
+const maxHandoffEvents = 1 << 14
 
 // maxPreferences bounds one request's predicate count on decode; policies
 // are small conjunctions, so anything huge is a malformed frame, not a
@@ -372,6 +424,25 @@ func (d *decoder) decodeRequest(intern func([]byte) string) (Request, error) {
 			}
 			req.Preferences = append(req.Preferences, p)
 		}
+	}
+	flags := d.u8()
+	req.Forwarded = flags&reqFlagForwarded != 0
+	if flags&reqFlagHandoff != 0 {
+		h := &budget.Handoff{Source: d.str(), Seq: d.uvarint()}
+		n := d.uvarint()
+		if d.err == nil && n > maxHandoffEvents {
+			return req, fmt.Errorf("stream: handoff carries %d events (limit %d)", n, maxHandoffEvents)
+		}
+		if d.err == nil {
+			h.Events = make([]budget.HandoffEvent, 0, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				h.Events = append(h.Events, budget.HandoffEvent{
+					AtUnixNano: d.varint(),
+					Eps:        d.f64(),
+				})
+			}
+		}
+		req.Handoff = h
 	}
 	return req, d.err
 }
