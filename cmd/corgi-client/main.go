@@ -61,6 +61,7 @@ import (
 	"corgi/internal/geo"
 	"corgi/internal/gowalla"
 	"corgi/internal/loctree"
+	"corgi/internal/mechanism"
 	"corgi/internal/policy"
 	"corgi/internal/proto"
 	"corgi/internal/session"
@@ -367,7 +368,7 @@ func main() {
 	delta := 0
 	if len(pol.Preferences) > 0 {
 		root, _ := tree.AncestorAt(leaf, pol.PrivacyLevel)
-		pruned, err := core.EvalPreferences(tree.LeavesUnder(root), pol, attrs)
+		pruned, err := mechanism.EvalPreferences(tree.LeavesUnder(root), pol, attrs)
 		if err != nil {
 			log.Fatalf("preferences: %v", err)
 		}

@@ -7,15 +7,18 @@
 //	corgi-experiments -list
 //	corgi-experiments -run fig12 [-full] [-seed 1]
 //	corgi-experiments -run all
+//	corgi-experiments -frontier [-frontier-out FRONTIER.json] [-full] [-seed 1]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
+	"corgi/internal/eval"
 	"corgi/internal/experiments"
 )
 
@@ -24,7 +27,14 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	full := flag.Bool("full", false, "paper-scale sweeps (slower)")
 	seed := flag.Int64("seed", 1, "master seed")
+	frontier := flag.Bool("frontier", false, "run the utility-vs-privacy frontier sweep (internal/eval)")
+	frontierOut := flag.String("frontier-out", "", "write the frontier JSON artifact here (default stdout only)")
 	flag.Parse()
+
+	if *frontier {
+		runFrontier(*full, *seed, *frontierOut)
+		return
+	}
 
 	if *list || *runID == "" {
 		fmt.Println("experiments:")
@@ -53,5 +63,46 @@ func main() {
 			t.Fprint(os.Stdout)
 		}
 		fmt.Printf("--- %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runFrontier executes the internal/eval sweep (both adversaries over every
+// registered mechanism), prints a summary, and optionally writes the JSON
+// artifact CI uploads.
+func runFrontier(full bool, seed int64, out string) {
+	start := time.Now()
+	f, err := eval.Run(eval.Config{Seed: seed, Quick: !full})
+	if err != nil {
+		log.Fatalf("frontier: %v", err)
+	}
+	fmt.Printf("frontier %s: %d cells, delta=%d, robust_dominates=%v\n",
+		f.Schema, f.Cells, f.Delta, f.RobustDominates)
+	for _, m := range f.Mechanisms {
+		fmt.Printf("  %-18s robust=%-5v", m.Name, m.Robust)
+		for _, p := range m.Points {
+			fmt.Printf("  eps=%g loss=%.3fkm remap=%.3fkm pruned=%.3fkm", p.Epsilon,
+				p.UtilityLossKm, p.RemapErrorKm, p.PrunedRemapErrorKm)
+			if p.PruneFailed {
+				fmt.Printf(" PRUNE-FAILED")
+			}
+		}
+		fmt.Println()
+	}
+	for _, tp := range f.Trajectory {
+		fmt.Printf("  traj %-18s eps=%g users=%d steps=%d reanchors=%d traj=%.3fkm indep=%.3fkm gain=%.2fx eps-budget=%.1f comp-ratio=%.3f holds=%v\n",
+			tp.Mechanism, tp.Epsilon, tp.Users, tp.Steps, tp.Reanchors,
+			tp.TrajErrorKm, tp.IndepErrorKm, tp.CorrelationGain,
+			tp.LinearEpsBudget, tp.CompositionRatio, tp.CompositionHolds)
+	}
+	fmt.Printf("frontier done in %v\n", time.Since(start).Round(time.Millisecond))
+	if out != "" {
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			log.Fatalf("frontier: %v", err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("frontier: %v", err)
+		}
+		fmt.Printf("wrote %s\n", out)
 	}
 }

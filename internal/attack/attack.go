@@ -141,6 +141,42 @@ func (a *Adversary) ExpectedInferenceError(dist func(i, j int) float64) float64 
 	return total
 }
 
+// RemapError is the one-call form of the Bayes-optimal remapping metric:
+// build the adversary over (prior, z) and return its expected inference
+// error under dist (km when dist is km). It is the shared estimator behind
+// the ext-attack experiment and the internal/eval frontier sweep — one
+// implementation, so the two never drift.
+func RemapError(prior []float64, z *obf.Matrix, dist func(i, j int) float64) (float64, error) {
+	adv, err := New(prior, z)
+	if err != nil {
+		return 0, err
+	}
+	return adv.ExpectedInferenceError(dist), nil
+}
+
+// PrunedRemapError measures the remapping adversary against the customized
+// mechanism: prune the given row/column indices (obf.Prune, the Sec. 4.3
+// renormalization), restrict the prior and the distance to the surviving
+// index space, and return the remap error there. This is the robustness
+// probe of the paper's Sec. 5 evaluation — a robust matrix should keep its
+// error high after pruning where a non-robust one collapses (or fails to
+// renormalize at all, which surfaces as the error obf.Prune returns).
+func PrunedRemapError(prior []float64, z *obf.Matrix, dist func(i, j int) float64, prune []int) (float64, error) {
+	if len(prior) != z.Dim() {
+		return 0, fmt.Errorf("attack: %d priors for a %d-dim matrix", len(prior), z.Dim())
+	}
+	pm, keep, err := z.Prune(prune)
+	if err != nil {
+		return 0, err
+	}
+	subPrior := make([]float64, len(keep))
+	for ni, oi := range keep {
+		subPrior[ni] = prior[oi]
+	}
+	subDist := func(i, j int) float64 { return dist(keep[i], keep[j]) }
+	return RemapError(subPrior, pm, subDist)
+}
+
 // MAPAccuracy returns the probability that the maximum-a-posteriori guess
 // equals the true location — a cruder but intuitive leakage measure.
 func (a *Adversary) MAPAccuracy() float64 {

@@ -2,22 +2,24 @@
 // lease bundle, on the device. It is the client half of the draw-lease
 // pipeline: internal/session.DetachLease serializes a session's
 // customized rows plus RNG coordinates (seed + position), internal/codec
-// carries them as a bundle, and Open rebuilds the same Walker alias
-// tables (internal/sample) over the same float64 weight vectors — equal
-// inputs, equal tables — then seeds math/rand identically and
-// fast-forwards to the recorded position. From there every DrawCell
-// consumes exactly one uniform variate, just like the server, so the
-// device-local sequence is byte-identical to what /v1/report, the stream
-// transport, or an in-proc registry would have produced for the same
-// seed, including across re-anchors (each lease carries the position its
-// window starts at).
+// carries them as a bundle, and Open rebuilds them into a
+// mechanism.Rows — the detached form of the server's row-serving
+// abstraction, building the same Walker alias tables (internal/sample)
+// over the same float64 weight vectors, equal inputs, equal tables — then
+// seeds math/rand identically and fast-forwards to the recorded position.
+// From there every DrawCell consumes exactly one uniform variate, just
+// like the server, so the device-local sequence is byte-identical to what
+// /v1/report, the stream transport, or an in-proc registry would have
+// produced for the same seed, including across re-anchors (each lease
+// carries the position its window starts at).
 //
 // The lease enforces its own draw cap client-side (ErrLeaseExhausted) —
 // not as security (the token's HMAC and the server's pre-paid accounting
 // are what cap a hostile client) but so an honest client renews instead
 // of silently drawing past what it paid for. Error semantics mirror the
-// server row for row: a cell outside the leased subtree is
-// ErrOutsideSubtree (renew at the new location), a draw from a row the
+// server row for row — leaf→row resolution and refusals are literally the
+// same mechanism code the server runs: a cell outside the leased subtree
+// is ErrOutsideSubtree (renew at the new location), a draw from a row the
 // server would refuse (pruned own location, degenerate row) fails without
 // consuming RNG.
 //
@@ -34,42 +36,36 @@ import (
 	"corgi/internal/budget"
 	"corgi/internal/codec"
 	"corgi/internal/loctree"
-	"corgi/internal/sample"
+	"corgi/internal/mechanism"
 )
 
 // ErrLeaseExhausted marks a draw attempted past the lease's pre-paid cap;
 // the client must renew (POST /v1/lease with the old token) to continue.
 var ErrLeaseExhausted = errors.New("clientdraw: lease draw cap exhausted")
 
-// ErrOutsideSubtree mirrors session.ErrOutsideSubtree: the true cell left
-// the leased subtree, and the client must renew at the new location.
-var ErrOutsideSubtree = errors.New("clientdraw: cell outside the leased subtree")
+// ErrOutsideSubtree re-exports mechanism.ErrOutsideSubtree (the same
+// sentinel session draws fail with): the true cell left the leased
+// subtree, and the client must renew at the new location.
+var ErrOutsideSubtree = mechanism.ErrOutsideSubtree
 
-// ErrUnsampleable mirrors session.ErrUnsampleable: the row is degenerate
-// (empty in the bundle) and no draw can be served from it.
-var ErrUnsampleable = errors.New("clientdraw: row unsampleable")
+// ErrUnsampleable re-exports mechanism.ErrUnsampleable: the row is
+// degenerate (empty in the bundle) and no draw can be served from it.
+var ErrUnsampleable = mechanism.ErrUnsampleable
 
-// Lease is an open draw lease: decoded rows, lazily built alias tables,
-// and the positioned RNG stream. Create with Open.
+// Lease is an open draw lease: the detached mechanism rows with their
+// lazily built alias tables, and the positioned RNG stream. Create with
+// Open.
 type Lease struct {
-	tree  *loctree.Tree
-	token []byte
-	tok   budget.LeaseToken
+	tree     *loctree.Tree
+	token    []byte
+	tok      budget.LeaseToken
+	degraded bool
+	seed     int64
 
-	root      loctree.NodeID
-	precision int
-	degraded  bool
-	seed      int64
-	leafIdx   map[loctree.NodeID]bool
-	prunedSet map[loctree.NodeID]bool
-	nodes     []loctree.NodeID
-	rowIndex  map[loctree.NodeID]int
-	rows      [][]float64
-
-	mu       sync.Mutex
-	rng      *rand.Rand
-	rowAlias map[int]*sample.Alias
-	used     int
+	mu   sync.Mutex
+	rows *mechanism.Rows
+	rng  *rand.Rand
+	used int
 }
 
 // Open decodes a lease grant's bundle and token and positions the RNG
@@ -102,33 +98,18 @@ func Open(tree *loctree.Tree, bundle, token []byte) (*Lease, error) {
 // recorded position. A non-nil rng is a handover from Renew, already
 // standing at the bundle's position.
 func newLease(tree *loctree.Tree, b *codec.LeaseBundle, tok budget.LeaseToken, token []byte, rng *rand.Rand) (*Lease, error) {
+	rows, err := mechanism.NewRows(tree, b.Root, b.PrecisionLevel, b.Pruned, b.Nodes, b.Rows)
+	if err != nil {
+		return nil, fmt.Errorf("clientdraw: %w", err)
+	}
 	l := &Lease{
-		tree:      tree,
-		token:     append([]byte(nil), token...),
-		tok:       tok,
-		root:      b.Root,
-		precision: b.PrecisionLevel,
-		degraded:  b.Degraded,
-		seed:      b.Seed,
-		leafIdx:   make(map[loctree.NodeID]bool),
-		prunedSet: make(map[loctree.NodeID]bool, len(b.Pruned)),
-		nodes:     b.Nodes,
-		rowIndex:  make(map[loctree.NodeID]int, len(b.Nodes)),
-		rows:      b.Rows,
-		rng:       rng,
-		rowAlias:  map[int]*sample.Alias{},
-	}
-	for _, leaf := range tree.LeavesUnder(b.Root) {
-		l.leafIdx[leaf] = true
-	}
-	if len(l.leafIdx) == 0 {
-		return nil, fmt.Errorf("clientdraw: subtree %v has no leaves in this tree", b.Root)
-	}
-	for _, p := range b.Pruned {
-		l.prunedSet[p] = true
-	}
-	for i, n := range b.Nodes {
-		l.rowIndex[n] = i
+		tree:     tree,
+		token:    append([]byte(nil), token...),
+		tok:      tok,
+		degraded: b.Degraded,
+		seed:     b.Seed,
+		rows:     rows,
+		rng:      rng,
 	}
 	if l.rng == nil {
 		l.rng = rand.New(rand.NewSource(b.Seed))
@@ -183,7 +164,7 @@ func (l *Lease) Renew(bundle, token []byte) (*Lease, error) {
 func (l *Lease) Token() []byte { return l.token }
 
 // Root returns the leased privacy subtree.
-func (l *Lease) Root() loctree.NodeID { return l.root }
+func (l *Lease) Root() loctree.NodeID { return l.rows.Root() }
 
 // Degraded reports whether the leased rows came from a planar-Laplace
 // fallback entry.
@@ -210,7 +191,7 @@ func (l *Lease) Remaining() int {
 }
 
 // Covers reports whether the leased subtree contains leaf.
-func (l *Lease) Covers(leaf loctree.NodeID) bool { return l.leafIdx[leaf] }
+func (l *Lease) Covers(leaf loctree.NodeID) bool { return l.rows.Covers(leaf) }
 
 // DrawCell draws one obfuscated report node for a true leaf cell.
 func (l *Lease) DrawCell(leaf loctree.NodeID) (loctree.NodeID, error) {
@@ -251,51 +232,18 @@ func (l *Lease) DrawCellNInto(leaf loctree.NodeID, out []loctree.NodeID) error {
 		return fmt.Errorf("%w: %d of %d draws used, %d more requested",
 			ErrLeaseExhausted, l.used, l.tok.DrawCap, n)
 	}
-	if !l.leafIdx[leaf] {
-		return fmt.Errorf("%w: cell %v, subtree %v", ErrOutsideSubtree, leaf, l.root)
-	}
-	rowNode := leaf
-	if l.precision > 0 {
-		anc, ok := l.tree.AncestorAt(leaf, l.precision)
-		if !ok {
-			return fmt.Errorf("clientdraw: no ancestor of %v at precision level %d", leaf, l.precision)
-		}
-		rowNode = anc
-	} else if l.prunedSet[leaf] {
-		return fmt.Errorf("clientdraw: preferences prune the user's own location %v at precision 0", leaf)
-	}
-	row, ok := l.rowIndex[rowNode]
-	if !ok {
-		return fmt.Errorf("clientdraw: node %v missing from the leased report set", rowNode)
-	}
-	a, err := l.aliasForRowLocked(row)
+	row, err := l.rows.RowFor(leaf)
 	if err != nil {
 		return err
 	}
+	a, err := l.rows.Alias(row)
+	if err != nil {
+		return err
+	}
+	nodes := l.rows.Nodes()
 	for i := range out {
-		out[i] = l.nodes[a.Draw(l.rng)]
+		out[i] = nodes[a.Draw(l.rng)]
 	}
 	l.used += n
 	return nil
-}
-
-// aliasForRowLocked builds (and caches) the alias table for one row from
-// its exact leased weights — the same sample.New the server's buildRow
-// arms bottom out in. Caller holds l.mu.
-func (l *Lease) aliasForRowLocked(row int) (*sample.Alias, error) {
-	if a, ok := l.rowAlias[row]; ok {
-		return a, nil
-	}
-	w := l.rows[row]
-	if len(w) == 0 {
-		// The server encoded this row empty: degenerate after pruning. No
-		// RNG is consumed, matching the server's failed alias build.
-		return nil, fmt.Errorf("%w: row %v degenerate after pruning", ErrUnsampleable, l.nodes[row])
-	}
-	a, err := sample.New(w)
-	if err != nil {
-		return nil, fmt.Errorf("%w: row %v: %v", ErrUnsampleable, l.nodes[row], err)
-	}
-	l.rowAlias[row] = a
-	return a, nil
 }

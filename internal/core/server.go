@@ -9,8 +9,8 @@ import (
 	"corgi/internal/geo"
 	"corgi/internal/hexgrid"
 	"corgi/internal/loctree"
+	"corgi/internal/mechanism"
 	"corgi/internal/obf"
-	"corgi/internal/planar"
 )
 
 // ForestEntry is one privacy-forest element: the robust obfuscation matrix
@@ -196,21 +196,18 @@ func (s *Server) fallbackEntry(ctx context.Context, key forestKey) (*ForestEntry
 	}
 	root := key.node
 	leaves := s.tree.LeavesUnder(root)
-	k := len(leaves)
-	centers := make([]geo.LatLng, k)
+	cells := make([]hexgrid.Coord, len(leaves))
 	for i, l := range leaves {
-		centers[i] = s.tree.System().Center(0, l.Coord)
+		cells[i] = l.Coord
 	}
 	start := time.Now()
-	rows, err := planar.DiscretizedRows(k, func(i, j int) float64 {
-		return geo.Haversine(centers[i], centers[j])
-	}, s.params.Epsilon)
+	m, err := mechanism.Build(mechanism.PlanarLaplaceName, mechanism.BuildConfig{
+		Sys:     s.tree.System(),
+		Cells:   cells,
+		Epsilon: s.params.Epsilon,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: fallback for subtree %v: %w", root, err)
-	}
-	m := obf.NewMatrix(k)
-	for i, row := range rows {
-		copy(m.Row(i), row)
 	}
 	return &ForestEntry{
 		Root:     root,

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"corgi/internal/geo"
 	"corgi/internal/loctree"
+	"corgi/internal/mechanism"
 	"corgi/internal/obf"
 	"corgi/internal/policy"
 )
@@ -20,37 +22,21 @@ type Outcome struct {
 	// Pruned is the set of leaves removed by the user's preferences.
 	Pruned []loctree.NodeID
 	// Matrix is the final customized matrix (pruned, precision-reduced);
-	// rows/columns align with Nodes.
+	// rows/columns align with Nodes. It is an audit artifact materialized
+	// from the mechanism binding's normalized rows — the draw itself never
+	// builds it.
 	Matrix *obf.Matrix
 	// Nodes are the precision-level nodes indexing Matrix.
 	Nodes []loctree.NodeID
 }
 
-// EvalPreferences returns the leaves of the subtree that fail the policy's
-// preferences — the prune set S (step 2 of Fig. 8). attrs must cover every
-// leaf it is asked about.
-func EvalPreferences(leaves []loctree.NodeID, pol policy.Policy,
-	attrs map[loctree.NodeID]policy.Attributes) ([]loctree.NodeID, error) {
-	var pruned []loctree.NodeID
-	for _, leaf := range leaves {
-		a, ok := attrs[leaf]
-		if !ok {
-			return nil, fmt.Errorf("core: no attributes for leaf %v", leaf)
-		}
-		allowed, err := pol.Allowed(a)
-		if err != nil {
-			return nil, fmt.Errorf("core: evaluating %v: %w", leaf, err)
-		}
-		if !allowed {
-			pruned = append(pruned, leaf)
-		}
-	}
-	return pruned, nil
-}
-
 // GenerateObfuscatedLocation implements Algorithm 4 on the user side: find
-// the subtree containing the real location, evaluate preferences, prune the
-// server's robust matrix, reduce precision, and sample the reported node.
+// the subtree containing the real location, bind the entry's matrix to
+// the policy through the mechanism interface (preference pruning, Sec. 4.3
+// renormalization, Equ. 17 precision reduction), and sample the reported
+// node from the customized row. The row-wise binding is the same
+// implementation the server's report sessions draw from; this path merely
+// adds the full customized matrix to the Outcome for audits.
 //
 // forest must cover the policy's privacy level; attrs provides per-leaf
 // attributes for preference evaluation (nil allowed when the policy has no
@@ -77,123 +63,51 @@ func GenerateObfuscatedLocation(tree *loctree.Tree, forest *Forest, real geo.Lat
 		return nil, fmt.Errorf("core: forest has no entry for subtree %v", root)
 	}
 
-	// Step 2-3: evaluate preferences over the subtree's leaves.
-	var pruned []loctree.NodeID
-	if len(pol.Preferences) > 0 {
-		var err error
-		pruned, err = EvalPreferences(entry.Leaves, pol, attrs)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if len(pruned) > forest.Delta {
-		return nil, fmt.Errorf("core: preferences prune %d locations but the matrix is only %d-prunable (Sec. 5.3 tradeoff)",
-			len(pruned), forest.Delta)
-	}
-	prunedSet := make(map[loctree.NodeID]bool, len(pruned))
-	for _, n := range pruned {
-		prunedSet[n] = true
-	}
-	if prunedSet[realLeaf] && pol.PrecisionLevel == 0 {
-		return nil, fmt.Errorf("core: preferences prune the user's own location %v at precision 0", realLeaf)
-	}
-
-	// Step 6: matrix pruning (Sec. 4.3).
-	indexOf := make(map[loctree.NodeID]int, len(entry.Leaves))
-	for i, l := range entry.Leaves {
-		indexOf[l] = i
-	}
-	var s []int
-	for _, n := range pruned {
-		s = append(s, indexOf[n])
-	}
-	matrix := entry.Matrix
-	keptLeaves := entry.Leaves
-	if len(s) > 0 {
-		m2, keep, err := entry.Matrix.Prune(s)
-		if err != nil {
-			return nil, fmt.Errorf("core: pruning: %w", err)
-		}
-		matrix = m2
-		keptLeaves = make([]loctree.NodeID, len(keep))
-		for ni, oi := range keep {
-			keptLeaves[ni] = entry.Leaves[oi]
-		}
-	}
-
-	// Step 7: precision reduction (Sec. 4.5) when reporting coarser than
-	// leaves.
-	nodes := keptLeaves
-	if pol.PrecisionLevel > 0 {
-		groups, groupNodes, err := GroupByAncestor(tree, keptLeaves, pol.PrecisionLevel)
-		if err != nil {
-			return nil, err
-		}
-		leafPriors := make([]float64, len(keptLeaves))
-		for i, l := range keptLeaves {
-			leafPriors[i] = priors.Of(tree, l)
-		}
-		m2, err := obf.PrecisionReduce(matrix, groups, leafPriors)
-		if err != nil {
-			return nil, fmt.Errorf("core: precision reduction: %w", err)
-		}
-		matrix = m2
-		nodes = groupNodes
+	// Steps 2-7: preferences, δ admission, pruning, precision reduction —
+	// all inside the binding.
+	b, err := mechanism.Bind(mechanism.Config{
+		Tree:   tree,
+		Source: entry,
+		Delta:  forest.Delta,
+		Policy: pol,
+		Attrs:  attrs,
+		Priors: priors,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 
 	// Step 8: sample the row of the real location's node.
-	rowNode := realLeaf
-	if pol.PrecisionLevel > 0 {
-		anc, ok := tree.AncestorAt(realLeaf, pol.PrecisionLevel)
-		if !ok {
-			return nil, fmt.Errorf("core: no ancestor of %v at precision level", realLeaf)
-		}
-		rowNode = anc
+	row, err := b.RowFor(realLeaf)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	row := -1
-	for i, n := range nodes {
-		if n == rowNode {
-			row = i
-			break
-		}
-	}
-	if row < 0 {
-		return nil, fmt.Errorf("core: node %v missing from the customized matrix", rowNode)
-	}
-	j, err := matrix.SampleRow(row, rng)
+	a, err := b.Alias(row)
 	if err != nil {
 		return nil, fmt.Errorf("core: sampling: %w", err)
 	}
-	reported := nodes[j]
+	nodes := b.Nodes()
+	reported := nodes[a.Draw(rng)]
+
+	// Materialize the customized matrix for the Outcome: every report
+	// row's normalized distribution. A row degenerate after pruning fails
+	// the whole customization, matching the old full-matrix Prune.
+	m := obf.NewMatrix(len(nodes))
+	for i := range nodes {
+		w, err := b.Row(i)
+		if err != nil {
+			if errors.Is(err, mechanism.ErrUnsampleable) {
+				return nil, fmt.Errorf("core: pruning: %w", err)
+			}
+			return nil, err
+		}
+		copy(m.Row(i), w)
+	}
 	return &Outcome{
 		Reported:    reported,
 		SubtreeRoot: root,
-		Pruned:      pruned,
-		Matrix:      matrix,
+		Pruned:      b.Pruned(),
+		Matrix:      m,
 		Nodes:       nodes,
 	}, nil
-}
-
-// GroupByAncestor partitions leaf indices by their ancestor at the given
-// level, preserving first-seen ancestor order. It is shared by the
-// user-side customization path here and the row-wise report sessions of
-// internal/session, so both derive identical precision groupings.
-func GroupByAncestor(tree *loctree.Tree, leaves []loctree.NodeID, level int) ([][]int, []loctree.NodeID, error) {
-	order := make([]loctree.NodeID, 0)
-	groups := map[loctree.NodeID][]int{}
-	for i, leaf := range leaves {
-		anc, ok := tree.AncestorAt(leaf, level)
-		if !ok {
-			return nil, nil, fmt.Errorf("core: no ancestor of %v at level %d", leaf, level)
-		}
-		if _, seen := groups[anc]; !seen {
-			order = append(order, anc)
-		}
-		groups[anc] = append(groups[anc], i)
-	}
-	out := make([][]int, len(order))
-	for gi, anc := range order {
-		out[gi] = groups[anc]
-	}
-	return out, order, nil
 }

@@ -1,0 +1,343 @@
+// Package eval is the evaluation harness over the mechanism registry: it
+// sweeps every registered mechanism (internal/mechanism.Factories — the
+// LP-optimal robust forest, its non-robust baseline, discretized planar
+// Laplace) across epsilon under two adversaries and emits a
+// utility-vs-privacy frontier artifact.
+//
+// Adversary one is the Bayesian remapping attacker (attack.RemapError):
+// observe one report, form the posterior, answer with the Bayes-optimal
+// remap; its expected distance error is the paper's privacy metric
+// (Sec. 6, refs [26, 27]). Each mechanism is measured both intact and
+// after δ preference-pruning (attack.PrunedRemapError) — the robustness
+// probe: a δ-prunable matrix should hold its error where the non-robust
+// baseline collapses or fails to renormalize at all.
+//
+// Adversary two is the trajectory-correlation attacker (traj.go): a
+// forward-filtering HMM that replays Gowalla mobility sessions through
+// the real serving stack — resident sessions, re-anchors across subtree
+// crossings, budget accounting — and exploits step-to-step correlation
+// the single-report metric cannot see. Alongside it the harness checks
+// the linear-composition bound internal/budget charges by (t draws cost
+// t*eps) against the realized observation-likelihood ratios.
+//
+// The Frontier JSON ("corgi-frontier/1") is reproduced as a CI artifact;
+// its robust_dominates field is the build gate: the robust mechanism's
+// post-prune remap error must dominate the non-robust baseline at every
+// matched epsilon (matched epsilon fixes the utility side of the
+// frontier, so dominance there is dominance at matched utility).
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"corgi/internal/attack"
+	"corgi/internal/geo"
+	"corgi/internal/gowalla"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/mechanism"
+	"corgi/internal/obf"
+)
+
+// Schema identifies the frontier artifact format.
+const Schema = "corgi-frontier/1"
+
+// Config parameterizes one frontier run.
+type Config struct {
+	// Seed drives every random choice (priors corpus, prune sets,
+	// trajectory replay); equal seeds reproduce equal frontiers.
+	Seed int64
+	// Quick shrinks the sweep for CI: fewer cells, epsilons, users.
+	Quick bool
+	// Epsilons overrides the swept Geo-Ind budgets (km^-1). Nil uses the
+	// default grid around the paper's eps = 15.
+	Epsilons []float64
+	// Delta is the preference-prune budget the robust mechanisms are
+	// built for and the pruned-remap probe removes. Default 3.
+	Delta int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilons == nil {
+		if c.Quick {
+			c.Epsilons = []float64{10, 15}
+		} else {
+			c.Epsilons = []float64{5, 10, 15}
+		}
+	}
+	if c.Delta == 0 {
+		c.Delta = 3
+	}
+	return c
+}
+
+// Point is one (mechanism, epsilon) cell of the frontier under the
+// remapping adversary. Distances are km; higher error = more private,
+// lower utility loss = more useful.
+type Point struct {
+	Epsilon float64 `json:"epsilon"`
+	// UtilityLossKm is the expected true-to-reported distance
+	// sum_i prior_i sum_j z_ij d_ij — the paper's quality-loss objective.
+	UtilityLossKm float64 `json:"utility_loss_km"`
+	// RemapErrorKm is the Bayes-optimal remapping adversary's expected
+	// inference error against the intact mechanism.
+	RemapErrorKm float64 `json:"remap_error_km"`
+	// PrunedRemapErrorKm is the same metric after delta leaves are pruned
+	// and the matrix renormalized — the worst (lowest) error over the
+	// sampled prune sets. Zero when every sampled prune failed.
+	PrunedRemapErrorKm float64 `json:"pruned_remap_error_km"`
+	// PruneFailed marks a mechanism that could not renormalize some
+	// sampled prune set at all (a row lost essentially all mass) — the
+	// failure mode delta-prunable generation exists to rule out.
+	PruneFailed bool `json:"prune_failed"`
+}
+
+// MechanismFrontier is one registered mechanism's sweep.
+type MechanismFrontier struct {
+	Name   string  `json:"name"`
+	Robust bool    `json:"robust"`
+	Points []Point `json:"points"`
+}
+
+// Frontier is the artifact one Run emits.
+type Frontier struct {
+	Schema   string    `json:"schema"`
+	Seed     int64     `json:"seed"`
+	Quick    bool      `json:"quick"`
+	Delta    int       `json:"delta"`
+	Epsilons []float64 `json:"epsilons"`
+	// Cells is the remap-sweep instance size (matrix dimension).
+	Cells      int                 `json:"cells"`
+	Mechanisms []MechanismFrontier `json:"mechanisms"`
+	Trajectory []TrajPoint         `json:"trajectory"`
+	// RobustDominates is the CI gate: at every swept epsilon the robust
+	// forest mechanism's post-prune remap error is at least the
+	// non-robust baseline's (a baseline whose prune failed outright is
+	// dominated by definition).
+	RobustDominates bool `json:"robust_dominates"`
+}
+
+// world is the shared remap-sweep instance: a region tree, data-derived
+// priors, and one cluster of leaf cells the matrices cover.
+type world struct {
+	sys    *hexgrid.System
+	tree   *loctree.Tree
+	leaves []loctree.NodeID
+	cells  []hexgrid.Coord
+	prior  []float64 // normalized over leaves
+	dist   func(i, j int) float64
+	build  mechanism.BuildConfig // template; Epsilon/Delta set per point
+}
+
+func newWorld(cfg Config) (*world, error) {
+	sys, err := hexgrid.NewSystem(geo.SanFrancisco.Center(), 0.1)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := loctree.NewAt(sys, geo.SanFrancisco.Center(), 2)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := gowalla.Generate(gowalla.GenConfig{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	leafW, err := gowalla.LeafPriors(ds.CheckIns, tree, 1)
+	if err != nil {
+		return nil, err
+	}
+	priors, err := loctree.NewPriors(tree, leafW)
+	if err != nil {
+		return nil, err
+	}
+	clusters := 3 // K = 21
+	if cfg.Quick {
+		clusters = 1 // K = 7
+	}
+	leaves, err := tree.ClusterLeaves(clusters)
+	if err != nil {
+		return nil, err
+	}
+	prior, err := priors.Subset(tree, leaves, true)
+	if err != nil {
+		return nil, err
+	}
+	w := &world{sys: sys, tree: tree, leaves: leaves, prior: prior}
+	w.cells = make([]hexgrid.Coord, len(leaves))
+	centers := make([]geo.LatLng, len(leaves))
+	for i, l := range leaves {
+		w.cells[i] = l.Coord
+		centers[i] = tree.Center(l)
+	}
+	w.dist = func(i, j int) float64 { return geo.Haversine(centers[i], centers[j]) }
+
+	// Shared NR_TARGET service locations so every mechanism optimizes the
+	// same quality objective. A thin target set concentrates row mass on a
+	// few columns, which inflates the reserved budget (Equ. 14) until the
+	// tightened multiplier saturates and the robust solve degenerates — so
+	// the sweep follows the paper's protocol of spreading targets across
+	// the instance.
+	rng := rand.New(rand.NewSource(cfg.Seed + 1000))
+	var targets []geo.LatLng
+	var tprobs []float64
+	nTargets := max(3, len(leaves)/3)
+	for _, idx := range rng.Perm(len(leaves))[:min(nTargets, len(leaves))] {
+		targets = append(targets, centers[idx])
+		tprobs = append(tprobs, 1)
+	}
+	iters := 6
+	if cfg.Quick {
+		iters = 3
+	}
+	w.build = mechanism.BuildConfig{
+		Sys: sys, Cells: w.cells, Priors: prior,
+		Targets: targets, TargetProbs: tprobs, Iterations: iters,
+	}
+	return w, nil
+}
+
+// utilityLoss is the expected reporting distance sum_i p_i sum_j z_ij d_ij.
+func utilityLoss(prior []float64, z *obf.Matrix, dist func(i, j int) float64) float64 {
+	total := 0.0
+	for i := 0; i < z.Dim(); i++ {
+		row := z.Row(i)
+		for j, v := range row {
+			if v > 0 {
+				total += prior[i] * v * dist(i, j)
+			}
+		}
+	}
+	return total
+}
+
+// pruneSets samples `sets` distinct delta-sized prune sets; the pruned
+// metric takes the worst case over them, which is the robustness claim's
+// shape (delta-prunable = survives any |S| <= delta).
+func pruneSets(rng *rand.Rand, n, delta, sets int) [][]int {
+	out := make([][]int, sets)
+	for s := range out {
+		out[s] = append([]int(nil), rng.Perm(n)[:delta]...)
+		sort.Ints(out[s])
+	}
+	return out
+}
+
+// sweepMechanisms measures every registered mechanism at every epsilon
+// under the remapping adversary.
+func sweepMechanisms(cfg Config, w *world) ([]MechanismFrontier, error) {
+	sets := 5
+	if cfg.Quick {
+		sets = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2000))
+	prunes := pruneSets(rng, len(w.leaves), cfg.Delta, sets)
+
+	var out []MechanismFrontier
+	for _, f := range mechanism.Factories() {
+		mf := MechanismFrontier{Name: f.Name, Robust: f.Robust}
+		for _, eps := range cfg.Epsilons {
+			bc := w.build
+			bc.Epsilon = eps
+			bc.Delta = cfg.Delta
+			z, err := mechanism.Build(f.Name, bc)
+			if err != nil {
+				return nil, fmt.Errorf("eval: building %s at eps=%g: %w", f.Name, eps, err)
+			}
+			p := Point{Epsilon: eps, UtilityLossKm: utilityLoss(w.prior, z, w.dist)}
+			p.RemapErrorKm, err = attack.RemapError(w.prior, z, w.dist)
+			if err != nil {
+				return nil, fmt.Errorf("eval: remap error for %s at eps=%g: %w", f.Name, eps, err)
+			}
+			worst := -1.0
+			for _, set := range prunes {
+				e, err := attack.PrunedRemapError(w.prior, z, w.dist, set)
+				if err != nil {
+					// A prune the matrix cannot absorb: the non-robust
+					// failure mode, recorded rather than fatal.
+					p.PruneFailed = true
+					continue
+				}
+				if worst < 0 || e < worst {
+					worst = e
+				}
+			}
+			if worst >= 0 {
+				p.PrunedRemapErrorKm = worst
+			}
+			mf.Points = append(mf.Points, p)
+		}
+		out = append(out, mf)
+	}
+	return out, nil
+}
+
+// robustDominates is the gate: at every epsilon the robust forest
+// mechanism's worst-case post-prune error must be at least the
+// non-robust baseline's (an outright prune failure is dominated).
+func robustDominates(ms []MechanismFrontier) bool {
+	var robust, plain *MechanismFrontier
+	for i := range ms {
+		switch ms[i].Name {
+		case "forest-optimal":
+			robust = &ms[i]
+		case "forest-nonrobust":
+			plain = &ms[i]
+		}
+	}
+	if robust == nil || plain == nil {
+		return false
+	}
+	byEps := map[float64]Point{}
+	for _, p := range plain.Points {
+		byEps[p.Epsilon] = p
+	}
+	const tol = 1e-9
+	for _, rp := range robust.Points {
+		pp, ok := byEps[rp.Epsilon]
+		if !ok {
+			continue
+		}
+		if rp.PruneFailed {
+			return false // the robust mechanism must absorb every sampled prune
+		}
+		if pp.PruneFailed {
+			continue // baseline collapsed outright: dominated at this eps
+		}
+		if rp.PrunedRemapErrorKm+tol < pp.PrunedRemapErrorKm {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the full frontier sweep: the remapping adversary across
+// all registered mechanisms and epsilons, then the trajectory-correlation
+// adversary through the real serving stack.
+func Run(cfg Config) (*Frontier, error) {
+	cfg = cfg.withDefaults()
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mechs, err := sweepMechanisms(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	traj, err := sweepTrajectories(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Frontier{
+		Schema:          Schema,
+		Seed:            cfg.Seed,
+		Quick:           cfg.Quick,
+		Delta:           cfg.Delta,
+		Epsilons:        cfg.Epsilons,
+		Cells:           len(w.leaves),
+		Mechanisms:      mechs,
+		Trajectory:      traj,
+		RobustDominates: robustDominates(mechs),
+	}, nil
+}

@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	_ "corgi/internal/core" // register the forest mechanism factories
+	"corgi/internal/mechanism"
+)
+
+// TestFrontierReportPR10 runs the quick frontier sweep — both adversaries,
+// truncated Gowalla replay — and asserts the PR's acceptance shape: at
+// least the three registered mechanisms under the remapping adversary,
+// both serving mechanisms under the trajectory adversary, and the robust
+// mechanism dominating the non-robust baseline post-prune. When
+// FRONTIER_PR10_OUT names a path the frontier JSON is written there for
+// the CI artifact.
+func TestFrontierReportPR10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frontier sweep solves LPs and replays trajectories; skipped in -short")
+	}
+	f, err := Run(Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != Schema {
+		t.Fatalf("schema = %q, want %q", f.Schema, Schema)
+	}
+	if len(f.Mechanisms) < 2 {
+		t.Fatalf("frontier covers %d mechanisms, want >= 2", len(f.Mechanisms))
+	}
+	want := map[string]bool{"forest-optimal": false, "forest-nonrobust": false,
+		mechanism.PlanarLaplaceName: false}
+	for _, m := range f.Mechanisms {
+		if len(m.Points) != len(f.Epsilons) {
+			t.Fatalf("%s has %d points, want %d", m.Name, len(m.Points), len(f.Epsilons))
+		}
+		for _, p := range m.Points {
+			if p.RemapErrorKm <= 0 {
+				t.Fatalf("%s at eps=%g: remap error %v, want > 0", m.Name, p.Epsilon, p.RemapErrorKm)
+			}
+		}
+		if _, ok := want[m.Name]; ok {
+			want[m.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("mechanism %s missing from the frontier", name)
+		}
+	}
+	if !f.RobustDominates {
+		t.Fatal("robust mechanism does not dominate the non-robust baseline post-prune")
+	}
+	if len(f.Trajectory) < 2 {
+		t.Fatalf("trajectory adversary covered %d mechanism points, want >= 2", len(f.Trajectory))
+	}
+	for _, tp := range f.Trajectory {
+		if tp.Steps == 0 {
+			t.Fatalf("trajectory point %s/eps=%g replayed zero steps", tp.Mechanism, tp.Epsilon)
+		}
+		if tp.TrajErrorKm <= 0 {
+			t.Fatalf("trajectory point %s/eps=%g: traj error %v, want > 0", tp.Mechanism, tp.Epsilon, tp.TrajErrorKm)
+		}
+		if tp.LinearEpsBudget <= 0 {
+			t.Fatalf("trajectory point %s/eps=%g: no epsilon charged", tp.Mechanism, tp.Epsilon)
+		}
+	}
+
+	if out := os.Getenv("FRONTIER_PR10_OUT"); out != "" {
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("FRONTIER_pr10: mechanisms=%d trajectory=%d robust_dominates=%v\n",
+			len(f.Mechanisms), len(f.Trajectory), f.RobustDominates)
+	}
+}

@@ -805,13 +805,6 @@ func ExtAttack(cfg *Config) ([]*Table, error) {
 		return nil, err
 	}
 	dist := func(i, j int) float64 { return inst.Dist(i, j) }
-	evalOne := func(m *obf.Matrix, priorSubset []float64) (float64, error) {
-		adv, err := newAdversary(priorSubset, m)
-		if err != nil {
-			return 0, err
-		}
-		return adv.ExpectedInferenceError(dist), nil
-	}
 	prior := inst.Priors()
 	tab := &Table{ID: "ext-attack", Title: "Bayesian adversary expected inference error (km, higher = more private)",
 		Header: []string{"mechanism", "inference_error_km", "after_prune3_km"}}
@@ -821,24 +814,14 @@ func ExtAttack(cfg *Config) ([]*Table, error) {
 		name string
 		m    *obf.Matrix
 	}{{"non-robust", plain.Matrix}, {"CORGI delta=3", robust.Matrix}} {
-		before, err := evalOne(row.m, prior)
+		before, err := attack.RemapError(prior, row.m, dist)
 		if err != nil {
 			return nil, err
 		}
-		pm, keep, err := row.m.Prune(pruneSet)
+		after, err := attack.PrunedRemapError(prior, row.m, dist, pruneSet)
 		if err != nil {
 			return nil, err
 		}
-		subPrior := make([]float64, len(keep))
-		for ni, oi := range keep {
-			subPrior[ni] = prior[oi]
-		}
-		subDist := func(i, j int) float64 { return inst.Dist(keep[i], keep[j]) }
-		adv, err := newAdversary(subPrior, pm)
-		if err != nil {
-			return nil, err
-		}
-		after := adv.ExpectedInferenceError(subDist)
 		tab.Rows = append(tab.Rows, []string{row.name, f6(before), f6(after)})
 	}
 	return []*Table{tab}, nil
@@ -970,9 +953,4 @@ func ExtApproxQuality(cfg *Config) ([]*Table, error) {
 		})
 	}
 	return []*Table{tab}, nil
-}
-
-// newAdversary adapts attack.New for the harness.
-func newAdversary(prior []float64, m *obf.Matrix) (*attack.Adversary, error) {
-	return attack.New(prior, m)
 }

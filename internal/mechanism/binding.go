@@ -1,0 +1,403 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"corgi/internal/loctree"
+	"corgi/internal/policy"
+	"corgi/internal/sample"
+)
+
+// Config binds one source to one user's customization.
+type Config struct {
+	// Tree is the region's location tree.
+	Tree *loctree.Tree
+	// Source is the subtree's obfuscation matrix (a forest entry or a
+	// static wrapper).
+	Source Source
+	// Delta is the prune budget the source's matrix was generated with;
+	// Bind verifies the policy's realized prune set fits it (Sec. 5.3).
+	Delta int
+	// Policy is the user's customization triple.
+	Policy policy.Policy
+	// Attrs provides per-leaf attributes for preference evaluation; nil is
+	// fine when the policy has no preferences.
+	Attrs map[loctree.NodeID]policy.Attributes
+	// Pruned, when non-nil, is the precomputed prune set — the source
+	// leaves failing Policy.Preferences — and Bind skips re-evaluating
+	// them (an empty-but-non-nil slice means "evaluated, nothing pruned").
+	// Leave nil to have Bind evaluate Preferences over Attrs.
+	Pruned []loctree.NodeID
+	// Anchor records the true cell the preference attributes were
+	// evaluated at. Zero for preference-free policies.
+	Anchor loctree.NodeID
+	// Priors supplies leaf priors for precision reduction (Equ. 17);
+	// required when Policy.PrecisionLevel > 0.
+	Priors *loctree.Priors
+	// Epsilon is the Geo-Ind budget the source was generated under,
+	// surfaced in RowMeta. Metadata only: it never changes a weight.
+	Epsilon float64
+}
+
+// Binding is one user's customized view of a source: the prune set
+// evaluated, δ-prunability verified, the report node set fixed, and rows
+// served lazily. It is the single implementation of prune/renormalize/
+// precision-grouping behind the resident-session, lease-detach, and
+// user-side (Algorithm 4) paths; the float operation order in buildRow /
+// precisionWeights / DetachRow is what keeps draws byte-identical across
+// all of them, so treat any change there as a wire-format change.
+//
+// A Binding is NOT internally synchronized: the alias cache mutates on
+// first use of each row, and the owner (session mutex, single-threaded
+// caller) must serialize access — the same discipline the session's
+// binding half has always had.
+type Binding struct {
+	tree    *loctree.Tree
+	pol     policy.Policy
+	priors  *loctree.Priors
+	src     Source
+	epsilon float64
+	anchor  loctree.NodeID
+
+	leafIdx    map[loctree.NodeID]int // source leaf -> matrix row/col
+	dropIdx    []bool                 // by source leaf position
+	pruned     []loctree.NodeID
+	prunedSet  map[loctree.NodeID]bool
+	keptLeaves []loctree.NodeID
+	keep       []int // kept source-leaf positions in order
+
+	// nodes are the report outcomes (kept leaves, or precision-level
+	// groups); rowIndex maps a row node to its index in nodes; groups
+	// holds, per node, the keptLeaves positions it aggregates (precision
+	// mode only).
+	nodes    []loctree.NodeID
+	rowIndex map[loctree.NodeID]int
+	groups   [][]int
+
+	rowAlias map[int]*sample.Alias
+}
+
+// Bind evaluates the policy against one source: preferences decide the
+// prune set S over the subtree's leaves (step 2-3 of Fig. 8), the
+// δ-prunability of the source is verified against |S| (Sec. 5.3: the
+// reserved budget must cover the realized prune set), and the report node
+// set is fixed. No alias table is built yet — rows build lazily on first
+// use.
+func Bind(cfg Config) (*Binding, error) {
+	if cfg.Tree == nil {
+		return nil, fmt.Errorf("mechanism: nil tree")
+	}
+	if cfg.Source == nil || cfg.Source.Dim() == 0 {
+		return nil, fmt.Errorf("mechanism: nil source")
+	}
+	if cfg.Policy.PrecisionLevel > 0 && cfg.Priors == nil {
+		return nil, fmt.Errorf("mechanism: precision level %d needs priors", cfg.Policy.PrecisionLevel)
+	}
+	leaves := cfg.Source.SupportLeaves()
+	b := &Binding{
+		tree:     cfg.Tree,
+		pol:      cfg.Policy,
+		priors:   cfg.Priors,
+		src:      cfg.Source,
+		epsilon:  cfg.Epsilon,
+		anchor:   cfg.Anchor,
+		leafIdx:  make(map[loctree.NodeID]int, len(leaves)),
+		dropIdx:  make([]bool, len(leaves)),
+		rowAlias: map[int]*sample.Alias{},
+	}
+	for i, l := range leaves {
+		b.leafIdx[l] = i
+	}
+	switch {
+	case cfg.Pruned != nil:
+		for _, n := range cfg.Pruned {
+			if _, ok := b.leafIdx[n]; !ok {
+				return nil, fmt.Errorf("mechanism: pruned leaf %v not in subtree %v", n, cfg.Source.SubtreeRoot())
+			}
+		}
+		b.pruned = cfg.Pruned
+	case len(cfg.Policy.Preferences) > 0:
+		evaluated, err := EvalPreferences(leaves, cfg.Policy, cfg.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		b.pruned = evaluated
+	}
+	if len(b.pruned) > cfg.Delta {
+		return nil, fmt.Errorf("mechanism: preferences prune %d locations but the matrix is only %d-prunable (Sec. 5.3 tradeoff)",
+			len(b.pruned), cfg.Delta)
+	}
+	b.prunedSet = make(map[loctree.NodeID]bool, len(b.pruned))
+	for _, n := range b.pruned {
+		b.prunedSet[n] = true
+		b.dropIdx[b.leafIdx[n]] = true
+	}
+	for i, l := range leaves {
+		if !b.dropIdx[i] {
+			b.keep = append(b.keep, i)
+			b.keptLeaves = append(b.keptLeaves, l)
+		}
+	}
+	if len(b.keptLeaves) == 0 {
+		return nil, fmt.Errorf("mechanism: preferences prune every location in the subtree")
+	}
+
+	b.nodes = b.keptLeaves
+	if cfg.Policy.PrecisionLevel > 0 {
+		groups, groupNodes, err := GroupByAncestor(cfg.Tree, b.keptLeaves, cfg.Policy.PrecisionLevel)
+		if err != nil {
+			return nil, err
+		}
+		b.groups = groups
+		b.nodes = groupNodes
+	}
+	b.rowIndex = make(map[loctree.NodeID]int, len(b.nodes))
+	for i, n := range b.nodes {
+		b.rowIndex[n] = i
+	}
+	return b, nil
+}
+
+// Source returns the bound source.
+func (b *Binding) Source() Source { return b.src }
+
+// Root returns the bound subtree root.
+func (b *Binding) Root() loctree.NodeID { return b.src.SubtreeRoot() }
+
+// Anchor returns the attribute anchor cell (zero for preference-free
+// policies).
+func (b *Binding) Anchor() loctree.NodeID { return b.anchor }
+
+// Covers reports whether the bound subtree contains leaf.
+func (b *Binding) Covers(leaf loctree.NodeID) bool {
+	_, ok := b.leafIdx[leaf]
+	return ok
+}
+
+// Nodes returns the report node set (kept leaves, or precision groups).
+// Callers must not mutate it.
+func (b *Binding) Nodes() []loctree.NodeID { return b.nodes }
+
+// Pruned returns the leaves the policy's preferences removed. Callers
+// must not mutate it.
+func (b *Binding) Pruned() []loctree.NodeID { return b.pruned }
+
+// Meta summarizes the binding: ε, support size, prune size, grouping.
+func (b *Binding) Meta() RowMeta {
+	return RowMeta{
+		Epsilon:  b.epsilon,
+		Support:  len(b.nodes),
+		Pruned:   len(b.pruned),
+		Groups:   len(b.groups),
+		Degraded: b.src.IsDegraded(),
+	}
+}
+
+// RowFor resolves a true leaf cell to the report row it draws from:
+// precision ancestor lookup, pruned-own-location refusal, report-set
+// membership. A cell outside the subtree is ErrOutsideSubtree.
+func (b *Binding) RowFor(leaf loctree.NodeID) (int, error) {
+	_, covered := b.leafIdx[leaf]
+	return rowForLeaf(b.tree, b.src.SubtreeRoot(), b.pol.PrecisionLevel,
+		covered, b.prunedSet, b.rowIndex, leaf)
+}
+
+// Alias returns the alias table for one report row, building and caching
+// it on first use. Caller must hold the binding's owning lock.
+func (b *Binding) Alias(row int) (*sample.Alias, error) {
+	if a, ok := b.rowAlias[row]; ok {
+		return a, nil
+	}
+	a, err := b.buildRow(row)
+	if err != nil {
+		return nil, err
+	}
+	b.rowAlias[row] = a
+	return a, nil
+}
+
+// buildRow assembles the report distribution for one row without ever
+// materializing the customized matrix:
+//
+//   - leaf precision, empty prune set: the source's own shared per-row
+//     alias cache serves directly (byte-accounted in the engine LRU for
+//     forest entries);
+//   - leaf precision, pruned: the matrix row minus the dropped columns,
+//     renormalized (Sec. 4.3) inside the alias build;
+//   - coarser precision: the Equ. 17 aggregation restricted to the rows
+//     of the drawn-from group — weight_j = Σ_{u∈g_row} p_u/mass_u ·
+//     Σ_{v∈g_j} z[u][v], with the constant 1/p_row dropped since the
+//     alias build normalizes.
+func (b *Binding) buildRow(row int) (*sample.Alias, error) {
+	if b.pol.PrecisionLevel == 0 {
+		orig := b.leafIdx[b.nodes[row]]
+		if len(b.pruned) == 0 {
+			a, err := b.src.SharedAliasRow(orig)
+			if err != nil {
+				return nil, fmt.Errorf("%w: row %v: %v", ErrUnsampleable, b.nodes[row], err)
+			}
+			return a, nil
+		}
+		a, _, err := sample.NewSubset(b.src.MatrixRow(orig), b.dropIdx)
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %v: %v", ErrUnsampleable, b.nodes[row], err)
+		}
+		return a, nil
+	}
+
+	weights, err := b.precisionWeights(row)
+	if err != nil {
+		return nil, err
+	}
+	a, err := sample.New(weights)
+	if err != nil {
+		return nil, fmt.Errorf("%w: precision row %v: %v", ErrUnsampleable, b.nodes[row], err)
+	}
+	return a, nil
+}
+
+// precisionWeights materializes the Equ. 17 aggregated weight vector for
+// one precision-group row. It is the single implementation behind both the
+// live draw path (buildRow) and lease detachment (DetachRow): the float
+// operation order here is what makes a client-rebuilt alias table
+// bit-identical to the server's — sample.New over equal float64 inputs
+// yields equal tables, so equality must hold at the weight vector, not
+// just mathematically.
+func (b *Binding) precisionWeights(row int) ([]float64, error) {
+	weights := make([]float64, len(b.nodes))
+	for _, u := range b.groups[row] { // u indexes keptLeaves
+		orig := b.keep[u]
+		r := b.src.MatrixRow(orig)
+		removed := 0.0
+		for l, dropped := range b.dropIdx {
+			if dropped {
+				removed += r[l]
+			}
+		}
+		mass := 1 - removed
+		if mass < minMass {
+			return nil, fmt.Errorf("%w: row %v retains %.3g probability mass after pruning",
+				ErrUnsampleable, b.keptLeaves[u], mass)
+		}
+		pu := b.priors.Of(b.tree, b.keptLeaves[u])
+		scale := pu / mass
+		for j, gj := range b.groups {
+			sum := 0.0
+			for _, v := range gj {
+				sum += r[b.keep[v]]
+			}
+			weights[j] += scale * sum
+		}
+	}
+	return weights, nil
+}
+
+// DetachRow materializes the exact weight vector one report row samples
+// from, in the representation a client alias build needs: weights over
+// Nodes(), index-aligned. Each arm reproduces the corresponding buildRow
+// arm's inputs to sample.New bit for bit:
+//
+//   - leaf precision, empty prune set: a copy of the full matrix row
+//     (the shared alias cache is sample.New over exactly that row);
+//   - leaf precision, pruned: the kept columns in keep order with
+//     NewSubset's minMass admission check (NewSubset feeds sample.New the
+//     same vector);
+//   - coarser precision: precisionWeights, shared with buildRow.
+//
+// A row that buildRow would refuse (degenerate after pruning) returns
+// ErrUnsampleable.
+func (b *Binding) DetachRow(row int) ([]float64, error) {
+	if b.pol.PrecisionLevel > 0 {
+		return b.precisionWeights(row)
+	}
+	orig := b.leafIdx[b.nodes[row]]
+	r := b.src.MatrixRow(orig)
+	if len(b.pruned) == 0 {
+		return append([]float64(nil), r...), nil
+	}
+	removed := 0.0
+	for j, d := range b.dropIdx {
+		if d {
+			removed += r[j]
+		}
+	}
+	if 1-removed < minMass {
+		return nil, fmt.Errorf("%w: row %v retains %.3g probability mass after pruning",
+			ErrUnsampleable, b.nodes[row], 1-removed)
+	}
+	weights := make([]float64, len(b.keep))
+	for i, j := range b.keep {
+		weights[i] = r[j]
+	}
+	return weights, nil
+}
+
+// Row returns the normalized report distribution for one row — the
+// Mechanism contract's "normalized weight row": non-negative entries over
+// Nodes() summing to 1. The draw paths never call it (alias tables build
+// from the unnormalized vectors so their thresholds stay byte-stable);
+// it serves audits, the evaluation harness, and the fuzzed row contract.
+func (b *Binding) Row(row int) ([]float64, error) {
+	w, err := b.DetachRow(row)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]float64(nil), w...)
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("%w: row %v has no positive mass", ErrUnsampleable, b.nodes[row])
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out, nil
+}
+
+// EvalPreferences returns the leaves of the subtree that fail the policy's
+// preferences — the prune set S (step 2 of Fig. 8). attrs must cover every
+// leaf it is asked about.
+func EvalPreferences(leaves []loctree.NodeID, pol policy.Policy,
+	attrs map[loctree.NodeID]policy.Attributes) ([]loctree.NodeID, error) {
+	var pruned []loctree.NodeID
+	for _, leaf := range leaves {
+		a, ok := attrs[leaf]
+		if !ok {
+			return nil, fmt.Errorf("mechanism: no attributes for leaf %v", leaf)
+		}
+		allowed, err := pol.Allowed(a)
+		if err != nil {
+			return nil, fmt.Errorf("mechanism: evaluating %v: %w", leaf, err)
+		}
+		if !allowed {
+			pruned = append(pruned, leaf)
+		}
+	}
+	return pruned, nil
+}
+
+// GroupByAncestor partitions leaf indices by their ancestor at the given
+// level, preserving first-seen ancestor order. Every precision-grouping
+// consumer (bindings here, the user-side Algorithm 4 path) derives its
+// grouping from this one implementation.
+func GroupByAncestor(tree *loctree.Tree, leaves []loctree.NodeID, level int) ([][]int, []loctree.NodeID, error) {
+	order := make([]loctree.NodeID, 0)
+	groups := map[loctree.NodeID][]int{}
+	for i, leaf := range leaves {
+		anc, ok := tree.AncestorAt(leaf, level)
+		if !ok {
+			return nil, nil, fmt.Errorf("mechanism: no ancestor of %v at level %d", leaf, level)
+		}
+		if _, seen := groups[anc]; !seen {
+			order = append(order, anc)
+		}
+		groups[anc] = append(groups[anc], i)
+	}
+	out := make([][]int, len(order))
+	for gi, anc := range order {
+		out[gi] = groups[anc]
+	}
+	return out, order, nil
+}

@@ -1,0 +1,171 @@
+package mechanism
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"corgi/internal/geo"
+	"corgi/internal/hexgrid"
+	"corgi/internal/obf"
+	"corgi/internal/planar"
+)
+
+// BuildConfig parameterizes a mechanism build over one finite cell set.
+type BuildConfig struct {
+	// Sys anchors the cells geographically (distances in km).
+	Sys *hexgrid.System
+	// Cells are the leaf cells (level 0) the matrix covers, in row order.
+	Cells []hexgrid.Coord
+	// Priors are the per-cell priors, index-aligned with Cells. Nil means
+	// uniform.
+	Priors []float64
+	// Targets / TargetProbs are the service locations the LP's quality
+	// objective weighs (the paper's NR_TARGET protocol); builders that
+	// need none ignore them. Nil defaults to the first min(3, n) cell
+	// centers, uniformly weighted.
+	Targets     []geo.LatLng
+	TargetProbs []float64
+	// Epsilon is the Geo-Ind budget (km^-1).
+	Epsilon float64
+	// Delta is the robustness prune budget (Algorithm 1); 0 builds a
+	// non-robust matrix. Builders without a robustness notion ignore it.
+	Delta int
+	// Iterations bounds Algorithm-1 robustness rounds; <= 0 lets the
+	// builder pick its default.
+	Iterations int
+}
+
+func (c BuildConfig) withDefaults() (BuildConfig, error) {
+	if c.Sys == nil {
+		return c, fmt.Errorf("mechanism: build needs a hexgrid system")
+	}
+	if len(c.Cells) == 0 {
+		return c, fmt.Errorf("mechanism: build needs at least one cell")
+	}
+	if c.Priors == nil {
+		c.Priors = make([]float64, len(c.Cells))
+		for i := range c.Priors {
+			c.Priors[i] = 1
+		}
+	}
+	if len(c.Priors) != len(c.Cells) {
+		return c, fmt.Errorf("mechanism: %d priors for %d cells", len(c.Priors), len(c.Cells))
+	}
+	if c.Targets == nil {
+		n := len(c.Cells)
+		if n > 3 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			c.Targets = append(c.Targets, c.Sys.Center(0, c.Cells[i]))
+			c.TargetProbs = append(c.TargetProbs, 1)
+		}
+	}
+	return c, nil
+}
+
+// Factory is one registered way of building an obfuscation matrix. The
+// registry is what lets the evaluation harness and the fuzzed row
+// contract sweep "all registered mechanisms" without naming them: the
+// planar-Laplace builder registers here, and internal/core's init
+// registers the LP-optimal forest builders (the dependency points that
+// way — core imports mechanism, never the reverse).
+type Factory struct {
+	// Name identifies the mechanism in frontier artifacts ("forest-optimal",
+	// "planar-laplace", ...). Unique.
+	Name string
+	// Robust marks builders whose matrices are δ-prunable by
+	// construction for the configured Delta (Algorithm 1), as opposed to
+	// baselines that merely happen to survive pruning.
+	Robust bool
+	// Build constructs the row-stochastic matrix over cfg.Cells.
+	Build func(cfg BuildConfig) (*obf.Matrix, error)
+}
+
+var (
+	factoryMu sync.RWMutex
+	factories = map[string]Factory{}
+)
+
+// Register adds a mechanism builder. Duplicate names panic: registration
+// happens in package init blocks, where a collision is a programmer
+// error.
+func Register(f Factory) {
+	if f.Name == "" || f.Build == nil {
+		panic("mechanism: Register needs a name and a builder")
+	}
+	factoryMu.Lock()
+	defer factoryMu.Unlock()
+	if _, dup := factories[f.Name]; dup {
+		panic(fmt.Sprintf("mechanism: duplicate factory %q", f.Name))
+	}
+	factories[f.Name] = f
+}
+
+// Factories lists every registered mechanism, name-sorted for stable
+// sweeps.
+func Factories() []Factory {
+	factoryMu.RLock()
+	defer factoryMu.RUnlock()
+	out := make([]Factory, 0, len(factories))
+	for _, f := range factories {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LookupFactory finds a registered mechanism by name.
+func LookupFactory(name string) (Factory, bool) {
+	factoryMu.RLock()
+	defer factoryMu.RUnlock()
+	f, ok := factories[name]
+	return f, ok
+}
+
+// Build runs a registered mechanism builder by name with defaulted
+// config.
+func Build(name string, cfg BuildConfig) (*obf.Matrix, error) {
+	f, ok := LookupFactory(name)
+	if !ok {
+		return nil, fmt.Errorf("mechanism: no factory %q", name)
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return f.Build(cfg)
+}
+
+// PlanarLaplaceName is the analytic discretized planar-Laplace builder's
+// registry name — the mechanism degraded serving answers from.
+const PlanarLaplaceName = "planar-laplace"
+
+func init() {
+	Register(Factory{
+		Name:   PlanarLaplaceName,
+		Robust: true, // δ-prunable for every δ: the analytic bound holds row-wise
+		Build: func(cfg BuildConfig) (*obf.Matrix, error) {
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				return nil, err
+			}
+			centers := make([]geo.LatLng, len(cfg.Cells))
+			for i, c := range cfg.Cells {
+				centers[i] = cfg.Sys.Center(0, c)
+			}
+			rows, err := planar.DiscretizedRows(len(centers), func(i, j int) float64 {
+				return geo.Haversine(centers[i], centers[j])
+			}, cfg.Epsilon)
+			if err != nil {
+				return nil, err
+			}
+			m := obf.NewMatrix(len(rows))
+			for i, row := range rows {
+				copy(m.Row(i), row)
+			}
+			return m, nil
+		},
+	})
+}

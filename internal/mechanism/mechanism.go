@@ -1,0 +1,198 @@
+// Package mechanism is the single row-serving abstraction every
+// obfuscation path in the repo produces and consumes rows through. A
+// mechanism, in the paper's sense, is a row-stochastic matrix Z over a
+// subtree's leaf cells; customized serving asks, for one user (policy,
+// prune set S with |S| <= δ, precision level), for the normalized weight
+// row their true cell draws from plus its metadata (ε, support size,
+// precision grouping).
+//
+// Before this package existed that ask was answered three separate times:
+// internal/session pruned/renormalized/precision-grouped rows for the
+// server's resident report sessions, internal/clientdraw re-implemented
+// the leaf→row resolution and alias build for lease replay, and
+// core.GenerateObfuscatedLocation materialized whole pruned and
+// precision-reduced matrices for the user-side reference path. All three
+// now bottom out here:
+//
+//   - Binding (binding.go) is the live form: one (Source, policy, prune
+//     set) evaluation serving rows lazily — exactly the float operation
+//     order the session hot path has always used, which is what keeps
+//     draws byte-identical across the in-proc, HTTP, stream, and lease
+//     serving paths.
+//   - Rows (rows.go) is the detached form: the exact weight vectors a
+//     lease bundle ships, rebuilt into the same alias tables on the
+//     device.
+//   - Factory (factory.go) is the build form: the registry of ways to
+//     construct the underlying matrix (LP-optimal forest entries,
+//     analytic planar-Laplace rows), which is what internal/eval sweeps
+//     and the fuzz contract test iterate over.
+//
+// Sources are wrappers over whatever owns the matrix: core.ForestEntry
+// satisfies Source directly (sharing its engine-accounted alias cache),
+// and StaticSource adapts a bare matrix (planar fallback rows, eval
+// matrices, tests).
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"corgi/internal/loctree"
+	"corgi/internal/obf"
+	"corgi/internal/sample"
+)
+
+// minMass mirrors obf.Matrix.Prune: a row retaining less mass than this
+// after pruning makes renormalization numerically unstable.
+const minMass = 1e-9
+
+// ErrUnsampleable marks a draw that failed because the matrix data cannot
+// support it — a row degenerate after pruning, or an alias build over a
+// zero-mass row. These are server-side data conditions, not request
+// faults: the serving layer maps them to 5xx, unlike caller mistakes.
+var ErrUnsampleable = errors.New("mechanism: row unsampleable")
+
+// ErrOutsideSubtree marks a row ask for a cell the binding's subtree does
+// not cover. Under mobility this is retryable: registry.Report re-anchors
+// the session and retries instead of failing the request.
+var ErrOutsideSubtree = errors.New("mechanism: cell outside the bound subtree")
+
+// Source is one subtree's obfuscation matrix as the serving stack sees
+// it: the support leaves indexing rows and columns, raw row access for
+// customization, and a shared per-row alias cache for the unpruned fast
+// path. core.ForestEntry satisfies it structurally; StaticSource adapts
+// a bare matrix.
+type Source interface {
+	// SubtreeRoot is the privacy-subtree node the matrix covers.
+	SubtreeRoot() loctree.NodeID
+	// SupportLeaves are the leaf nodes indexing matrix rows/columns.
+	SupportLeaves() []loctree.NodeID
+	// Dim is the matrix dimension; 0 signals an unusable source (nil
+	// entry, nil matrix) and callers must treat it as invalid.
+	Dim() int
+	// MatrixRow returns raw row i (unnormalized access to the underlying
+	// row-stochastic matrix). Callers must not mutate it.
+	MatrixRow(i int) []float64
+	// SharedAliasRow returns the cached O(1) alias sampler for row i,
+	// building it on first use. The cache is shared across every binding
+	// of the source (the engine-LRU-accounted fast path for unpruned
+	// leaf-precision draws).
+	SharedAliasRow(i int) (*sample.Alias, error)
+	// IsDegraded reports whether the rows come from a planar-Laplace
+	// fallback rather than an LP-optimal solve.
+	IsDegraded() bool
+}
+
+// StaticSource adapts a bare obfuscation matrix to the Source interface:
+// planar-Laplace fallback rows, eval-built matrices, and test fixtures
+// all serve through it. Safe for concurrent use; the alias cache builds
+// lazily under an internal mutex, mirroring core.ForestEntry's.
+type StaticSource struct {
+	root     loctree.NodeID
+	leaves   []loctree.NodeID
+	m        *obf.Matrix
+	degraded bool
+
+	mu    sync.Mutex
+	alias []*sample.Alias
+}
+
+// NewStaticSource validates the leaf/matrix alignment and wraps m.
+func NewStaticSource(root loctree.NodeID, leaves []loctree.NodeID, m *obf.Matrix, degraded bool) (*StaticSource, error) {
+	if m == nil || m.Dim() == 0 {
+		return nil, fmt.Errorf("mechanism: static source for %v has no matrix", root)
+	}
+	if len(leaves) != m.Dim() {
+		return nil, fmt.Errorf("mechanism: %d leaves for a %d-dim matrix", len(leaves), m.Dim())
+	}
+	return &StaticSource{root: root, leaves: leaves, m: m, degraded: degraded}, nil
+}
+
+// SubtreeRoot implements Source.
+func (s *StaticSource) SubtreeRoot() loctree.NodeID { return s.root }
+
+// SupportLeaves implements Source.
+func (s *StaticSource) SupportLeaves() []loctree.NodeID { return s.leaves }
+
+// Dim implements Source.
+func (s *StaticSource) Dim() int {
+	if s == nil || s.m == nil {
+		return 0
+	}
+	return s.m.Dim()
+}
+
+// MatrixRow implements Source.
+func (s *StaticSource) MatrixRow(i int) []float64 { return s.m.Row(i) }
+
+// IsDegraded implements Source.
+func (s *StaticSource) IsDegraded() bool { return s.degraded }
+
+// SharedAliasRow implements Source: the same lazy per-row alias cache a
+// forest entry keeps, minus the engine byte accounting.
+func (s *StaticSource) SharedAliasRow(i int) (*sample.Alias, error) {
+	if i < 0 || i >= s.m.Dim() {
+		return nil, fmt.Errorf("mechanism: alias row %d outside matrix dimension %d", i, s.m.Dim())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.alias == nil {
+		s.alias = make([]*sample.Alias, s.m.Dim())
+	}
+	if a := s.alias[i]; a != nil {
+		return a, nil
+	}
+	a, err := sample.New(s.m.Row(i))
+	if err != nil {
+		return nil, fmt.Errorf("mechanism: alias for row %d of %v: %w", i, s.root, err)
+	}
+	s.alias[i] = a
+	return a, nil
+}
+
+// RowMeta is the metadata half of a row ask: the privacy parameter the
+// rows were generated under, the realized support, and how the support is
+// grouped.
+type RowMeta struct {
+	// Epsilon is the Geo-Ind budget (km^-1) the matrix was built with, as
+	// supplied by the binder; 0 when the caller did not plumb it.
+	Epsilon float64
+	// Support is the number of report nodes a draw can land on (kept
+	// leaves at leaf precision, precision groups otherwise).
+	Support int
+	// Pruned is the realized prune-set size |S| (always <= the δ the
+	// binding was admitted under).
+	Pruned int
+	// Groups is the precision-group count (0 at leaf precision).
+	Groups int
+	// Degraded mirrors the source: planar-Laplace fallback rows.
+	Degraded bool
+}
+
+// rowForLeaf is the one leaf→row resolution shared by live bindings and
+// detached row sets: precision > 0 reports from the leaf's ancestor
+// group; at leaf precision a cell the user's own preferences pruned has
+// no row to draw from (Algorithm 4's loud failure).
+func rowForLeaf(tree *loctree.Tree, root loctree.NodeID, precision int, covered bool,
+	prunedSet map[loctree.NodeID]bool, rowIndex map[loctree.NodeID]int,
+	leaf loctree.NodeID) (int, error) {
+	if !covered {
+		return 0, fmt.Errorf("%w: cell %v, subtree %v", ErrOutsideSubtree, leaf, root)
+	}
+	rowNode := leaf
+	if precision > 0 {
+		anc, ok := tree.AncestorAt(leaf, precision)
+		if !ok {
+			return 0, fmt.Errorf("mechanism: no ancestor of %v at precision level %d", leaf, precision)
+		}
+		rowNode = anc
+	} else if prunedSet[leaf] {
+		return 0, fmt.Errorf("mechanism: preferences prune the user's own location %v at precision 0", leaf)
+	}
+	row, ok := rowIndex[rowNode]
+	if !ok {
+		return 0, fmt.Errorf("mechanism: node %v missing from the customized report set", rowNode)
+	}
+	return row, nil
+}

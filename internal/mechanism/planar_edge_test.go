@@ -1,0 +1,160 @@
+package mechanism_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"corgi/internal/geo"
+	"corgi/internal/hexgrid"
+	"corgi/internal/loctree"
+	"corgi/internal/mechanism"
+	"corgi/internal/obf"
+	"corgi/internal/planar"
+	"corgi/internal/policy"
+)
+
+// edgeWorld is a 3-leaf slice of a level-1 subtree: small enough that a
+// delta-2 prune leaves exactly one surviving cell.
+func edgeWorld(t *testing.T) (*loctree.Tree, loctree.NodeID, []loctree.NodeID, func(i, j int) float64) {
+	t.Helper()
+	sys, err := hexgrid.NewSystem(geo.SanFrancisco.Center(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := loctree.NewAt(sys, geo.SanFrancisco.Center(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.LevelNodes(1)[0]
+	leaves := tree.LevelNodes(0)[:3]
+	centers := make([]geo.LatLng, len(leaves))
+	for i, l := range leaves {
+		centers[i] = tree.Center(l)
+	}
+	dist := func(i, j int) float64 { return geo.Haversine(centers[i], centers[j]) }
+	return tree, root, leaves, dist
+}
+
+// TestPlanarPruneToSingleCell drives planar.DiscretizedRows through the
+// Mechanism interface with a prune set that leaves exactly one surviving
+// cell: the binding must keep serving — a single report node whose
+// normalized row is [1] and whose draws always land there — rather than
+// degenerate. This is the planar fallback's "delta-prunable for every
+// delta" claim at its boundary.
+func TestPlanarPruneToSingleCell(t *testing.T) {
+	tree, root, leaves, dist := edgeWorld(t)
+	rows, err := planar.DiscretizedRows(len(leaves), dist, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obf.NewMatrix(len(rows))
+	for i, row := range rows {
+		copy(m.Row(i), row)
+	}
+	src, err := mechanism.NewStaticSource(root, leaves, m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mechanism.Bind(mechanism.Config{
+		Tree:    tree,
+		Source:  src,
+		Delta:   2,
+		Policy:  policy.Policy{PrivacyLevel: 1},
+		Pruned:  []loctree.NodeID{leaves[0], leaves[2]},
+		Epsilon: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := b.Nodes()
+	if len(nodes) != 1 || nodes[0] != leaves[1] {
+		t.Fatalf("nodes = %v, want exactly [%v]", nodes, leaves[1])
+	}
+	meta := b.Meta()
+	if meta.Support != 1 || meta.Pruned != 2 || !meta.Degraded {
+		t.Fatalf("meta = %+v, want support 1, pruned 2, degraded", meta)
+	}
+	row, err := b.RowFor(leaves[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights, err := b.Row(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != 1 || math.Abs(weights[0]-1) > 1e-12 {
+		t.Fatalf("normalized row = %v, want [1]", weights)
+	}
+	a, err := b.Alias(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 32; i++ {
+		if got := a.Draw(rng); got != 0 {
+			t.Fatalf("draw %d landed on index %d of a single-cell support", i, got)
+		}
+	}
+	// The pruned cells themselves have no row to draw from at leaf
+	// precision (Algorithm 4's loud failure), and an uncovered cell is the
+	// retryable sentinel.
+	if _, err := b.RowFor(leaves[0]); err == nil {
+		t.Fatal("RowFor(pruned leaf) succeeded, want error")
+	}
+	outside := tree.LevelNodes(0)[3]
+	if _, err := b.RowFor(outside); !errors.Is(err, mechanism.ErrOutsideSubtree) {
+		t.Fatalf("RowFor(outside) = %v, want ErrOutsideSubtree", err)
+	}
+}
+
+// TestZeroMassRowPropagatesUnsampleable pins the failure contract: a row
+// whose mass the prune set removes entirely must surface as
+// ErrUnsampleable from every row-serving method — the live alias build,
+// the detached lease form, and the normalized audit row — so the serving
+// layers' errors.Is classification (5xx, not 4xx) keeps working.
+func TestZeroMassRowPropagatesUnsampleable(t *testing.T) {
+	tree, root, leaves, _ := edgeWorld(t)
+	// Row 0 reports cell 1 with certainty; pruning cell 1 strands it with
+	// zero retained mass. Rows 1 and 2 stay healthy.
+	m := obf.NewMatrix(3)
+	copy(m.Row(0), []float64{0, 1, 0})
+	copy(m.Row(1), []float64{0.2, 0.2, 0.6})
+	copy(m.Row(2), []float64{0.3, 0.2, 0.5})
+	src, err := mechanism.NewStaticSource(root, leaves, m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mechanism.Bind(mechanism.Config{
+		Tree:   tree,
+		Source: src,
+		Delta:  1,
+		Policy: policy.Policy{PrivacyLevel: 1},
+		Pruned: []loctree.NodeID{leaves[1]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := b.RowFor(leaves[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Alias(row); !errors.Is(err, mechanism.ErrUnsampleable) {
+		t.Fatalf("Alias(zero-mass row) = %v, want ErrUnsampleable", err)
+	}
+	if _, err := b.DetachRow(row); !errors.Is(err, mechanism.ErrUnsampleable) {
+		t.Fatalf("DetachRow(zero-mass row) = %v, want ErrUnsampleable", err)
+	}
+	if _, err := b.Row(row); !errors.Is(err, mechanism.ErrUnsampleable) {
+		t.Fatalf("Row(zero-mass row) = %v, want ErrUnsampleable", err)
+	}
+	// The healthy rows keep serving from the same binding.
+	healthy, err := b.RowFor(leaves[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Alias(healthy); err != nil {
+		t.Fatalf("Alias(healthy row) = %v", err)
+	}
+}

@@ -1,0 +1,109 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"corgi/internal/loctree"
+	"corgi/internal/sample"
+)
+
+// Rows is the detached form of a binding: the exact per-row weight
+// vectors a lease bundle ships, plus the same leaf→row resolution and
+// lazy alias builds the live Binding serves from. internal/clientdraw
+// replays server draw sequences through it — equal float64 inputs build
+// equal Walker tables, so a device-local draw lands byte-identical to
+// the server's.
+//
+// An empty weight vector marks a row the server refused to detach
+// (degenerate after pruning); asking for its alias is ErrUnsampleable,
+// without consuming any randomness, matching the server's failed alias
+// build.
+//
+// Like Binding, Rows is caller-synchronized: the alias cache mutates on
+// first use of each row under the owner's lock.
+type Rows struct {
+	tree      *loctree.Tree
+	root      loctree.NodeID
+	precision int
+	leafSet   map[loctree.NodeID]bool
+	prunedSet map[loctree.NodeID]bool
+	nodes     []loctree.NodeID
+	rowIndex  map[loctree.NodeID]int
+	weights   [][]float64
+	rowAlias  map[int]*sample.Alias
+}
+
+// NewRows assembles a detached row set for one subtree. weights is
+// index-aligned with nodes; an empty row is a server-refused row. The
+// subtree must resolve to at least one leaf in this tree.
+func NewRows(tree *loctree.Tree, root loctree.NodeID, precision int,
+	pruned, nodes []loctree.NodeID, weights [][]float64) (*Rows, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("mechanism: nil tree")
+	}
+	if len(weights) != len(nodes) {
+		return nil, fmt.Errorf("mechanism: %d weight rows for %d report nodes", len(weights), len(nodes))
+	}
+	r := &Rows{
+		tree:      tree,
+		root:      root,
+		precision: precision,
+		leafSet:   make(map[loctree.NodeID]bool),
+		prunedSet: make(map[loctree.NodeID]bool, len(pruned)),
+		nodes:     nodes,
+		rowIndex:  make(map[loctree.NodeID]int, len(nodes)),
+		weights:   weights,
+		rowAlias:  map[int]*sample.Alias{},
+	}
+	for _, leaf := range tree.LeavesUnder(root) {
+		r.leafSet[leaf] = true
+	}
+	if len(r.leafSet) == 0 {
+		return nil, fmt.Errorf("mechanism: subtree %v has no leaves in this tree", root)
+	}
+	for _, p := range pruned {
+		r.prunedSet[p] = true
+	}
+	for i, n := range nodes {
+		r.rowIndex[n] = i
+	}
+	return r, nil
+}
+
+// Root returns the detached subtree root.
+func (r *Rows) Root() loctree.NodeID { return r.root }
+
+// Nodes returns the report node set. Callers must not mutate it.
+func (r *Rows) Nodes() []loctree.NodeID { return r.nodes }
+
+// Covers reports whether the detached subtree contains leaf.
+func (r *Rows) Covers(leaf loctree.NodeID) bool { return r.leafSet[leaf] }
+
+// RowFor resolves a true leaf cell to its report row — the same
+// resolution the live Binding applies, so refusals match the server's
+// row for row.
+func (r *Rows) RowFor(leaf loctree.NodeID) (int, error) {
+	return rowForLeaf(r.tree, r.root, r.precision, r.leafSet[leaf],
+		r.prunedSet, r.rowIndex, leaf)
+}
+
+// Alias builds (and caches) the alias table for one row from its exact
+// detached weights — the same sample.New the server's row builds bottom
+// out in. Caller must hold the owning lock.
+func (r *Rows) Alias(row int) (*sample.Alias, error) {
+	if a, ok := r.rowAlias[row]; ok {
+		return a, nil
+	}
+	w := r.weights[row]
+	if len(w) == 0 {
+		// The server encoded this row empty: degenerate after pruning. No
+		// randomness is consumed, matching the server's failed alias build.
+		return nil, fmt.Errorf("%w: row %v degenerate after pruning", ErrUnsampleable, r.nodes[row])
+	}
+	a, err := sample.New(w)
+	if err != nil {
+		return nil, fmt.Errorf("%w: row %v: %v", ErrUnsampleable, r.nodes[row], err)
+	}
+	r.rowAlias[row] = a
+	return a, nil
+}

@@ -1,22 +1,18 @@
 // Package obf implements the obfuscation-matrix algebra of the paper: the
 // row-stochastic matrix representation (Sec. 2.1), epsilon-Geo-Ind
-// constraint checking (Equ. 4), user-side matrix pruning (Sec. 4.3), matrix
-// precision reduction (Sec. 4.5, Algorithm 2), and obfuscated-location
-// sampling. It is deliberately independent of how matrices are generated;
-// internal/core builds matrices, this package transforms and audits them.
+// constraint checking (Equ. 4), user-side matrix pruning (Sec. 4.3), and
+// matrix precision reduction (Sec. 4.5, Algorithm 2). It is deliberately
+// independent of how matrices are generated; internal/core builds
+// matrices, this package transforms and audits them.
 //
-// Sampling note: every sampling entry point takes a caller-owned
-// *rand.Rand, and *rand.Rand is NOT safe for concurrent use. Concurrent
-// samplers must serialize access to a shared RNG or keep one per
-// goroutine; the matrices themselves are safe to read concurrently. For
-// O(1) repeated draws from the same row, build an alias table with
-// internal/sample instead of rescanning via SampleRow.
+// Sampling lives elsewhere: internal/mechanism resolves a (source, policy)
+// pair to customized rows, and internal/sample draws from them in O(1) via
+// alias tables. The matrices here are safe to read concurrently.
 package obf
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
 )
 
 // Matrix is a square row-stochastic obfuscation matrix Z: entry (i, j) is
@@ -267,46 +263,6 @@ func PrecisionReduce(m *Matrix, groups [][]int, leafPriors []float64) (*Matrix, 
 		}
 	}
 	return out, nil
-}
-
-// SampleRow draws an obfuscated location index from row i's distribution
-// with an O(n) inverse-CDF scan. The uniform variate is scaled by the
-// row's total positive mass, so a row that sums to less than 1 — a
-// floating-point shortfall, or a pruned row awaiting renormalization —
-// samples each index proportionally instead of silently inflating the
-// last positive index (the old behavior, which biased exactly the rows
-// the pruning path produces). A row with no positive mass is an error.
-//
-// rng is caller-owned and not safe for concurrent use; see the package
-// note. For repeated draws from one row, an internal/sample alias table
-// draws in O(1) after an O(n) build.
-func (m *Matrix) SampleRow(i int, rng *rand.Rand) (int, error) {
-	row := m.Row(i)
-	total := 0.0
-	for _, v := range row {
-		if v > 0 {
-			total += v
-		}
-	}
-	if total <= 0 {
-		return 0, fmt.Errorf("obf: row %d has no positive probability mass", i)
-	}
-	u := rng.Float64() * total
-	acc := 0.0
-	last := -1
-	for j, v := range row {
-		if v <= 0 {
-			continue
-		}
-		acc += v
-		last = j
-		if u < acc {
-			return j, nil
-		}
-	}
-	// u landed on the accumulated total's rounding edge; the last positive
-	// index owns that sliver.
-	return last, nil
 }
 
 // Uniform returns the maximally private n x n matrix (every row uniform).

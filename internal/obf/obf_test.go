@@ -356,70 +356,6 @@ func TestPrecisionReduceBayesFormula(t *testing.T) {
 	}
 }
 
-func TestSampleRowDistribution(t *testing.T) {
-	m, _ := FromRows([][]float64{
-		{0.7, 0.3, 0},
-		{0, 0.5, 0.5},
-		{0.2, 0.2, 0.6},
-	})
-	rng := rand.New(rand.NewSource(99))
-	const trials = 50000
-	counts := make([]int, 3)
-	for i := 0; i < trials; i++ {
-		j, err := m.SampleRow(0, rng)
-		if err != nil {
-			t.Fatal(err)
-		}
-		counts[j]++
-	}
-	if got := float64(counts[0]) / trials; math.Abs(got-0.7) > 0.02 {
-		t.Errorf("P(0) = %v, want 0.7", got)
-	}
-	if counts[2] != 0 {
-		t.Errorf("zero-probability column sampled %d times", counts[2])
-	}
-	for i := 0; i < 100; i++ {
-		j, err := m.SampleRow(1, rng)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if j == 0 {
-			t.Fatal("sampled zero-probability column in row 1")
-		}
-	}
-}
-
-// TestSampleRowShortfallRenormalizes: a row summing to less than 1 (the
-// pruned-row shape) samples proportionally to the surviving mass instead
-// of dumping the shortfall on the last positive index — the silent-bias
-// bug the old fallback had.
-func TestSampleRowShortfallRenormalizes(t *testing.T) {
-	m, _ := FromRows([][]float64{
-		{0.3, 0.1, 0}, // mass 0.4: proportional draw is 3/4 vs 1/4
-		{0, 0, 0},
-		{1, 0, 0},
-	})
-	rng := rand.New(rand.NewSource(5))
-	const trials = 100000
-	counts := make([]int, 3)
-	for i := 0; i < trials; i++ {
-		j, err := m.SampleRow(0, rng)
-		if err != nil {
-			t.Fatal(err)
-		}
-		counts[j]++
-	}
-	if got := float64(counts[1]) / trials; math.Abs(got-0.25) > 0.01 {
-		t.Errorf("P(1) = %v, want 0.25 (old fallback biased this to ~0.8)", got)
-	}
-	if counts[2] != 0 {
-		t.Errorf("zero-probability column drawn %d times", counts[2])
-	}
-	if _, err := m.SampleRow(1, rng); err == nil {
-		t.Error("zero-mass row sampled without error")
-	}
-}
-
 func TestUniformIdentity(t *testing.T) {
 	u := Uniform(4)
 	if err := u.CheckStochastic(1e-12); err != nil {

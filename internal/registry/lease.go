@@ -224,14 +224,15 @@ func (r *Registry) Lease(ctx context.Context, req LeaseRequest) (*LeaseGrant, er
 		}
 		sess, err = sh.Sessions.GetOrCreate(key, func() (*session.Session, error) {
 			return session.New(session.Config{
-				Tree:   tree,
-				Entry:  entry,
-				Delta:  len(plan.pruned),
-				Policy: req.Policy,
-				Pruned: plan.pruned,
-				Anchor: plan.anchor,
-				Priors: sh.Server.Priors(),
-				Seed:   req.Seed,
+				Tree:    tree,
+				Entry:   entry,
+				Delta:   len(plan.pruned),
+				Policy:  req.Policy,
+				Pruned:  plan.pruned,
+				Anchor:  plan.anchor,
+				Priors:  sh.Server.Priors(),
+				Seed:    req.Seed,
+				Epsilon: sh.Spec.Epsilon,
 			})
 		})
 		if err != nil {

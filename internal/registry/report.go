@@ -8,10 +8,10 @@ import (
 	"sync"
 
 	"corgi/internal/budget"
-	"corgi/internal/core"
 	"corgi/internal/geo"
 	"corgi/internal/hexgrid"
 	"corgi/internal/loctree"
+	"corgi/internal/mechanism"
 	"corgi/internal/policy"
 	"corgi/internal/session"
 )
@@ -206,7 +206,7 @@ func evalPrune(sh *Shard, tree *loctree.Tree, req ReportRequest, root, leaf loct
 	if err != nil {
 		return plan, err
 	}
-	pruned, err := core.EvalPreferences(subtreeLeaves, req.Policy, attrs)
+	pruned, err := mechanism.EvalPreferences(subtreeLeaves, req.Policy, attrs)
 	if err != nil {
 		return plan, fmt.Errorf("%w: %v", ErrBadReport, err)
 	}
@@ -318,14 +318,15 @@ func (r *Registry) Report(ctx context.Context, req ReportRequest) (*ReportResult
 		}
 		sess, err = sh.Sessions.GetOrCreate(key, func() (*session.Session, error) {
 			return session.New(session.Config{
-				Tree:   tree,
-				Entry:  entry,
-				Delta:  len(plan.pruned),
-				Policy: req.Policy,
-				Pruned: plan.pruned,
-				Anchor: plan.anchor,
-				Priors: sh.Server.Priors(),
-				Seed:   req.Seed,
+				Tree:    tree,
+				Entry:   entry,
+				Delta:   len(plan.pruned),
+				Policy:  req.Policy,
+				Pruned:  plan.pruned,
+				Anchor:  plan.anchor,
+				Priors:  sh.Server.Priors(),
+				Seed:    req.Seed,
+				Epsilon: sh.Spec.Epsilon,
 			})
 		})
 		if err != nil {

@@ -5,15 +5,14 @@
 // seeded RNG, and then serves obfuscated-location draws in O(1) per report
 // via Walker alias tables (internal/sample).
 //
-// Unlike core.GenerateObfuscatedLocation — which materializes the whole
-// pruned matrix (Sec. 4.3) and precision-reduced matrix (Sec. 4.5) before
-// sampling one row — a session works row-wise: it prunes and renormalizes
-// only the rows the drawn-from distribution actually depends on (one row
-// at leaf precision; one precision group's rows otherwise), builds the
-// alias table for that row once, and caches it for every subsequent draw.
-// The full n x n customized matrix never exists, which is what makes the
-// per-report cost independent of how many distinct users a server is
-// tracking.
+// The customization itself — preference pruning, Sec. 4.3 renormalization,
+// Equ. 17 precision grouping — lives in internal/mechanism: a session is
+// one mechanism.Binding plus the RNG stream and draw counters. The binding
+// works row-wise: it prunes and renormalizes only the rows the drawn-from
+// distribution actually depends on, builds the alias table for that row
+// once, and caches it for every subsequent draw. The full n x n customized
+// matrix never exists, which is what makes the per-report cost independent
+// of how many distinct users a server is tracking.
 //
 // Sessions are mobility-aware: a session is the user's stream, not the
 // subtree's. When a moving user's reported cell leaves the bound subtree,
@@ -40,39 +39,34 @@ import (
 	"sync/atomic"
 
 	"corgi/internal/codec"
-	"corgi/internal/core"
 	"corgi/internal/geo"
 	"corgi/internal/loctree"
+	"corgi/internal/mechanism"
 	"corgi/internal/policy"
-	"corgi/internal/sample"
 )
 
-// minMass mirrors obf.Matrix.Prune: a row retaining less mass than this
-// after pruning makes renormalization numerically unstable.
-const minMass = 1e-9
+// ErrUnsampleable re-exports mechanism.ErrUnsampleable: a draw that failed
+// because the matrix data cannot support it — a row degenerate after
+// pruning, or an alias build over a zero-mass row. These are server-side
+// data conditions, not request faults: the serving layer maps them to 5xx,
+// unlike the ErrBadReport family of caller mistakes.
+var ErrUnsampleable = mechanism.ErrUnsampleable
 
-// ErrUnsampleable marks a draw that failed because the matrix data cannot
-// support it — a row degenerate after pruning, or an alias build over a
-// zero-mass row. These are server-side data conditions, not request
-// faults: the serving layer maps them to 5xx, unlike the ErrBadReport
-// family of caller mistakes.
-var ErrUnsampleable = errors.New("session: row unsampleable")
-
-// ErrOutsideSubtree marks a draw for a cell the session's current binding
-// does not cover. Under mobility this is retryable: a concurrent request
-// on the same (uid, seed, policy) stream may have re-anchored the shared
-// session between the caller's binding check and its draw, and
-// registry.Report re-anchors and retries on it instead of failing the
-// request.
-var ErrOutsideSubtree = errors.New("session: cell outside the bound subtree")
+// ErrOutsideSubtree re-exports mechanism.ErrOutsideSubtree: a draw for a
+// cell the session's current binding does not cover. Under mobility this
+// is retryable: a concurrent request on the same (uid, seed, policy)
+// stream may have re-anchored the shared session between the caller's
+// binding check and its draw, and registry.Report re-anchors and retries
+// on it instead of failing the request.
+var ErrOutsideSubtree = mechanism.ErrOutsideSubtree
 
 // Config binds everything one report session needs.
 type Config struct {
 	// Tree is the region's location tree.
 	Tree *loctree.Tree
-	// Entry is the privacy-forest entry for the subtree that covers the
-	// user's true location at Policy.PrivacyLevel.
-	Entry *core.ForestEntry
+	// Entry is the privacy-forest entry (any mechanism.Source) for the
+	// subtree that covers the user's true location at Policy.PrivacyLevel.
+	Entry mechanism.Source
 	// Delta is the prune budget Entry was generated with (Forest.Delta);
 	// New verifies the policy's prune set fits it.
 	Delta int
@@ -99,6 +93,9 @@ type Config struct {
 	// Seed initializes the session RNG; equal seeds yield equal draw
 	// sequences.
 	Seed int64
+	// Epsilon is the Geo-Ind budget the entry was generated under,
+	// surfaced in Meta. Metadata only: it never changes a weight.
+	Epsilon float64
 }
 
 // Rebind re-anchors a live session onto a new forest entry (see
@@ -106,7 +103,7 @@ type Config struct {
 type Rebind struct {
 	// Entry is the forest entry covering the user's new location at the
 	// session policy's privacy level.
-	Entry *core.ForestEntry
+	Entry mechanism.Source
 	// Delta is the prune budget Entry was generated with.
 	Delta int
 	// Attrs / Pruned mirror Config: the prune set over Entry's leaves,
@@ -117,116 +114,39 @@ type Rebind struct {
 	Anchor loctree.NodeID
 }
 
-// binding is the entry-derived half of a session: everything that changes
-// when the user's trajectory crosses into a different subtree, swapped
-// atomically by Rebind while the RNG stream and draw counters live on.
-type binding struct {
-	entry  *core.ForestEntry
-	anchor loctree.NodeID
-
-	leafIdx    map[loctree.NodeID]int // entry leaf -> matrix row/col
-	dropIdx    []bool                 // by entry leaf position
-	pruned     []loctree.NodeID
-	prunedSet  map[loctree.NodeID]bool
-	keptLeaves []loctree.NodeID
-	keep       []int // kept entry-leaf positions in order
-
-	// nodes are the report outcomes (kept leaves, or precision-level
-	// groups); rowIndex maps a row node to its index in nodes; groups
-	// holds, per node, the keptLeaves positions it aggregates (precision
-	// mode only).
-	nodes    []loctree.NodeID
-	rowIndex map[loctree.NodeID]int
-	groups   [][]int
-
-	rowAlias map[int]*sample.Alias
-}
-
 // Session is one user's bound report stream. Create with New.
 type Session struct {
-	tree   *loctree.Tree
-	pol    policy.Policy
-	priors *loctree.Priors
-	seed   int64
+	tree    *loctree.Tree
+	pol     policy.Policy
+	priors  *loctree.Priors
+	seed    int64
+	epsilon float64
 
 	mu  sync.Mutex
-	b   *binding
+	b   *mechanism.Binding
 	rng *rand.Rand
 
 	draws     atomic.Uint64
 	reanchors atomic.Uint64
 }
 
-// newBinding evaluates the policy against one forest entry: preferences
-// decide the prune set S over the subtree's leaves (step 2-3 of Fig. 8),
-// the δ-prunability of the entry is verified against |S| (Sec. 5.3: the
-// reserved budget must cover the realized prune set), and the report node
-// set is fixed. No alias table is built yet — rows build lazily on first
-// draw.
-func newBinding(tree *loctree.Tree, pol policy.Policy, entry *core.ForestEntry,
-	delta int, pruned []loctree.NodeID, attrs map[loctree.NodeID]policy.Attributes,
-	anchor loctree.NodeID) (*binding, error) {
-	if entry == nil || entry.Matrix == nil {
-		return nil, fmt.Errorf("session: nil entry")
-	}
-	b := &binding{
-		entry:    entry,
-		anchor:   anchor,
-		leafIdx:  make(map[loctree.NodeID]int, len(entry.Leaves)),
-		dropIdx:  make([]bool, len(entry.Leaves)),
-		rowAlias: map[int]*sample.Alias{},
-	}
-	for i, l := range entry.Leaves {
-		b.leafIdx[l] = i
-	}
-	switch {
-	case pruned != nil:
-		for _, n := range pruned {
-			if _, ok := b.leafIdx[n]; !ok {
-				return nil, fmt.Errorf("session: pruned leaf %v not in subtree %v", n, entry.Root)
-			}
-		}
-		b.pruned = pruned
-	case len(pol.Preferences) > 0:
-		evaluated, err := core.EvalPreferences(entry.Leaves, pol, attrs)
-		if err != nil {
-			return nil, err
-		}
-		b.pruned = evaluated
-	}
-	if len(b.pruned) > delta {
-		return nil, fmt.Errorf("session: preferences prune %d locations but the matrix is only %d-prunable (Sec. 5.3 tradeoff)",
-			len(b.pruned), delta)
-	}
-	b.prunedSet = make(map[loctree.NodeID]bool, len(b.pruned))
-	for _, n := range b.pruned {
-		b.prunedSet[n] = true
-		b.dropIdx[b.leafIdx[n]] = true
-	}
-	for i, l := range entry.Leaves {
-		if !b.dropIdx[i] {
-			b.keep = append(b.keep, i)
-			b.keptLeaves = append(b.keptLeaves, l)
-		}
-	}
-	if len(b.keptLeaves) == 0 {
-		return nil, fmt.Errorf("session: preferences prune every location in the subtree")
-	}
-
-	b.nodes = b.keptLeaves
-	if pol.PrecisionLevel > 0 {
-		groups, groupNodes, err := core.GroupByAncestor(tree, b.keptLeaves, pol.PrecisionLevel)
-		if err != nil {
-			return nil, err
-		}
-		b.groups = groups
-		b.nodes = groupNodes
-	}
-	b.rowIndex = make(map[loctree.NodeID]int, len(b.nodes))
-	for i, n := range b.nodes {
-		b.rowIndex[n] = i
-	}
-	return b, nil
+// bind evaluates the policy against one forest entry through the shared
+// mechanism implementation (step 2-3 of Fig. 8, the Sec. 5.3 δ admission
+// check, and the report node set). No alias table is built yet — rows
+// build lazily on first draw.
+func (s *Session) bind(entry mechanism.Source, delta int, pruned []loctree.NodeID,
+	attrs map[loctree.NodeID]policy.Attributes, anchor loctree.NodeID) (*mechanism.Binding, error) {
+	return mechanism.Bind(mechanism.Config{
+		Tree:    s.tree,
+		Source:  entry,
+		Delta:   delta,
+		Policy:  s.pol,
+		Attrs:   attrs,
+		Pruned:  pruned,
+		Anchor:  anchor,
+		Priors:  s.priors,
+		Epsilon: s.epsilon,
+	})
 }
 
 // New validates the policy, prepares the initial binding, and seeds the
@@ -242,18 +162,20 @@ func New(cfg Config) (*Session, error) {
 	if cfg.Policy.PrecisionLevel > 0 && cfg.Priors == nil {
 		return nil, fmt.Errorf("session: precision level %d needs priors", cfg.Policy.PrecisionLevel)
 	}
-	b, err := newBinding(cfg.Tree, cfg.Policy, cfg.Entry, cfg.Delta, cfg.Pruned, cfg.Attrs, cfg.Anchor)
+	s := &Session{
+		tree:    cfg.Tree,
+		pol:     cfg.Policy,
+		priors:  cfg.Priors,
+		seed:    cfg.Seed,
+		epsilon: cfg.Epsilon,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	b, err := s.bind(cfg.Entry, cfg.Delta, cfg.Pruned, cfg.Attrs, cfg.Anchor)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
-		tree:   cfg.Tree,
-		pol:    cfg.Policy,
-		priors: cfg.Priors,
-		seed:   cfg.Seed,
-		b:      b,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	s.b = b
+	return s, nil
 }
 
 // Rebind re-anchors the session onto a new forest entry — the mobility
@@ -263,7 +185,7 @@ func New(cfg Config) (*Session, error) {
 // draws against the old subtree finish on the old binding; a failed rebind
 // leaves the session exactly as it was.
 func (s *Session) Rebind(r Rebind) error {
-	b, err := newBinding(s.tree, s.pol, r.Entry, r.Delta, r.Pruned, r.Attrs, r.Anchor)
+	b, err := s.bind(r.Entry, r.Delta, r.Pruned, r.Attrs, r.Anchor)
 	if err != nil {
 		return err
 	}
@@ -279,7 +201,15 @@ func (s *Session) Rebind(r Rebind) error {
 func (s *Session) Degraded() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.b.entry.Degraded
+	return s.b.Source().IsDegraded()
+}
+
+// Meta summarizes the current binding: ε, support size, prune size,
+// precision grouping (the mechanism row metadata).
+func (s *Session) Meta() mechanism.RowMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Meta()
 }
 
 // Upgrade swaps the session's degraded binding for one backed by the
@@ -295,23 +225,23 @@ func (s *Session) Degraded() bool {
 // evaluated against the same leaf set. A concurrent Rebind between the
 // degraded check and the swap also aborts the upgrade — the session has
 // moved on, and the new subtree's own entry governs.
-func (s *Session) Upgrade(entry *core.ForestEntry, delta int) (bool, error) {
-	if entry == nil || entry.Degraded {
+func (s *Session) Upgrade(entry mechanism.Source, delta int) (bool, error) {
+	if entry == nil || entry.Dim() == 0 || entry.IsDegraded() {
 		return false, nil
 	}
 	s.mu.Lock()
 	cur := s.b
 	s.mu.Unlock()
-	if !cur.entry.Degraded || cur.entry.Root != entry.Root {
+	if !cur.Source().IsDegraded() || cur.Root() != entry.SubtreeRoot() {
 		return false, nil
 	}
-	pruned := cur.pruned
+	pruned := cur.Pruned()
 	if pruned == nil {
-		// Non-nil means "already evaluated, nothing pruned": newBinding must
+		// Non-nil means "already evaluated, nothing pruned": the bind must
 		// not re-run preference evaluation (the attrs are long gone).
 		pruned = []loctree.NodeID{}
 	}
-	b, err := newBinding(s.tree, s.pol, entry, delta, pruned, nil, cur.anchor)
+	b, err := s.bind(entry, delta, pruned, nil, cur.Anchor())
 	if err != nil {
 		return false, err
 	}
@@ -328,7 +258,7 @@ func (s *Session) Upgrade(entry *core.ForestEntry, delta int) (bool, error) {
 func (s *Session) Root() loctree.NodeID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.b.entry.Root
+	return s.b.Root()
 }
 
 // Anchor returns the attribute anchor cell of the current binding (zero
@@ -336,15 +266,14 @@ func (s *Session) Root() loctree.NodeID {
 func (s *Session) Anchor() loctree.NodeID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.b.anchor
+	return s.b.Anchor()
 }
 
 // Covers reports whether the current binding's subtree contains leaf.
 func (s *Session) Covers(leaf loctree.NodeID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.b.leafIdx[leaf]
-	return ok
+	return s.b.Covers(leaf)
 }
 
 // Policy returns the customization triple the session carries across
@@ -355,7 +284,7 @@ func (s *Session) Policy() policy.Policy { return s.pol }
 func (s *Session) Nodes() []loctree.NodeID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.b.nodes
+	return s.b.Nodes()
 }
 
 // Pruned returns the leaves the policy's preferences removed under the
@@ -363,7 +292,7 @@ func (s *Session) Nodes() []loctree.NodeID {
 func (s *Session) Pruned() []loctree.NodeID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.b.pruned
+	return s.b.Pruned()
 }
 
 // Draws reports how many reports the session has served.
@@ -422,166 +351,20 @@ func (s *Session) DrawCellNInto(leaf loctree.NodeID, out []loctree.NodeID) error
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b := s.b
-	if _, ok := b.leafIdx[leaf]; !ok {
-		return fmt.Errorf("%w: cell %v, subtree %v", ErrOutsideSubtree, leaf, b.entry.Root)
-	}
-	rowNode := leaf
-	if s.pol.PrecisionLevel > 0 {
-		anc, ok := s.tree.AncestorAt(leaf, s.pol.PrecisionLevel)
-		if !ok {
-			return fmt.Errorf("session: no ancestor of %v at precision level %d", leaf, s.pol.PrecisionLevel)
-		}
-		rowNode = anc
-	} else if b.prunedSet[leaf] {
-		return fmt.Errorf("session: preferences prune the user's own location %v at precision 0", leaf)
-	}
-	row, ok := b.rowIndex[rowNode]
-	if !ok {
-		return fmt.Errorf("session: node %v missing from the customized report set", rowNode)
-	}
-	a, err := s.aliasForRowLocked(b, row, leaf)
+	row, err := b.RowFor(leaf)
 	if err != nil {
 		return err
 	}
+	a, err := b.Alias(row)
+	if err != nil {
+		return err
+	}
+	nodes := b.Nodes()
 	for i := range out {
-		out[i] = b.nodes[a.Draw(s.rng)]
+		out[i] = nodes[a.Draw(s.rng)]
 	}
 	s.draws.Add(uint64(len(out)))
 	return nil
-}
-
-// aliasForRowLocked returns the alias table for one report row, building
-// and caching it on first use. Caller holds s.mu.
-func (s *Session) aliasForRowLocked(b *binding, row int, leaf loctree.NodeID) (*sample.Alias, error) {
-	if a, ok := b.rowAlias[row]; ok {
-		return a, nil
-	}
-	a, err := s.buildRow(b, row, leaf)
-	if err != nil {
-		return nil, err
-	}
-	b.rowAlias[row] = a
-	return a, nil
-}
-
-// buildRow assembles the report distribution for one row without ever
-// materializing the customized matrix:
-//
-//   - leaf precision, empty prune set: the entry's own shared per-row
-//     alias cache serves directly (byte-accounted in the engine LRU);
-//   - leaf precision, pruned: the matrix row minus the dropped columns,
-//     renormalized (Sec. 4.3) inside the alias build;
-//   - coarser precision: the Equ. 17 aggregation restricted to the rows
-//     of the drawn-from group — weight_j = Σ_{u∈g_row} p_u/mass_u ·
-//     Σ_{v∈g_j} z[u][v], with the constant 1/p_row dropped since the
-//     alias build normalizes.
-func (s *Session) buildRow(b *binding, row int, leaf loctree.NodeID) (*sample.Alias, error) {
-	m := b.entry.Matrix
-	if s.pol.PrecisionLevel == 0 {
-		orig := b.leafIdx[leaf]
-		if len(b.pruned) == 0 {
-			a, err := b.entry.AliasRow(orig)
-			if err != nil {
-				return nil, fmt.Errorf("%w: row %v: %v", ErrUnsampleable, leaf, err)
-			}
-			return a, nil
-		}
-		a, _, err := sample.NewSubset(m.Row(orig), b.dropIdx)
-		if err != nil {
-			return nil, fmt.Errorf("%w: row %v: %v", ErrUnsampleable, leaf, err)
-		}
-		return a, nil
-	}
-
-	weights, err := s.precisionWeights(b, row)
-	if err != nil {
-		return nil, err
-	}
-	a, err := sample.New(weights)
-	if err != nil {
-		return nil, fmt.Errorf("%w: precision row %v: %v", ErrUnsampleable, b.nodes[row], err)
-	}
-	return a, nil
-}
-
-// precisionWeights materializes the Equ. 17 aggregated weight vector for
-// one precision-group row. It is the single implementation behind both the
-// live draw path (buildRow) and lease detachment (DetachLease): the float
-// operation order here is what makes a client-rebuilt alias table
-// bit-identical to the server's — sample.New over equal float64 inputs
-// yields equal tables, so equality must hold at the weight vector, not
-// just mathematically.
-func (s *Session) precisionWeights(b *binding, row int) ([]float64, error) {
-	m := b.entry.Matrix
-	weights := make([]float64, len(b.nodes))
-	for _, u := range b.groups[row] { // u indexes keptLeaves
-		orig := b.keep[u]
-		r := m.Row(orig)
-		removed := 0.0
-		for l, dropped := range b.dropIdx {
-			if dropped {
-				removed += r[l]
-			}
-		}
-		mass := 1 - removed
-		if mass < minMass {
-			return nil, fmt.Errorf("%w: row %v retains %.3g probability mass after pruning",
-				ErrUnsampleable, b.keptLeaves[u], mass)
-		}
-		pu := s.priors.Of(s.tree, b.keptLeaves[u])
-		scale := pu / mass
-		for j, gj := range b.groups {
-			sum := 0.0
-			for _, v := range gj {
-				sum += r[b.keep[v]]
-			}
-			weights[j] += scale * sum
-		}
-	}
-	return weights, nil
-}
-
-// detachRowWeights materializes the exact weight vector one report row
-// samples from, in the representation a client alias build needs: weights
-// over b.nodes, index-aligned. Each arm reproduces the corresponding
-// buildRow arm's inputs to sample.New bit for bit:
-//
-//   - leaf precision, empty prune set: a copy of the full matrix row
-//     (entry.AliasRow is sample.New over exactly that row);
-//   - leaf precision, pruned: the kept columns in keep order with
-//     NewSubset's minMass admission check (NewSubset feeds sample.New the
-//     same vector);
-//   - coarser precision: precisionWeights, shared with buildRow.
-//
-// A row that buildRow would refuse (degenerate after pruning) returns
-// ErrUnsampleable; DetachLease encodes it as an empty row so the client
-// fails the same draws the server would — without consuming RNG, matching
-// the server (an alias build fails before any variate is drawn).
-func (s *Session) detachRowWeights(b *binding, row int) ([]float64, error) {
-	m := b.entry.Matrix
-	if s.pol.PrecisionLevel > 0 {
-		return s.precisionWeights(b, row)
-	}
-	orig := b.leafIdx[b.nodes[row]]
-	r := m.Row(orig)
-	if len(b.pruned) == 0 {
-		return append([]float64(nil), r...), nil
-	}
-	removed := 0.0
-	for j, d := range b.dropIdx {
-		if d {
-			removed += r[j]
-		}
-	}
-	if 1-removed < minMass {
-		return nil, fmt.Errorf("%w: row %v retains %.3g probability mass after pruning",
-			ErrUnsampleable, b.nodes[row], 1-removed)
-	}
-	weights := make([]float64, len(b.keep))
-	for i, j := range b.keep {
-		weights[i] = r[j]
-	}
-	return weights, nil
 }
 
 // DetachLease serializes the session's current binding into a lease bundle
@@ -613,21 +396,22 @@ func (s *Session) DetachLease(leaf loctree.NodeID, n int) (*codec.LeaseBundle, e
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b := s.b
-	if _, ok := b.leafIdx[leaf]; !ok {
-		return nil, fmt.Errorf("%w: cell %v, subtree %v", ErrOutsideSubtree, leaf, b.entry.Root)
+	if !b.Covers(leaf) {
+		return nil, fmt.Errorf("%w: cell %v, subtree %v", ErrOutsideSubtree, leaf, b.Root())
 	}
+	nodes := b.Nodes()
 	bundle := &codec.LeaseBundle{
-		Root:           b.entry.Root,
+		Root:           b.Root(),
 		PrecisionLevel: s.pol.PrecisionLevel,
-		Degraded:       b.entry.Degraded,
+		Degraded:       b.Source().IsDegraded(),
 		Seed:           s.seed,
 		RNGPos:         s.draws.Load(),
-		Pruned:         append([]loctree.NodeID(nil), b.pruned...),
-		Nodes:          append([]loctree.NodeID(nil), b.nodes...),
-		Rows:           make([][]float64, len(b.nodes)),
+		Pruned:         append([]loctree.NodeID(nil), b.Pruned()...),
+		Nodes:          append([]loctree.NodeID(nil), nodes...),
+		Rows:           make([][]float64, len(nodes)),
 	}
-	for i := range b.nodes {
-		w, err := s.detachRowWeights(b, i)
+	for i := range nodes {
+		w, err := b.DetachRow(i)
 		if err != nil {
 			if !errors.Is(err, ErrUnsampleable) {
 				return nil, err

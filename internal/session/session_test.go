@@ -11,6 +11,7 @@ import (
 	"corgi/internal/geo"
 	"corgi/internal/hexgrid"
 	"corgi/internal/loctree"
+	"corgi/internal/mechanism"
 	"corgi/internal/obf"
 	"corgi/internal/policy"
 )
@@ -114,7 +115,7 @@ func TestRowWeightsMatchMatrixPath(t *testing.T) {
 		ref := pruned
 		refNodes := keptLeaves
 		if precision > 0 {
-			groups, groupNodes, err := core.GroupByAncestor(tree, keptLeaves, precision)
+			groups, groupNodes, err := mechanism.GroupByAncestor(tree, keptLeaves, precision)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -131,13 +132,13 @@ func TestRowWeightsMatchMatrixPath(t *testing.T) {
 
 		// Compare every row's alias distribution against the reference.
 		realLeaf := entry.Leaves[0] // unpruned
-		rowNode := realLeaf
-		if precision > 0 {
-			rowNode, _ = tree.AncestorAt(realLeaf, precision)
-		}
 		s.mu.Lock()
-		row := s.b.rowIndex[rowNode]
-		a, err := s.aliasForRowLocked(s.b, row, realLeaf)
+		row, err := s.b.RowFor(realLeaf)
+		if err != nil {
+			s.mu.Unlock()
+			t.Fatal(err)
+		}
+		a, err := s.b.Alias(row)
 		s.mu.Unlock()
 		if err != nil {
 			t.Fatal(err)
